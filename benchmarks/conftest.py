@@ -1,0 +1,23 @@
+"""Shared session fixtures for the benchmark harness.
+
+Building the workload (Tempo specializations for every paper array
+size) is expensive; it is done once per session and shared.
+"""
+
+import pytest
+
+from repro.bench.workloads import IntArrayWorkload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return IntArrayWorkload()
+
+
+@pytest.fixture(scope="session")
+def live_pipeline():
+    """The live-Python pipeline for the paper's workload interface."""
+    from repro.bench.workloads import WORKLOAD_IDL, WORKLOAD_IMPL
+    from repro.specialized import SpecializationPipeline
+
+    return SpecializationPipeline(WORKLOAD_IDL, impl_sources=[WORKLOAD_IMPL])

@@ -1,0 +1,36 @@
+"""Ablation bench: the cost of disabling each specializer refinement
+(DESIGN.md §5) measured on the PC model."""
+
+from repro.bench import ablation
+
+
+def test_ablations(benchmark, workload):
+    rows = benchmark.pedantic(
+        lambda: ablation.compute(workload, n=500),
+        rounds=1, iterations=1,
+    )
+    by_name = {row["ablation"]: row for row in rows}
+    full = by_name["full"]
+
+    # Context sensitivity: losing it makes the header marshaling (and
+    # the buffer accounting fed by the widened size argument) residual.
+    assert by_name["context"]["marshal_ms"] > 1.5 * full["marshal_ms"]
+
+    # Partially-static structures: x_handy accounting survives.
+    assert by_name["partially_static"]["marshal_ms"] > (
+        1.5 * full["marshal_ms"]
+    )
+
+    # Flow sensitivity: the expected_inlen rewrite dies -> the reply
+    # decode stays generic.
+    assert by_name["flow"]["recv_ms"] > 1.5 * full["recv_ms"]
+    # ...but the marshal path (no flow-sensitivity opportunities in the
+    # workload's encode direction) is unaffected.
+    assert abs(
+        by_name["flow"]["marshal_ms"] - full["marshal_ms"]
+    ) < 0.15 * full["marshal_ms"]
+
+    # Unrolling off: per-element loop overhead returns.
+    assert by_name["unroll"]["marshal_ms"] > 1.5 * full["marshal_ms"]
+    # ...and the residual is far smaller (the Table 3 tradeoff).
+    assert by_name["unroll"]["residual_bytes"] < full["residual_bytes"] / 4

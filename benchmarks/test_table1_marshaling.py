@@ -1,0 +1,47 @@
+"""Table 1 — client marshaling on both simulated platforms.
+
+Regenerates every cell of the paper's Table 1 and asserts the shape
+claims: who wins, roughly by how much, and where the IPX speedup peaks.
+"""
+
+from repro.bench import marshaling
+from repro.bench.paper_data import TABLE1_SPEEDUPS
+from repro.bench.workloads import ARRAY_SIZES
+
+
+def test_table1(benchmark, workload):
+    rows = benchmark.pedantic(
+        lambda: marshaling.compute(workload, ARRAY_SIZES),
+        rounds=1, iterations=1,
+    )
+    by_n = {row["n"]: row for row in rows}
+
+    for n, row in by_n.items():
+        paper_ipx, paper_pc = TABLE1_SPEEDUPS[n]
+        # Specialization always wins, within a factor-shape tolerance of
+        # the paper's printed speedups.
+        assert row["ipx_speedup"] > 1.8
+        assert row["pc_speedup"] > 1.0
+        assert abs(row["ipx_speedup"] - paper_ipx) / paper_ipx < 0.45
+        assert abs(row["pc_speedup"] - paper_pc) / paper_pc < 0.35
+
+    # IPX: speedup rises to a mid-size peak and falls at 2000 (the
+    # paper's memory-boundedness), ending below the peak.
+    ipx = [by_n[n]["ipx_speedup"] for n in ARRAY_SIZES]
+    assert max(ipx) == max(ipx[1:4]), "peak should be at a middle size"
+    assert ipx[-1] < max(ipx) - 0.4
+
+    # PC: monotonically increasing speedup ("the curve only bends").
+    pc = [by_n[n]["pc_speedup"] for n in ARRAY_SIZES]
+    assert all(b >= a for a, b in zip(pc, pc[1:]))
+
+    # Absolute times are in the paper's ballpark (within 2x per cell).
+    from repro.bench.paper_data import TABLE1
+
+    for n in ARRAY_SIZES:
+        row = by_n[n]
+        ipx_orig, ipx_spec, pc_orig, pc_spec = TABLE1[n]
+        assert 0.5 < row["ipx_original_ms"] / ipx_orig < 2.0
+        assert 0.5 < row["ipx_specialized_ms"] / ipx_spec < 2.0
+        assert 0.5 < row["pc_original_ms"] / pc_orig < 2.0
+        assert 0.5 < row["pc_specialized_ms"] / pc_spec < 2.0

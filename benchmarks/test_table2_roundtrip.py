@@ -1,0 +1,36 @@
+"""Table 2 — full RPC round trip on both simulated platforms."""
+
+from repro.bench import roundtrip
+from repro.bench.paper_data import TABLE2, TABLE2_SPEEDUPS
+from repro.bench.workloads import ARRAY_SIZES
+
+
+def test_table2(benchmark, workload):
+    rows = benchmark.pedantic(
+        lambda: roundtrip.compute(workload, ARRAY_SIZES),
+        rounds=1, iterations=1,
+    )
+    by_n = {row["n"]: row for row in rows}
+
+    for n in ARRAY_SIZES:
+        row = by_n[n]
+        paper_ipx, paper_pc = TABLE2_SPEEDUPS[n]
+        # Round-trip speedups are much smaller than marshaling speedups
+        # (the network dominates) but specialization still wins.
+        assert 1.0 < row["ipx_speedup"] < 1.8
+        assert 1.0 < row["pc_speedup"] < 1.8
+        assert abs(row["ipx_speedup"] - paper_ipx) < 0.25
+        assert abs(row["pc_speedup"] - paper_pc) < 0.25
+        # Absolute times within 2x of every paper cell.
+        ipx_orig, ipx_spec, pc_orig, pc_spec = TABLE2[n]
+        assert 0.5 < row["ipx_original_ms"] / ipx_orig < 2.0
+        assert 0.5 < row["ipx_specialized_ms"] / ipx_spec < 2.0
+        assert 0.5 < row["pc_original_ms"] / pc_orig < 2.0
+        assert 0.5 < row["pc_specialized_ms"] / pc_spec < 2.0
+
+    # Speedup grows with n and saturates (paper: 1.10 -> 1.55, then flat).
+    ipx = [by_n[n]["ipx_speedup"] for n in ARRAY_SIZES]
+    assert ipx[0] < ipx[3]
+    # The IPX link is slower than Fast Ethernet end to end.
+    for n in ARRAY_SIZES:
+        assert by_n[n]["ipx_original_ms"] > by_n[n]["pc_original_ms"]

@@ -1,0 +1,26 @@
+"""Table 3 — code size of generic vs specialized client code."""
+
+from repro.bench import codesize
+from repro.bench.workloads import ARRAY_SIZES
+
+
+def test_table3(benchmark, workload):
+    rows = benchmark.pedantic(
+        lambda: codesize.compute(workload, ARRAY_SIZES),
+        rounds=1, iterations=1,
+    )
+    generic = rows[0]["generic_bytes"]
+    sizes = [row["specialized_bytes"] for row in rows]
+
+    # The paper's claims: specialized code is always larger than the
+    # generic code (even at n=20, because error-handling functions
+    # remain), and grows with the unrolled array size.
+    assert all(size > generic for size in sizes)
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    # Growth is roughly linear in n beyond the fixed residual part:
+    # (size(2000) - size(1000)) ~ 2x (size(1000) - size(500)).
+    by_n = {row["n"]: row["specialized_bytes"] for row in rows}
+    delta_large = by_n[2000] - by_n[1000]
+    delta_small = by_n[1000] - by_n[500]
+    assert 1.5 < delta_large / delta_small < 2.5

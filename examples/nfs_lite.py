@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""NFS-lite: a file service in the style that made Sun RPC a standard.
+
+The paper motivates Sun RPC as "a de facto standard in distributed
+service design and implementation, e.g., NFS and NIS" (§2).  This
+example defines a miniature NFS-shaped interface — lookup / read /
+write / getattr / readdir over opaque file handles — entirely in the
+rpcgen language, serves an in-memory filesystem over UDP, registers it
+with the portmapper, and drives a small workload.
+
+Run:  python examples/nfs_lite.py
+"""
+
+import hashlib
+
+from repro.rpc import SvcRegistry, UdpClient, UdpServer
+from repro.rpc.pmap import IPPROTO_UDP, PortMapper, pmap_getport, pmap_set
+from repro.rpcgen import parse_idl
+from repro.rpcgen.codegen_py import load_python
+
+NFS_LITE_IDL = """
+const FHSIZE = 16;
+const MAXNAME = 64;
+const MAXDATA = 1024;
+const MAXNAMES = 32;
+
+enum status { OK = 0, NOENT = 2, IO = 5, EXIST = 17, NOTDIR = 20 };
+
+struct fhandle { opaque data[FHSIZE]; };
+
+struct sattr { unsigned int mode; unsigned int size; };
+
+struct fattr {
+    unsigned int mode;
+    unsigned int size;
+    unsigned int nlink;
+    bool is_dir;
+};
+
+struct diropargs { fhandle dir; string name<MAXNAME>; };
+
+struct diropres { status st; fhandle file; fattr attributes; };
+
+struct readargs { fhandle file; unsigned int offset; unsigned int count; };
+
+struct readres { status st; fattr attributes; opaque data<MAXDATA>; };
+
+struct writeargs {
+    fhandle file;
+    unsigned int offset;
+    opaque data<MAXDATA>;
+};
+
+struct attrstat { status st; fattr attributes; };
+
+struct namelist { string names<MAXNAMES>; };
+
+struct readdirres { status st; namelist entries; };
+
+program NFSLITE_PROG {
+    version NFSLITE_VERS {
+        fhandle ROOT(void) = 1;
+        diropres LOOKUP(diropargs) = 2;
+        readres READ(readargs) = 3;
+        attrstat WRITE(writeargs) = 4;
+        attrstat GETATTR(fhandle) = 5;
+        readdirres READDIR(fhandle) = 6;
+        diropres CREATE(diropargs) = 7;
+    } = 1;
+} = 0x20006464;
+"""
+
+# Note: `string names<MAXNAMES>` gives a bounded list of names in this
+# rpcgen subset (an array of strings is expressed via the VarArray of
+# the string typedef in classic rpcgen; we keep one level for clarity).
+
+
+class MemoryFs:
+    """A flat in-memory filesystem: one root directory of files."""
+
+    def __init__(self, stubs):
+        self.stubs = stubs
+        self.files = {}  # name -> bytearray
+        self.root_handle = self._handle("/")
+
+    @staticmethod
+    def _handle(name):
+        return hashlib.md5(name.encode()).digest()[:16]
+
+    def _name_of(self, handle):
+        for name in self.files:
+            if self._handle(name) == handle:
+                return name
+        return None
+
+    def _attrs(self, name=None):
+        stubs = self.stubs
+        if name is None:
+            return stubs.fattr(mode=0o755, size=len(self.files), nlink=2,
+                               is_dir=True)
+        return stubs.fattr(mode=0o644, size=len(self.files[name]),
+                           nlink=1, is_dir=False)
+
+    # -- procedures ------------------------------------------------------
+
+    def ROOT(self):
+        return self.stubs.fhandle(data=self.root_handle)
+
+    def LOOKUP(self, args):
+        stubs = self.stubs
+        if bytes(args.dir.data) != self.root_handle:
+            return stubs.diropres(st=stubs.status.NOTDIR,
+                                  file=stubs.fhandle(data=b"\x00" * 16),
+                                  attributes=stubs.fattr())
+        if args.name not in self.files:
+            return stubs.diropres(st=stubs.status.NOENT,
+                                  file=stubs.fhandle(data=b"\x00" * 16),
+                                  attributes=stubs.fattr())
+        return stubs.diropres(
+            st=stubs.status.OK,
+            file=stubs.fhandle(data=self._handle(args.name)),
+            attributes=self._attrs(args.name),
+        )
+
+    def CREATE(self, args):
+        stubs = self.stubs
+        if args.name in self.files:
+            return stubs.diropres(st=stubs.status.EXIST,
+                                  file=stubs.fhandle(data=b"\x00" * 16),
+                                  attributes=stubs.fattr())
+        self.files[args.name] = bytearray()
+        return self.LOOKUP(args)
+
+    def READ(self, args):
+        stubs = self.stubs
+        name = self._name_of(bytes(args.file.data))
+        if name is None:
+            return stubs.readres(st=stubs.status.NOENT,
+                                 attributes=stubs.fattr(), data=b"")
+        blob = self.files[name]
+        chunk = bytes(blob[args.offset:args.offset + args.count])
+        return stubs.readres(st=stubs.status.OK,
+                             attributes=self._attrs(name), data=chunk)
+
+    def WRITE(self, args):
+        stubs = self.stubs
+        name = self._name_of(bytes(args.file.data))
+        if name is None:
+            return stubs.attrstat(st=stubs.status.NOENT,
+                                  attributes=stubs.fattr())
+        blob = self.files[name]
+        end = args.offset + len(args.data)
+        if len(blob) < end:
+            blob.extend(b"\x00" * (end - len(blob)))
+        blob[args.offset:end] = args.data
+        return stubs.attrstat(st=stubs.status.OK,
+                              attributes=self._attrs(name))
+
+    def GETATTR(self, handle):
+        stubs = self.stubs
+        if bytes(handle.data) == self.root_handle:
+            return stubs.attrstat(st=stubs.status.OK,
+                                  attributes=self._attrs())
+        name = self._name_of(bytes(handle.data))
+        if name is None:
+            return stubs.attrstat(st=stubs.status.NOENT,
+                                  attributes=stubs.fattr())
+        return stubs.attrstat(st=stubs.status.OK,
+                              attributes=self._attrs(name))
+
+    def READDIR(self, handle):
+        stubs = self.stubs
+        if bytes(handle.data) != self.root_handle:
+            return stubs.readdirres(st=stubs.status.NOTDIR,
+                                    entries=stubs.namelist(names=""))
+        names = ",".join(sorted(self.files))
+        return stubs.readdirres(st=stubs.status.OK,
+                                entries=stubs.namelist(names=names))
+
+
+def main():
+    interface = parse_idl(NFS_LITE_IDL)
+    stubs = load_python(interface, "nfslite_stubs")
+    fs = MemoryFs(stubs)
+
+    registry = SvcRegistry()
+    stubs.register_NFSLITE_PROG_1(registry, fs)
+
+    pmap_registry = SvcRegistry()
+    PortMapper().mount(pmap_registry)
+
+    with UdpServer(pmap_registry) as pmap_server:
+        with UdpServer(registry) as nfs_server:
+            pmap_set(stubs.NFSLITE_PROG, 1, IPPROTO_UDP, nfs_server.port,
+                     pmap_port=pmap_server.port)
+            port = pmap_getport(stubs.NFSLITE_PROG, 1, IPPROTO_UDP,
+                                pmap_port=pmap_server.port)
+            print(f"nfs-lite served on udp port {port} (via portmapper)")
+
+            with UdpClient("127.0.0.1", port, stubs.NFSLITE_PROG,
+                           1) as transport:
+                client = stubs.NFSLITE_PROG_1_client(transport)
+                root = client.ROOT()
+
+                created = client.CREATE(
+                    stubs.diropargs(dir=root, name="hello.txt")
+                )
+                assert created.st == stubs.status.OK
+                print("created hello.txt")
+
+                write = client.WRITE(stubs.writeargs(
+                    file=created.file, offset=0, data=b"hello, rpc world"
+                ))
+                assert write.st == stubs.status.OK
+                print(f"wrote 16 bytes; size now {write.attributes.size}")
+
+                read = client.READ(stubs.readargs(
+                    file=created.file, offset=7, count=9
+                ))
+                print(f"read back: {bytes(read.data)!r}")
+
+                missing = client.LOOKUP(
+                    stubs.diropargs(dir=root, name="nope")
+                )
+                print(f"lookup('nope') -> status {missing.st} (NOENT)")
+
+                client.CREATE(stubs.diropargs(dir=root, name="b.dat"))
+                listing = client.READDIR(root)
+                print(f"readdir: {listing.entries.names}")
+
+                attrs = client.GETATTR(root)
+                print(f"root getattr: dir={attrs.attributes.is_dir} "
+                      f"entries={attrs.attributes.size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""A richer RPC service: remote statistics over TCP with the portmapper.
+
+Demonstrates the parts of the stack the headline benchmark doesn't
+touch: TCP record marking, AUTH_SYS credentials, enums, unions (error
+results), strings, doubles, and portmapper-based service discovery —
+the breadth a real Sun RPC deployment (NFS-era) relies on.
+
+Run:  python examples/remote_stats.py
+"""
+
+from repro.rpc import SvcRegistry, TcpClient, TcpServer, UdpServer, make_auth_sys
+from repro.rpc.pmap import IPPROTO_TCP, PortMapper, pmap_getport, pmap_set
+from repro.rpcgen import parse_idl
+from repro.rpcgen.codegen_py import load_python
+
+STATS_IDL = """
+const MAXSAMPLES = 1024;
+
+enum statkind { MEAN = 0, VARIANCE = 1, MAXIMUM = 2 };
+
+struct query {
+    statkind kind;
+    string label<64>;
+    double samples<MAXSAMPLES>;
+};
+
+union statresult switch (int status) {
+case 0:
+    double value;
+case 1:
+    string error<128>;
+default:
+    void;
+};
+
+program STATS_PROG {
+    version STATS_VERS {
+        statresult COMPUTE(query) = 1;
+    } = 1;
+} = 0x20000555;
+"""
+
+
+def main():
+    interface = parse_idl(STATS_IDL)
+    stubs = load_python(interface, "stats_stubs")
+
+    class StatsImpl:
+        def COMPUTE(self, q):
+            if not q.samples:
+                return (1, f"{q.label}: no samples")
+            if q.kind == stubs.statkind.MEAN:
+                return (0, sum(q.samples) / len(q.samples))
+            if q.kind == stubs.statkind.VARIANCE:
+                mean = sum(q.samples) / len(q.samples)
+                return (0, sum((s - mean) ** 2 for s in q.samples)
+                        / len(q.samples))
+            if q.kind == stubs.statkind.MAXIMUM:
+                return (0, max(q.samples))
+            return (1, f"{q.label}: unknown statistic {q.kind}")
+
+    registry = SvcRegistry()
+    stubs.register_STATS_PROG_1(registry, StatsImpl())
+
+    # Portmapper-based discovery, like a classic Sun deployment: a
+    # portmapper runs on its own UDP port, the service registers, and
+    # the client asks the portmapper where to connect.
+    pmap_registry = SvcRegistry()
+    portmapper = PortMapper()
+    portmapper.mount(pmap_registry)
+
+    with UdpServer(pmap_registry) as pmap_server:
+        with TcpServer(registry) as stats_server:
+            pmap_set(
+                stubs.STATS_PROG, 1, IPPROTO_TCP, stats_server.port,
+                pmap_port=pmap_server.port,
+            )
+            port = pmap_getport(
+                stubs.STATS_PROG, 1, IPPROTO_TCP,
+                pmap_port=pmap_server.port,
+            )
+            print(f"portmapper says STATS_PROG is on tcp port {port}")
+
+            cred = make_auth_sys(1, "examplehost", 1000, 1000, [100])
+            with TcpClient("127.0.0.1", port, stubs.STATS_PROG, 1,
+                           cred=cred) as transport:
+                client = stubs.STATS_PROG_1_client(transport)
+                samples = [1.5, 2.5, 3.25, 10.0, 4.75]
+                for kind, name in (
+                    (stubs.statkind.MEAN, "mean"),
+                    (stubs.statkind.VARIANCE, "variance"),
+                    (stubs.statkind.MAXIMUM, "maximum"),
+                ):
+                    status, value = client.COMPUTE(
+                        stubs.query(kind=kind, label="demo",
+                                    samples=samples)
+                    )
+                    print(f"  {name:9s} of {samples} = {value:.4f}"
+                          f" (status {status})")
+                status, error = client.COMPUTE(
+                    stubs.query(kind=stubs.statkind.MEAN, label="empty",
+                                samples=[])
+                )
+                print(f"  empty query -> status {status}: {error!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation in one run.
+
+Equivalent to ``python -m repro.bench all``: Tables 1–4, the six panels
+of Figure 6, and the refinement ablations, each printed next to the
+published numbers.
+
+Run:  python examples/reproduce_paper.py  [--quick]
+
+``--quick`` restricts the array-size sweep to 20/250/2000 (about 30s
+instead of a few minutes).
+"""
+
+import sys
+
+from repro.bench.cli import main
+
+
+if __name__ == "__main__":
+    argv = ["all"]
+    if "--quick" in sys.argv:
+        argv += ["--sizes", "20,250,2000"]
+    sys.exit(main(argv))

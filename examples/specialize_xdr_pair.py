@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""The paper's Figures 2–5, reproduced live.
+
+Feeds the exact micro-layer code of the paper's Section 3 — ``xdr_long``
+(encode/decode dispatch, Figure 2), ``xdrmem_putlong`` (buffer-overflow
+accounting, Figure 3) and ``xdr_pair`` (exit-status propagation,
+Figure 4) — through the Tempo specializer with the declared invariants
+(``x_op = XDR_ENCODE``, ``x_handy`` known), and prints the residual code
+beside the paper's Figure 5.
+
+Run:  python examples/specialize_xdr_pair.py
+"""
+
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+from repro.tempo.visualize import binding_time_summary, gutter_listing
+
+SUN_RPC_EXCERPT = """
+#define XDR_ENCODE 0
+#define XDR_DECODE 1
+#define XDR_FREE 2
+#define TRUE 1
+#define FALSE 0
+
+struct XDR {
+    int x_op;          /* operation: encode, decode or free */
+    int x_handy;       /* space left in the buffer */
+    caddr_t x_private; /* current buffer position */
+    caddr_t x_base;    /* buffer start */
+};
+
+struct pair {
+    int int1;
+    int int2;
+};
+
+/* Figure 3: write a long integer, checking for overflow. */
+bool_t xdrmem_putlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+bool_t xdrmem_getlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *lp = (long)ntohl((u_long)(*(long *)(xdrs->x_private)));
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+/* Figure 2: reading or writing of a long integer. */
+bool_t xdr_long(struct XDR *xdrs, long *lp)
+{
+    if (xdrs->x_op == XDR_ENCODE)
+        return xdrmem_putlong(xdrs, lp);
+    if (xdrs->x_op == XDR_DECODE)
+        return xdrmem_getlong(xdrs, lp);
+    if (xdrs->x_op == XDR_FREE)
+        return TRUE;
+    return FALSE;
+}
+
+bool_t xdr_int(struct XDR *xdrs, int *ip)
+{
+    return xdr_long(xdrs, (long *)ip);
+}
+
+/* Figure 4: encode the arguments of rmin. */
+bool_t xdr_pair(struct XDR *xdrs, struct pair *objp)
+{
+    if (!xdr_int(xdrs, &objp->int1)) {
+        return FALSE;
+    }
+    if (!xdr_int(xdrs, &objp->int2)) {
+        return FALSE;
+    }
+    return TRUE;
+}
+"""
+
+PAPER_FIGURE5 = """\
+void xdr_pair(xdrs,objp)            // Encode arguments of rmin
+{
+    // Overflow checking eliminated
+    *(xdrs->x_private) = objp->int1;  // Inlined specialized call
+    xdrs->x_private += 4u;            // for writing the first argument
+    *(xdrs->x_private) = objp->int2;  // Inlined specialized call
+    xdrs->x_private += 4u;            // for writing the second argument
+    // Return code eliminated
+}"""
+
+
+def main():
+    program = parse_program(SUN_RPC_EXCERPT)
+    result = specialize(
+        program,
+        "xdr_pair",
+        {
+            "xdrs": PtrTo(
+                StructOf(
+                    x_op=Known(0),      # XDR_ENCODE
+                    x_handy=Known(400),  # buffer space known
+                    x_private=Dyn(),     # runtime buffer cursor
+                    x_base=Dyn(),
+                )
+            ),
+            "objp": PtrTo(StructOf()),  # the data itself is dynamic
+        },
+    )
+
+    print("=== paper, Figure 5 (their residual code) ===")
+    print(PAPER_FIGURE5)
+    print()
+    print("=== Tempo-for-MiniC residual code ===")
+    print(result.pretty().split("};")[-1].strip())
+    print()
+
+    print("=== binding-time view (S static, D dynamic, SD mixed) ===")
+    source_lines = SUN_RPC_EXCERPT.splitlines()
+    for name in ("xdr_long", "xdrmem_putlong", "xdr_pair"):
+        func = program.func(name)
+        print(f"--- {name} ---")
+        print(gutter_listing(func, result.specializer.bt_marks,
+                             source_lines))
+        print()
+
+    summary = binding_time_summary(program, result.specializer.bt_marks)
+    print("node counts:", {k: v for k, v in summary.items() if any(
+        v.values()
+    )})
+
+
+if __name__ == "__main__":
+    main()

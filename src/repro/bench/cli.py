@@ -1,0 +1,59 @@
+"""``repro-bench`` / ``python -m repro.bench`` — regenerate the paper's
+tables and figures."""
+
+import argparse
+import sys
+import time
+
+from repro.bench import ablation, codesize, figure6, marshaling, roundtrip, unrolling
+from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
+
+EXPERIMENTS = {
+    "table1": ("Table 1 — client marshaling", marshaling.run),
+    "table2": ("Table 2 — RPC round trip", roundtrip.run),
+    "table3": ("Table 3 — code size", codesize.run),
+    "table4": ("Table 4 — 250-element partial unroll", unrolling.run),
+    "figure6": ("Figure 6 — cross-platform panels", figure6.run),
+    "ablation": ("Ablations of specializer refinements", ablation.run),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the evaluation of 'Fast, Optimized Sun RPC Using"
+            " Automatic Program Specialization'"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=lambda text: tuple(int(x) for x in text.split(",")),
+        default=ARRAY_SIZES,
+        help="comma-separated array sizes (default: the paper's"
+        " 20,100,250,500,1000,2000)",
+    )
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    workload = IntArrayWorkload()
+    for name in names:
+        title, runner = EXPERIMENTS[name]
+        started = time.time()
+        print(f"### {title}\n")
+        if name in ("table4", "ablation"):
+            runner(workload)
+        else:
+            runner(workload, args.sizes)
+        print(f"\n[{name} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

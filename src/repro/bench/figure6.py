@@ -1,0 +1,71 @@
+"""Figure 6 — the six cross-platform comparison panels.
+
+1. client marshaling time, original code (both platforms)
+2. client marshaling time, specialized code
+3. RPC round-trip time, original code
+4. RPC round-trip time, specialized code
+5. marshaling speedup ratio
+6. round-trip speedup ratio
+"""
+
+from repro.bench import marshaling, roundtrip
+from repro.bench.report import format_series
+from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
+
+
+def compute(workload=None, sizes=ARRAY_SIZES):
+    workload = workload or IntArrayWorkload()
+    marshal_rows = marshaling.compute(workload, sizes)
+    rt_rows = roundtrip.compute(workload, sizes)
+    xs = [row["n"] for row in marshal_rows]
+    panels = {
+        "panel1_marshal_original_ms": {
+            "IPX/SunOS": [r["ipx_original_ms"] for r in marshal_rows],
+            "PC/Linux": [r["pc_original_ms"] for r in marshal_rows],
+        },
+        "panel2_marshal_specialized_ms": {
+            "IPX/SunOS": [r["ipx_specialized_ms"] for r in marshal_rows],
+            "PC/Linux": [r["pc_specialized_ms"] for r in marshal_rows],
+        },
+        "panel3_roundtrip_original_ms": {
+            "IPX/ATM": [r["ipx_original_ms"] for r in rt_rows],
+            "PC/Ethernet": [r["pc_original_ms"] for r in rt_rows],
+        },
+        "panel4_roundtrip_specialized_ms": {
+            "IPX/ATM": [r["ipx_specialized_ms"] for r in rt_rows],
+            "PC/Ethernet": [r["pc_specialized_ms"] for r in rt_rows],
+        },
+        "panel5_marshal_speedup": {
+            "IPX/SunOS": [r["ipx_speedup"] for r in marshal_rows],
+            "PC/Linux": [r["pc_speedup"] for r in marshal_rows],
+        },
+        "panel6_roundtrip_speedup": {
+            "IPX/ATM": [r["ipx_speedup"] for r in rt_rows],
+            "PC/Ethernet": [r["pc_speedup"] for r in rt_rows],
+        },
+    }
+    return xs, panels
+
+
+_TITLES = {
+    "panel1_marshal_original_ms":
+        "Figure 6-1: client marshaling time (ms) — original code",
+    "panel2_marshal_specialized_ms":
+        "Figure 6-2: client marshaling time (ms) — specialized code",
+    "panel3_roundtrip_original_ms":
+        "Figure 6-3: RPC round trip time (ms) — original code",
+    "panel4_roundtrip_specialized_ms":
+        "Figure 6-4: RPC round trip time (ms) — specialized code",
+    "panel5_marshal_speedup":
+        "Figure 6-5: speedup ratio for client marshaling",
+    "panel6_roundtrip_speedup":
+        "Figure 6-6: speedup ratio for RPC round trip",
+}
+
+
+def run(workload=None, sizes=ARRAY_SIZES):
+    xs, panels = compute(workload, sizes)
+    for key, series in panels.items():
+        print(format_series(_TITLES[key], "n", xs, series))
+        print()
+    return xs, panels

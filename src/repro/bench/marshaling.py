@@ -1,0 +1,81 @@
+"""Table 1 — client marshaling performance (ms).
+
+The paper's micro-benchmark: encode the RPC call message (header plus an
+``n``-integer array) with the generic micro-layers and with the Tempo
+residual code, on both platform models.
+"""
+
+from repro.bench import paper_data
+from repro.bench.report import format_table
+from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
+from repro.simulator import ipx_sunos, pc_linux
+
+
+def compute(workload=None, sizes=ARRAY_SIZES, warmup_runs=1):
+    """Returns a list of per-size dicts with simulated times (ms)."""
+    workload = workload or IntArrayWorkload()
+    rows = []
+    for n in sizes:
+        _len_g, request_g, trace_g = workload.generic_marshal_trace(n)
+        result = workload.specialized_marshal(n)
+        _len_s, request_s, trace_s = workload.specialized_marshal_trace(
+            n, result
+        )
+        assert request_g == request_s, "specialization changed the wire data"
+        row = {"n": n}
+        for key, machine_factory in (("ipx", ipx_sunos), ("pc", pc_linux)):
+            original = machine_factory().steady_state_time(
+                trace_g, warmup_runs
+            )
+            specialized = machine_factory().steady_state_time(
+                trace_s, warmup_runs
+            )
+            row[f"{key}_original_ms"] = original.ms()
+            row[f"{key}_specialized_ms"] = specialized.ms()
+            row[f"{key}_speedup"] = original.seconds / specialized.seconds
+        rows.append(row)
+    return rows
+
+
+def render(rows):
+    table_rows = []
+    for row in rows:
+        paper = paper_data.TABLE1.get(row["n"])
+        paper_sp = paper_data.TABLE1_SPEEDUPS.get(row["n"])
+        table_rows.append(
+            (
+                row["n"],
+                round(row["ipx_original_ms"], 3),
+                round(row["ipx_specialized_ms"], 3),
+                round(row["ipx_speedup"], 2),
+                paper_sp[0] if paper_sp else "-",
+                round(row["pc_original_ms"], 3),
+                round(row["pc_specialized_ms"], 3),
+                round(row["pc_speedup"], 2),
+                paper_sp[1] if paper_sp else "-",
+            )
+        )
+    return format_table(
+        "Table 1: client marshaling performance in ms",
+        (
+            "n", "IPX orig", "IPX spec", "IPX x", "paper x",
+            "PC orig", "PC spec", "PC x", "paper x",
+        ),
+        table_rows,
+        note=(
+            "paper (Table 1) original/specialized ms — IPX: "
+            + ", ".join(
+                f"{n}:{v[0]}/{v[1]}" for n, v in paper_data.TABLE1.items()
+            )
+            + "; PC: "
+            + ", ".join(
+                f"{n}:{v[2]}/{v[3]}" for n, v in paper_data.TABLE1.items()
+            )
+        ),
+    )
+
+
+def run(workload=None, sizes=ARRAY_SIZES):
+    rows = compute(workload, sizes)
+    print(render(rows))
+    return rows

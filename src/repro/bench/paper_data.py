@@ -1,0 +1,64 @@
+"""The paper's published numbers (Tables 1–4), used for side-by-side
+reporting and shape assertions."""
+
+#: Table 1 — client marshaling performance in ms:
+#: n -> (IPX original, IPX specialized, PC original, PC specialized)
+TABLE1 = {
+    20: (0.047, 0.017, 0.071, 0.063),
+    100: (0.20, 0.057, 0.11, 0.069),
+    250: (0.49, 0.13, 0.17, 0.08),
+    500: (0.99, 0.30, 0.29, 0.11),
+    1000: (1.96, 0.62, 0.51, 0.17),
+    2000: (3.93, 1.38, 0.97, 0.29),
+}
+
+#: Table 1 speedups as printed in the paper (rounded to 0.05)
+TABLE1_SPEEDUPS = {
+    20: (2.75, 1.20),
+    100: (3.50, 1.60),
+    250: (3.75, 2.10),
+    500: (3.30, 2.60),
+    1000: (3.15, 3.00),
+    2000: (2.85, 3.35),
+}
+
+#: Table 2 — round trip performance in ms
+TABLE2 = {
+    20: (2.32, 2.13, 0.69, 0.66),
+    100: (3.32, 2.74, 0.99, 0.87),
+    250: (5.02, 3.60, 1.58, 1.25),
+    500: (7.86, 5.23, 2.62, 2.01),
+    1000: (13.58, 8.82, 4.26, 3.17),
+    2000: (25.24, 16.35, 7.61, 5.68),
+}
+
+TABLE2_SPEEDUPS = {
+    20: (1.10, 1.05),
+    100: (1.20, 1.15),
+    250: (1.40, 1.25),
+    500: (1.50, 1.30),
+    1000: (1.55, 1.35),
+    2000: (1.55, 1.35),
+}
+
+#: Table 3 — SunOS client binary sizes in bytes
+TABLE3_GENERIC = 20004
+TABLE3_SPECIALIZED = {
+    20: 24340,
+    100: 27540,
+    250: 33540,
+    500: 43540,
+    1000: 63540,
+    2000: 111348,
+}
+
+#: Table 4 — PC/Linux marshaling with 250-element partial unroll:
+#: n -> (original ms, fully specialized ms, full speedup,
+#:       250-unrolled ms, 250-unrolled speedup)
+TABLE4 = {
+    500: (0.29, 0.11, 2.65, 0.108, 2.70),
+    1000: (0.51, 0.17, 3.00, 0.15, 3.40),
+    2000: (0.97, 0.29, 3.35, 0.25, 3.90),
+}
+
+TABLE4_FACTOR = 250

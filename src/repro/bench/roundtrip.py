@@ -1,0 +1,85 @@
+"""Table 2 — complete RPC round-trip time (ms).
+
+Client marshal + request transfer + server decode/dispatch/encode +
+reply transfer + client decode, plus the receive-buffer ``bzero`` on
+both sides (the paper calls out its growing memory cost)."""
+
+from repro.bench import paper_data
+from repro.bench.report import format_table
+from repro.bench.workloads import ARRAY_SIZES, BUFSIZE, IntArrayWorkload
+from repro.simulator import ipx_sunos, pc_linux
+from repro.simulator.roundtrip import RoundTripModel, with_bzero_prologue
+
+
+def compute(workload=None, sizes=ARRAY_SIZES, warmup_runs=1):
+    workload = workload or IntArrayWorkload()
+    rows = []
+    for n in sizes:
+        generic = workload.roundtrip_traces(n, specialized=False)
+        special = workload.roundtrip_traces(n, specialized=True)
+        row = {"n": n}
+        for key, machine_factory in (("ipx", ipx_sunos), ("pc", pc_linux)):
+            link = machine_factory().nic
+            for tag, (client_trace, server_trace, request, reply) in (
+                ("original", generic),
+                ("specialized", special),
+            ):
+                model = RoundTripModel(
+                    machine_factory(), machine_factory(), link
+                )
+                seconds = model.total_seconds(
+                    client_trace,
+                    with_bzero_prologue(server_trace, BUFSIZE),
+                    request,
+                    reply,
+                    warmup_runs,
+                )
+                row[f"{key}_{tag}_ms"] = seconds * 1e3
+            row[f"{key}_speedup"] = (
+                row[f"{key}_original_ms"] / row[f"{key}_specialized_ms"]
+            )
+        rows.append(row)
+    return rows
+
+
+def render(rows):
+    table_rows = []
+    for row in rows:
+        paper_sp = paper_data.TABLE2_SPEEDUPS.get(row["n"])
+        table_rows.append(
+            (
+                row["n"],
+                round(row["ipx_original_ms"], 2),
+                round(row["ipx_specialized_ms"], 2),
+                round(row["ipx_speedup"], 2),
+                paper_sp[0] if paper_sp else "-",
+                round(row["pc_original_ms"], 2),
+                round(row["pc_specialized_ms"], 2),
+                round(row["pc_speedup"], 2),
+                paper_sp[1] if paper_sp else "-",
+            )
+        )
+    return format_table(
+        "Table 2: round trip performance in ms",
+        (
+            "n", "IPX orig", "IPX spec", "IPX x", "paper x",
+            "PC orig", "PC spec", "PC x", "paper x",
+        ),
+        table_rows,
+        note=(
+            "paper (Table 2) original/specialized ms — IPX: "
+            + ", ".join(
+                f"{n}:{v[0]}/{v[1]}" for n, v in paper_data.TABLE2.items()
+            )
+            + "; PC: "
+            + ", ".join(
+                f"{n}:{v[2]}/{v[3]}" for n, v in paper_data.TABLE2.items()
+            )
+        ),
+    )
+
+
+def run(workload=None, sizes=ARRAY_SIZES):
+    rows = compute(workload, sizes)
+    print(render(rows))
+    return rows

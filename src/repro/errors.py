@@ -1,0 +1,78 @@
+"""Exception hierarchy shared by every repro subpackage."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class MiniCError(ReproError):
+    """Base class for MiniC front-end and runtime errors."""
+
+
+class LexError(MiniCError):
+    """Raised when the MiniC lexer meets an unexpected character."""
+
+    def __init__(self, message, line=None, col=None):
+        location = f" at {line}:{col}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(MiniCError):
+    """Raised when the MiniC parser meets an unexpected token."""
+
+    def __init__(self, message, token=None):
+        location = ""
+        if token is not None and getattr(token, "line", None) is not None:
+            location = f" at {token.line}:{token.col} (near {token.value!r})"
+        super().__init__(f"{message}{location}")
+        self.token = token
+
+
+class TypeCheckError(MiniCError):
+    """Raised by the MiniC type checker."""
+
+
+class InterpError(MiniCError):
+    """Raised by the MiniC reference interpreter on runtime faults."""
+
+
+class CompileError(MiniCError):
+    """Raised when compiling MiniC to Python fails."""
+
+
+class SpecializationError(ReproError):
+    """Raised by the Tempo specializer when a program cannot be handled."""
+
+
+class BindingTimeError(SpecializationError):
+    """Raised by the binding-time analysis on inconsistent declarations."""
+
+
+class XdrError(ReproError):
+    """Raised on XDR encode/decode failure (buffer overflow, bad data)."""
+
+
+class RpcError(ReproError):
+    """Base class for RPC-level failures."""
+
+
+class RpcTimeoutError(RpcError):
+    """Raised when a client call exhausts its retransmission budget."""
+
+
+class RpcProtocolError(RpcError):
+    """Raised on malformed or unexpected RPC messages."""
+
+
+class RpcDeniedError(RpcError):
+    """Raised when the server rejects a call (auth error, mismatch)."""
+
+
+class IdlError(ReproError):
+    """Raised by the rpcgen IDL front end."""
+
+
+class SimulatorError(ReproError):
+    """Raised by the platform simulator."""

@@ -1,0 +1,36 @@
+"""Builtin functions available to every MiniC program.
+
+These model the handful of libc / network primitives the Sun RPC
+micro-layers rely on.  ``htonl``/``ntohl`` are the "choice between big
+and little endian" macros of the paper's Figure 1: MiniC's abstract
+machine is big-endian (like the SPARC the paper measured on), so both
+are semantically the identity — but they still cost cycles on the
+simulated little-endian Pentium, which the platform cost models charge
+separately (see ``repro.simulator.cost_model``).
+"""
+
+from repro.minic import types as ct
+
+#: name -> (return type, (param types...))
+SIGNATURES = {
+    "htonl": (ct.U_LONG, (ct.U_LONG,)),
+    "ntohl": (ct.U_LONG, (ct.U_LONG,)),
+    "htons": (ct.U_INT, (ct.U_INT,)),
+    "ntohs": (ct.U_INT, (ct.U_INT,)),
+    "bzero": (ct.VOID, (ct.CADDR_T, ct.INT)),
+    "memcpy": (ct.VOID, (ct.CADDR_T, ct.CADDR_T, ct.INT)),
+    "abort": (ct.VOID, ()),
+    # UDP-style send-then-wait-for-reply.  The interpreter routes it to a
+    # pluggable loopback network (``Interpreter.network``); under
+    # specialization it is always residualized (pure dynamic I/O).
+    # Returns the reply length.
+    "net_sendrecv": (ct.INT, (ct.CADDR_T, ct.INT, ct.CADDR_T, ct.INT)),
+}
+
+
+def is_builtin(name):
+    return name in SIGNATURES
+
+
+def signature(name):
+    return SIGNATURES[name]

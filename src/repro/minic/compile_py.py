@@ -1,0 +1,1001 @@
+"""Compile MiniC programs to executable Python.
+
+Both the generic Sun RPC micro-layers and the Tempo residual programs are
+compiled with this backend, which gives an apples-to-apples live-Python
+performance comparison (the residual program wins because the *code* is
+simpler, not because it runs on a different substrate).
+
+The translation is statement-oriented.  C expressions with side effects
+(assignment expressions, ``++``, short-circuit operators with effectful
+right-hand sides) are flattened into prelude statements feeding temporary
+variables, so the generated Python is simple and debuggable.
+
+Pointers/structs/buffers are represented by :mod:`repro.minic.pyruntime`
+values; struct types become generated Python classes with ``__slots__``.
+"""
+
+from repro.errors import CompileError
+from repro.minic import ast
+from repro.minic import builtins
+from repro.minic import types as ct
+from repro.minic.typecheck import typecheck_program
+
+_RT = "_rt"
+
+_BUILTIN_MAP = {
+    "htonl": f"{_RT}.htonl",
+    "ntohl": f"{_RT}.ntohl",
+    "htons": f"{_RT}.htons",
+    "ntohs": f"{_RT}.ntohs",
+    "bzero": f"{_RT}.bzero",
+    "memcpy": f"{_RT}.memcpy",
+    "abort": f"{_RT}.c_abort",
+    # Resolved inside the generated module namespace; callers inject a
+    # real transport via CompiledModule.attach_network().
+    "net_sendrecv": "_net_sendrecv",
+}
+
+
+def _struct_class_name(name):
+    return f"S_{name}"
+
+
+class _FuncCompiler:
+    """Compiles one FuncDef into Python source lines."""
+
+    def __init__(self, module, func):
+        self.module = module
+        self.func = func
+        self.types = module.typeinfo.expr_types
+        self.lines = []
+        self.depth = 1
+        self.temp_counter = 0
+        #: stack of scope dicts: MiniC name -> python name
+        self.scopes = [{}]
+        #: python names already used in this function
+        self.used_names = set()
+        #: MiniC locals that are boxed because their address is taken
+        self.boxed = set()
+        #: loop context stack: "while" (continue ok) or "for" (see below)
+        self.loop_stack = []
+        from repro.minic.interp import _address_taken_names
+
+        self.address_taken = _address_taken_names(func)
+
+    # -- emit helpers ---------------------------------------------------
+
+    def emit(self, text):
+        self.lines.append("    " * self.depth + text)
+
+    def temp(self):
+        self.temp_counter += 1
+        return f"_t{self.temp_counter}"
+
+    def py_name(self, minic_name):
+        for scope in reversed(self.scopes):
+            if minic_name in scope:
+                return scope[minic_name]
+        if minic_name in self.module.global_names:
+            return self.module.global_names[minic_name]
+        raise CompileError(f"undefined variable {minic_name!r}")
+
+    def declare(self, minic_name):
+        candidate = minic_name
+        suffix = 2
+        while candidate in self.used_names or candidate in _RESERVED:
+            candidate = f"{minic_name}__{suffix}"
+            suffix += 1
+        self.used_names.add(candidate)
+        self.scopes[-1][minic_name] = candidate
+        return candidate
+
+    # -- type helpers ------------------------------------------------------
+
+    def type_of(self, expr):
+        return self.types.get(expr.uid, ct.INT)
+
+    @staticmethod
+    def _wrap_fn(ctype):
+        if isinstance(ctype, ct.IntType):
+            if ctype.width == 1:
+                return f"{_RT}.wrap_i8" if ctype.signed else "lambda v: v & 0xFF"
+            return f"{_RT}.wrap_i32" if ctype.signed else f"{_RT}.wrap_u32"
+        return None
+
+    def wrap(self, expr_str, ctype):
+        fn = self._wrap_fn(ctype)
+        if fn is None or fn.startswith("lambda"):
+            if fn is not None:
+                return f"(({expr_str}) & 0xFF)"
+            return expr_str
+        return f"{fn}({expr_str})"
+
+    # -- compilation entry -------------------------------------------------
+
+    def compile(self):
+        params = []
+        self.scopes.append({})
+        for param in self.func.params:
+            name = self.declare(param.name)
+            params.append(name)
+        header = f"def {self.module.func_name(self.func.name)}({', '.join(params)}):"
+        for param in self.func.params:
+            if param.name in self.address_taken:
+                self.boxed.add(self.py_name(param.name))
+                name = self.py_name(param.name)
+                self.emit(f"{name} = [{name}]")
+        self.stmt(self.func.body, new_scope=False)
+        if not self.lines:
+            self.emit("pass")
+        if not self.func.ret_type.is_void:
+            # C function that may fall off the end; mirror the interpreter.
+            pass
+        return [header] + self.lines
+
+    # -- expressions --------------------------------------------------------
+    #
+    # ``expr`` returns a Python expression string; any side effects are
+    # emitted as prelude statements before the returned expression is
+    # evaluated, preserving C's left-to-right evaluation of our subset.
+
+    def expr(self, node):
+        if isinstance(node, ast.IntLit):
+            return repr(node.value)
+        if isinstance(node, ast.StrLit):
+            return repr(node.value)
+        if isinstance(node, ast.Var):
+            name = self.py_name(node.name)
+            if name in self.boxed:
+                return f"{name}[0]"
+            ntype = self.type_of(node)
+            if isinstance(ntype, ct.ArrayType):
+                return name
+            return name
+        if isinstance(node, ast.Unary):
+            return self._unary(node)
+        if isinstance(node, ast.Binary):
+            return self._binary(node)
+        if isinstance(node, ast.Assign):
+            return self._assign(node)
+        if isinstance(node, ast.IncDec):
+            return self._incdec(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Member):
+            obj = self.expr(node.obj)
+            return f"{obj}.{node.field}"
+        if isinstance(node, ast.Index):
+            return self._index_read(node)
+        if isinstance(node, ast.Cast):
+            return self._cast(node)
+        if isinstance(node, ast.Cond):
+            return self._cond(node)
+        if isinstance(node, ast.SizeOf):
+            return repr(node.ctype.size())
+        raise CompileError(f"cannot compile expression {node!r}")
+
+    def _truthy(self, expr_str, node):
+        ntype = self.type_of(node)
+        if isinstance(ntype, (ct.PointerType, ct.ArrayType)):
+            return f"{_RT}.truthy({expr_str})"
+        return f"({expr_str}) != 0"
+
+    def _unary(self, node):
+        if node.op == "&":
+            return self._address_of(node.operand)
+        if node.op == "*":
+            pointer_type = self.type_of(node.operand)
+            operand = self.expr(node.operand)
+            if isinstance(pointer_type, ct.PointerType) and isinstance(
+                pointer_type.base, ct.StructType
+            ):
+                return operand  # struct pointers are the object itself
+            return f"{operand}.get()"
+        operand = self.expr(node.operand)
+        if node.op == "-":
+            return self.wrap(f"-({operand})", self.type_of(node))
+        if node.op == "~":
+            return self.wrap(f"~({operand})", self.type_of(node))
+        if node.op == "!":
+            return f"(0 if {self._truthy(operand, node.operand)} else 1)"
+        raise CompileError(f"unknown unary {node.op!r}")
+
+    def _address_of(self, target):
+        if isinstance(target, ast.Var):
+            name = self.py_name(target.name)
+            ttype = self.type_of(target)
+            if isinstance(ttype, ct.ArrayType):
+                return f"{_RT}.ElemPtr({name}, 0)"
+            if isinstance(ttype, ct.StructType):
+                return name
+            if name not in self.boxed:
+                raise CompileError(
+                    f"address of unboxed local {target.name!r}"
+                    " (address-taken analysis missed it)"
+                )
+            return f"{_RT}.VarPtr({name})"
+        if isinstance(target, ast.Member):
+            obj = self.expr(target.obj)
+            ftype = self.type_of(target)
+            if isinstance(ftype, (ct.StructType,)):
+                return f"{obj}.{target.field}"
+            if isinstance(ftype, ct.ArrayType):
+                return f"{_RT}.ElemPtr({obj}.{target.field}, 0)"
+            return f"{_RT}.FieldPtr({obj}, {target.field!r})"
+        if isinstance(target, ast.Index):
+            base_type = self.type_of(target.obj)
+            index = self.expr(target.index)
+            if isinstance(base_type, ct.ArrayType):
+                base = self.expr(target.obj)
+                return f"{_RT}.ElemPtr({base}, {index})"
+            base = self.expr(target.obj)
+            return f"{_RT}.ptr_add({base}, {index})"
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return self.expr(target.operand)
+        raise CompileError(f"cannot take address of {target!r}")
+
+    def _index_read(self, node):
+        base_type = self.type_of(node.obj)
+        base = self.expr(node.obj)
+        index = self.expr(node.index)
+        if isinstance(base_type, ct.ArrayType):
+            if isinstance(base_type.base, ct.StructType):
+                return f"{base}[{index}]"
+            return f"{base}[{index}]"
+        return f"{_RT}.ptr_add({base}, {index}).get()"
+
+    def _binary(self, node):
+        op = node.op
+        if op in ("&&", "||"):
+            return self._short_circuit(node)
+        left_type = self.type_of(node.left)
+        right_type = self.type_of(node.right)
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        left_ptr = isinstance(left_type, (ct.PointerType, ct.ArrayType))
+        right_ptr = isinstance(right_type, (ct.PointerType, ct.ArrayType))
+        if left_ptr and isinstance(left_type, ct.ArrayType):
+            left = f"{_RT}.ElemPtr({left}, 0)"
+        if right_ptr and isinstance(right_type, ct.ArrayType):
+            right = f"{_RT}.ElemPtr({right}, 0)"
+        if left_ptr or right_ptr:
+            return self._pointer_binary(op, left, right, left_ptr, right_ptr)
+        result_type = self.type_of(node)
+        return self._int_binary(op, left, right, result_type)
+
+    def _pointer_binary(self, op, left, right, left_ptr, right_ptr):
+        if op == "+":
+            if left_ptr:
+                return f"{_RT}.ptr_add({left}, {right})"
+            return f"{_RT}.ptr_add({right}, {left})"
+        if op == "-":
+            if left_ptr and right_ptr:
+                return f"{_RT}.ptr_diff({left}, {right})"
+            return f"{_RT}.ptr_add({left}, -({right}))"
+        if op == "==":
+            return f"(1 if ({left}) == ({right}) else 0)"
+        if op == "!=":
+            return f"(1 if ({left}) != ({right}) else 0)"
+        raise CompileError(f"unsupported pointer operation {op!r}")
+
+    def _int_binary(self, op, left, right, result_type):
+        simple = {
+            "+": f"({left}) + ({right})",
+            "-": f"({left}) - ({right})",
+            "*": f"({left}) * ({right})",
+            "&": f"({left}) & ({right})",
+            "|": f"({left}) | ({right})",
+            "^": f"({left}) ^ ({right})",
+            "<<": f"({left}) << (({right}) & 31)",
+        }
+        if op in simple:
+            return self.wrap(simple[op], result_type)
+        if op == "/":
+            return f"{_RT}.c_div({left}, {right})"
+        if op == "%":
+            return f"{_RT}.c_mod({left}, {right})"
+        if op == ">>":
+            if isinstance(result_type, ct.IntType) and not result_type.signed:
+                return f"((({left}) & 0xFFFFFFFF) >> (({right}) & 31))"
+            return f"(({left}) >> (({right}) & 31))"
+        comparisons = {
+            "==": "==",
+            "!=": "!=",
+            "<": "<",
+            "<=": "<=",
+            ">": ">",
+            ">=": ">=",
+        }
+        if op in comparisons:
+            return f"(1 if ({left}) {comparisons[op]} ({right}) else 0)"
+        raise CompileError(f"unknown binary {op!r}")
+
+    def _has_side_effects(self, node):
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Assign, ast.IncDec, ast.Call)):
+                return True
+        return False
+
+    def _short_circuit(self, node):
+        left = self.expr(node.left)
+        left_test = self._truthy(left, node.left)
+        if not self._has_side_effects(node.right):
+            right = self.expr(node.right)
+            right_test = self._truthy(right, node.right)
+            joiner = "and" if node.op == "&&" else "or"
+            return f"(1 if ({left_test}) {joiner} ({right_test}) else 0)"
+        # Effectful right side: materialize with a conditional prelude.
+        temp = self.temp()
+        self.emit(f"{temp} = 1 if {left_test} else 0")
+        guard = f"if {temp}:" if node.op == "&&" else f"if not {temp}:"
+        self.emit(guard)
+        self.depth += 1
+        right = self.expr(node.right)
+        self.emit(f"{temp} = 1 if {self._truthy(right, node.right)} else 0")
+        self.depth -= 1
+        return temp
+
+    def _cond(self, node):
+        effectful = self._has_side_effects(node.then) or self._has_side_effects(
+            node.other
+        )
+        cond = self.expr(node.cond)
+        cond_test = self._truthy(cond, node.cond)
+        if not effectful:
+            then = self.expr(node.then)
+            other = self.expr(node.other)
+            return f"(({then}) if ({cond_test}) else ({other}))"
+        temp = self.temp()
+        self.emit(f"if {cond_test}:")
+        self.depth += 1
+        then = self.expr(node.then)
+        self.emit(f"{temp} = {then}")
+        self.depth -= 1
+        self.emit("else:")
+        self.depth += 1
+        other = self.expr(node.other)
+        self.emit(f"{temp} = {other}")
+        self.depth -= 1
+        return temp
+
+    def _call(self, node):
+        args = [self.expr(arg) for arg in node.args]
+        if builtins.is_builtin(node.name):
+            target = _BUILTIN_MAP[node.name]
+        else:
+            target = self.module.func_name(node.name)
+        call = f"{target}({', '.join(args)})"
+        ret = self.module.typeinfo.func_types[node.name].ret
+        if ret.is_void:
+            # Void calls in expression position still need a value slot.
+            temp = self.temp()
+            self.emit(f"{call}")
+            self.emit(f"{temp} = 0")
+            return temp
+        temp = self.temp()
+        self.emit(f"{temp} = {call}")
+        return temp
+
+    def _cast(self, node):
+        value = self.expr(node.operand)
+        target = node.ctype
+        operand_type = self.type_of(node.operand)
+        if isinstance(target, ct.PointerType):
+            if isinstance(operand_type, (ct.PointerType, ct.ArrayType)):
+                if target.base.is_integer:
+                    return (
+                        f"{_RT}.cast_ptr({value}, {target.base.size()},"
+                        f" {target.base.signed})"
+                    )
+                return value
+            return value
+        if target.is_integer:
+            return self.wrap(value, target)
+        return value
+
+    # -- assignment ----------------------------------------------------------
+
+    def _store(self, target, value_str):
+        """Emit a store of ``value_str`` into lvalue ``target``; return an
+        expression that re-reads the stored value."""
+        ttype = self.type_of(target)
+        wrapped = (
+            self.wrap(value_str, ttype) if ttype.is_integer else value_str
+        )
+        if isinstance(target, ast.Var):
+            name = self.py_name(target.name)
+            if name in self.boxed:
+                self.emit(f"{name}[0] = {wrapped}")
+                return f"{name}[0]"
+            self.emit(f"{name} = {wrapped}")
+            return name
+        if isinstance(target, ast.Member):
+            obj = self.expr(target.obj)
+            self.emit(f"{obj}.{target.field} = {wrapped}")
+            return f"{obj}.{target.field}"
+        if isinstance(target, ast.Index):
+            base_type = self.type_of(target.obj)
+            base = self.expr(target.obj)
+            index = self.expr(target.index)
+            if isinstance(base_type, ct.ArrayType):
+                self.emit(f"{base}[{index}] = {wrapped}")
+                return f"{base}[{index}]"
+            temp = self.temp()
+            self.emit(f"{temp} = {_RT}.ptr_add({base}, {index})")
+            self.emit(f"{temp}.set({wrapped})")
+            return f"{temp}.get()"
+        if isinstance(target, ast.Unary) and target.op == "*":
+            pointer = self.expr(target.operand)
+            temp = self.temp()
+            self.emit(f"{temp} = {pointer}")
+            self.emit(f"{temp}.set({wrapped})")
+            return f"{temp}.get()"
+        raise CompileError(f"cannot store to {target!r}")
+
+    def _read_lvalue(self, target):
+        ttype = self.type_of(target)
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return f"{self.expr(target.operand)}.get()"
+        if isinstance(target, ast.Index) and not isinstance(
+            self.type_of(target.obj), ct.ArrayType
+        ):
+            base = self.expr(target.obj)
+            index = self.expr(target.index)
+            return f"{_RT}.ptr_add({base}, {index}).get()"
+        del ttype
+        return self.expr(target)
+
+    def _assign(self, node):
+        if node.op is None:
+            value = self.expr(node.value)
+            return self._store(node.target, value)
+        current = self._read_lvalue(node.target)
+        temp = self.temp()
+        self.emit(f"{temp} = {current}")
+        value = self.expr(node.value)
+        target_type = self.type_of(node.target)
+        if isinstance(target_type, ct.PointerType):
+            if node.op == "+":
+                combined = f"{_RT}.ptr_add({temp}, {value})"
+            elif node.op == "-":
+                combined = f"{_RT}.ptr_add({temp}, -({value}))"
+            else:
+                raise CompileError(f"pointer {node.op}= unsupported")
+        else:
+            combined = self._int_binary(node.op, temp, f"({value})", target_type)
+        return self._store(node.target, combined)
+
+    def _incdec(self, node):
+        current = self._read_lvalue(node.target)
+        before = self.temp()
+        self.emit(f"{before} = {current}")
+        delta = "1" if node.op == "++" else "-1"
+        target_type = self.type_of(node.target)
+        if isinstance(target_type, ct.PointerType):
+            updated = f"{_RT}.ptr_add({before}, {delta})"
+        else:
+            updated = self._int_binary("+", before, delta, target_type)
+        after = self._store(node.target, updated)
+        return after if node.prefix else before
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, node, new_scope=True):
+        if isinstance(node, ast.Block):
+            if new_scope:
+                self.scopes.append({})
+            self._stmts_with_batching(node.stmts)
+            if new_scope:
+                self.scopes.pop()
+            return
+        if isinstance(node, ast.ExprStmt):
+            value = self.expr(node.expr)
+            if not value.isidentifier():
+                self.emit(f"{value}")
+            return
+        if isinstance(node, ast.Decl):
+            self._decl(node)
+            return
+        if isinstance(node, ast.If):
+            cond = self.expr(node.cond)
+            self.emit(f"if {self._truthy(cond, node.cond)}:")
+            self.depth += 1
+            self.stmt(node.then)
+            self._ensure_body()
+            self.depth -= 1
+            if node.other is not None:
+                self.emit("else:")
+                self.depth += 1
+                self.stmt(node.other)
+                self._ensure_body()
+                self.depth -= 1
+            return
+        if isinstance(node, ast.While):
+            self.emit("while True:")
+            self.depth += 1
+            cond = self.expr(node.cond)
+            self.emit(f"if not ({self._truthy(cond, node.cond)}):")
+            self.emit("    break")
+            self.loop_stack.append("while")
+            self.stmt(node.body)
+            self.loop_stack.pop()
+            self.depth -= 1
+            return
+        if isinstance(node, ast.For):
+            self._for(node)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                self.emit("return None")
+            else:
+                value = self.expr(node.value)
+                self.emit(f"return {value}")
+            return
+        if isinstance(node, ast.Break):
+            self._break()
+            return
+        if isinstance(node, ast.Continue):
+            self._continue()
+            return
+        raise CompileError(f"cannot compile statement {node!r}")
+
+    # -- cursor batching -------------------------------------------------
+    #
+    # Tempo residual code marshals through a byte cursor: runs of
+    #     *(long *)X = <value>;  X = X + 4;
+    # pairs (and the mirrored load form).  Translating each pair through
+    # the general pointer runtime costs several object allocations per
+    # element; recognizing whole runs and emitting one struct.pack_into /
+    # unpack_from is the Python analogue of what ``gcc -O2`` does to the
+    # residual straight-line C in the paper.
+
+    _MIN_BATCH = 3
+
+    def _stmts_with_batching(self, stmts):
+        from repro.minic.pretty import pretty_expr
+
+        index = 0
+        total = len(stmts)
+        while index < total:
+            run = self._collect_cursor_run(stmts, index, pretty_expr)
+            if run is not None and len(run["items"]) >= self._MIN_BATCH:
+                self._emit_cursor_run(run)
+                index = run["end"]
+                continue
+            self.stmt(stmts[index])
+            index += 1
+
+    @staticmethod
+    def _unwrap_casts(expr):
+        while isinstance(expr, ast.Cast):
+            expr = expr.operand
+        return expr
+
+    def _match_cursor_store(self, stmt):
+        """Match ``*(int32 *)CURSOR = VALUE;`` -> (cursor, value_expr)."""
+        if not isinstance(stmt, ast.ExprStmt):
+            return None
+        expr = stmt.expr
+        if not (isinstance(expr, ast.Assign) and expr.op is None):
+            return None
+        target = expr.target
+        if not (isinstance(target, ast.Unary) and target.op == "*"):
+            return None
+        inner = target.operand
+        if not (
+            isinstance(inner, ast.Cast)
+            and isinstance(inner.ctype, ct.PointerType)
+            and inner.ctype.base.is_integer
+            and inner.ctype.base.size() == 4
+        ):
+            return None
+        cursor = inner.operand
+        value = self._unwrap_casts(expr.value)
+        if isinstance(value, ast.Call):
+            if value.name not in ("htonl", "ntohl"):
+                return None
+            value = self._unwrap_casts(value.args[0])
+            if isinstance(value, ast.Call):
+                return None
+        return cursor, value
+
+    def _match_cursor_load(self, stmt):
+        """Match ``TARGET = ntohl(*(int32 *)CURSOR);`` ->
+        (cursor, target_lvalue)."""
+        if not isinstance(stmt, ast.ExprStmt):
+            return None
+        expr = stmt.expr
+        if not (isinstance(expr, ast.Assign) and expr.op is None):
+            return None
+        value = self._unwrap_casts(expr.value)
+        if isinstance(value, ast.Call):
+            if value.name not in ("ntohl", "htonl"):
+                return None
+            value = self._unwrap_casts(value.args[0])
+        if not (isinstance(value, ast.Unary) and value.op == "*"):
+            return None
+        inner = value.operand
+        if not (
+            isinstance(inner, ast.Cast)
+            and isinstance(inner.ctype, ct.PointerType)
+            and inner.ctype.base.is_integer
+            and inner.ctype.base.size() == 4
+        ):
+            return None
+        if isinstance(expr.target, (ast.Call,)):
+            return None
+        return inner.operand, expr.target
+
+    @staticmethod
+    def _match_cursor_bump(stmt, cursor_text, pretty_expr):
+        """Match ``CURSOR = CURSOR + 4;``."""
+        if not isinstance(stmt, ast.ExprStmt):
+            return False
+        expr = stmt.expr
+        if not (isinstance(expr, ast.Assign) and expr.op is None):
+            return False
+        if pretty_expr(expr.target) != cursor_text:
+            return False
+        value = expr.value
+        return (
+            isinstance(value, ast.Binary)
+            and value.op == "+"
+            and pretty_expr(value.left) == cursor_text
+            and isinstance(value.right, ast.IntLit)
+            and value.right.value == 4
+        )
+
+    def _collect_cursor_run(self, stmts, start, pretty_expr):
+        """Collect a maximal (store|load, bump) run over one cursor."""
+        first = stmts[start]
+        store = self._match_cursor_store(first)
+        load = None if store else self._match_cursor_load(first)
+        if store is None and load is None:
+            return None
+        cursor = store[0] if store else load[0]
+        cursor_text = pretty_expr(cursor)
+        kind = "store" if store else "load"
+        items = []
+        index = start
+        while index + 1 < len(stmts):
+            matched = (
+                self._match_cursor_store(stmts[index])
+                if kind == "store"
+                else self._match_cursor_load(stmts[index])
+            )
+            if matched is None or pretty_expr(matched[0]) != cursor_text:
+                break
+            if not self._match_cursor_bump(
+                stmts[index + 1], cursor_text, pretty_expr
+            ):
+                break
+            items.append(matched[1])
+            index += 2
+        if not items:
+            return None
+        return {
+            "kind": kind,
+            "cursor": cursor,
+            "items": items,
+            "end": index,
+        }
+
+    def _emit_cursor_run(self, run):
+        count = len(run["items"])
+        cursor = self.expr(run["cursor"])
+        temp = self.temp()
+        self.emit(f"{temp} = {cursor}")
+        if run["kind"] == "store":
+            values = ", ".join(
+                f"({self.expr(item)}) & 0xFFFFFFFF" for item in run["items"]
+            )
+            self.emit(
+                f"_struct.pack_into('>{count}I', {temp}.buffer.data,"
+                f" {temp}.offset, {values})"
+            )
+        else:
+            vals = self.temp()
+            self.emit(
+                f"{vals} = _struct.unpack_from('>{count}i',"
+                f" {temp}.buffer.data, {temp}.offset)"
+            )
+            slice_target = self._consecutive_index_targets(run["items"])
+            if slice_target is not None:
+                base, start_index = slice_target
+                base_code = self.expr(base)
+                self.emit(
+                    f"{base_code}[{start_index}:{start_index + count}] ="
+                    f" {vals}"
+                )
+            else:
+                for position, target in enumerate(run["items"]):
+                    self._store(target, f"{vals}[{position}]")
+        # One cursor update for the whole run.
+        bump = self.temp()
+        self.emit(f"{bump} = {temp}.add({4 * count})")
+        self._store_simple(run["cursor"], bump)
+
+    def _consecutive_index_targets(self, targets):
+        """If every target is ``BASE[k]`` on one array with consecutive
+        literal indices, return (base_node, first_index)."""
+        from repro.minic.pretty import pretty_expr
+
+        base_text = None
+        first = None
+        for position, target in enumerate(targets):
+            if not (
+                isinstance(target, ast.Index)
+                and isinstance(target.index, ast.IntLit)
+            ):
+                return None
+            if not isinstance(
+                self.type_of(target.obj), (ct.ArrayType,)
+            ):
+                return None
+            text = pretty_expr(target.obj)
+            if base_text is None:
+                base_text = text
+                first = target.index.value
+            elif text != base_text or target.index.value != first + position:
+                return None
+        return targets[0].obj, first
+
+    def _store_simple(self, target, value_name):
+        """Store a precomputed value into an lvalue node."""
+        self._store(target, value_name)
+
+    def _ensure_body(self):
+        """Guarantee the just-opened suite is non-empty."""
+        last = self.lines[-1] if self.lines else ""
+        if last.endswith(":"):
+            self.emit("pass")
+
+    def _decl(self, node):
+        name = self.declare(node.name)
+        boxed = node.name in self.address_taken and not isinstance(
+            node.ctype, (ct.StructType, ct.ArrayType)
+        )
+        default = self.module.default_value(node.ctype)
+        if node.init is not None:
+            init = self.expr(node.init)
+            if node.ctype.is_integer:
+                init = self.wrap(init, node.ctype)
+        else:
+            init = default
+        if boxed:
+            self.boxed.add(name)
+            self.emit(f"{name} = [{init}]")
+        else:
+            self.emit(f"{name} = {init}")
+
+    def _for(self, node):
+        self.scopes.append({})
+        if isinstance(node.init, ast.Decl):
+            self._decl(node.init)
+        elif isinstance(node.init, ast.ExprStmt):
+            value = self.expr(node.init.expr)
+            if not value.isidentifier():
+                self.emit(value)
+        uses_break = any(
+            isinstance(child, ast.Break) for child in self._own_jumps(node.body)
+        )
+        uses_continue = any(
+            isinstance(child, ast.Continue)
+            for child in self._own_jumps(node.body)
+        )
+        flag = None
+        if uses_break:
+            flag = self.temp()
+            self.emit(f"{flag} = False")
+        self.emit("while True:")
+        self.depth += 1
+        if node.cond is not None:
+            cond = self.expr(node.cond)
+            self.emit(f"if not ({self._truthy(cond, node.cond)}):")
+            self.emit("    break")
+        if uses_continue or uses_break:
+            self.emit("for _once in (0,):")
+            self.depth += 1
+            self.loop_stack.append(("for", flag))
+            self.stmt(node.body)
+            self._ensure_body()
+            self.loop_stack.pop()
+            self.depth -= 1
+            if uses_break:
+                self.emit(f"if {flag}:")
+                self.emit("    break")
+        else:
+            self.loop_stack.append(("for", None))
+            self.stmt(node.body)
+            self.loop_stack.pop()
+        if node.step is not None:
+            value = self.expr(node.step)
+            if not value.isidentifier():
+                self.emit(value)
+        self.depth -= 1
+        self.scopes.pop()
+
+    @staticmethod
+    def _own_jumps(body):
+        """Break/Continue nodes belonging to this loop (not nested ones)."""
+        result = []
+        stack = [body]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.While, ast.For)):
+                continue
+            if isinstance(node, (ast.Break, ast.Continue)):
+                result.append(node)
+            stack.extend(node.children())
+        return result
+
+    def _break(self):
+        if not self.loop_stack:
+            raise CompileError("break outside a loop")
+        top = self.loop_stack[-1]
+        if top == "while":
+            self.emit("break")
+        else:
+            _, flag = top
+            if flag is None:
+                raise CompileError("internal: break without flag")
+            self.emit(f"{flag} = True")
+            self.emit("break")
+
+    def _continue(self):
+        if not self.loop_stack:
+            raise CompileError("continue outside a loop")
+        top = self.loop_stack[-1]
+        if top == "while":
+            self.emit("continue")
+        else:
+            self.emit("break")  # leaves the _once loop; step still runs
+
+
+_RESERVED = frozenset(
+    {
+        "def",
+        "class",
+        "return",
+        "pass",
+        "break",
+        "continue",
+        "if",
+        "else",
+        "elif",
+        "while",
+        "for",
+        "in",
+        "not",
+        "and",
+        "or",
+        "None",
+        "True",
+        "False",
+        "lambda",
+        "import",
+        "from",
+        "global",
+        "del",
+        "try",
+        "except",
+        "finally",
+        "raise",
+        "with",
+        "as",
+        "is",
+        "_rt",
+        "_once",
+    }
+)
+
+
+class CompiledModule:
+    """A MiniC program compiled to a live Python namespace."""
+
+    def __init__(self, program, typeinfo=None):
+        self.program = program
+        self.typeinfo = typeinfo or typecheck_program(program)
+        self.global_names = {}
+        self.source = self._generate()
+        self.namespace = {}
+        code = compile(self.source, "<minic-compiled>", "exec")
+        exec(code, self.namespace)  # noqa: S102 - our own generated code
+
+    def func_name(self, name):
+        return f"mc_{name}"
+
+    def default_value(self, ctype):
+        if isinstance(ctype, ct.StructType):
+            return f"{_struct_class_name(ctype.name)}()"
+        if isinstance(ctype, ct.ArrayType):
+            if isinstance(ctype.base, ct.StructType):
+                cls = _struct_class_name(ctype.base.name)
+                return f"[{cls}() for _ in range({ctype.length})]"
+            return f"[0] * {ctype.length}"
+        if isinstance(ctype, ct.PointerType):
+            return f"{_RT}.NULL"
+        return "0"
+
+    def _generate(self):
+        lines = [
+            "# Generated by repro.minic.compile_py — do not edit.",
+            "import struct as _struct",
+            "import repro.minic.pyruntime as _rt",
+            "",
+            "def _net_sendrecv(out_ptr, out_len, in_ptr, in_max):",
+            "    raise _rt.InterpError('no network attached;"
+            " use CompiledModule.attach_network')",
+            "",
+        ]
+        for struct in self.program.structs:
+            lines.extend(self._struct_class(struct))
+            lines.append("")
+        for glob in self.program.globals:
+            name = f"g_{glob.name}"
+            self.global_names[glob.name] = name
+            lines.append(f"{name} = {self.default_value(glob.ctype)}")
+        if self.program.globals:
+            lines.append("")
+        for func in self.program.funcs:
+            lines.extend(_FuncCompiler(self, func).compile())
+            lines.append("")
+        return "\n".join(lines) + "\n"
+
+    def _struct_class(self, struct):
+        cls = _struct_class_name(struct.name)
+        field_names = ", ".join(repr(f.name) for f in struct.fields)
+        lines = [
+            f"class {cls}:",
+            f"    __slots__ = ({field_names}{',' if struct.fields else ''})",
+            "    def __init__(self):",
+        ]
+        for field in struct.fields:
+            lines.append(
+                f"        self.{field.name} = {self.default_value(field.ctype)}"
+            )
+        if not struct.fields:
+            lines.append("        pass")
+        return lines
+
+    # -- public API ----------------------------------------------------------
+
+    def func(self, name):
+        """Return the compiled Python callable for MiniC function ``name``."""
+        return self.namespace[self.func_name(name)]
+
+    def call(self, name, *args):
+        return self.func(name)(*args)
+
+    def new_struct(self, name):
+        return self.namespace[_struct_class_name(name)]()
+
+    def attach_network(self, network):
+        """Install a loopback transport for ``net_sendrecv``.
+
+        ``network`` is a callable taking request ``bytes`` and returning
+        reply ``bytes`` (UDP request/response semantics).
+        """
+
+        def _net_sendrecv(out_ptr, out_len, in_ptr, in_max):
+            request = bytes(
+                out_ptr.buffer.data[out_ptr.offset:out_ptr.offset + out_len]
+            )
+            reply = network(request)[:in_max]
+            in_ptr.buffer.data[in_ptr.offset:in_ptr.offset + len(reply)] = (
+                reply
+            )
+            return len(reply)
+
+        self.namespace["_net_sendrecv"] = _net_sendrecv
+
+    @staticmethod
+    def new_buffer(size):
+        from repro.minic import pyruntime as rt
+
+        return rt.PyBuffer(size)
+
+
+def compile_program(program, typeinfo=None):
+    """Compile a MiniC program; returns a :class:`CompiledModule`."""
+    return CompiledModule(program, typeinfo)

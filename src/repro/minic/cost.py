@@ -1,0 +1,108 @@
+"""Instruction-cost events emitted by the MiniC interpreter.
+
+The reference interpreter optionally records a flat event trace while it
+executes.  The platform simulator (:mod:`repro.simulator`) replays the
+trace against a machine model (per-class cycle costs plus I/D caches) to
+produce timings for the paper's two 1997 platforms.
+
+Event encoding is a tuple ``(kind, code_addr, mem_addr, size)``:
+
+* ``kind`` — one of the small-int constants below;
+* ``code_addr`` — synthetic instruction address of the AST node (drives
+  the instruction cache; unrolled residual code has a large footprint);
+* ``mem_addr`` — data address for LOAD/STORE (0 otherwise);
+* ``size`` — access size in bytes for LOAD/STORE (0 otherwise).
+"""
+
+# Event kinds.
+IFETCH = 0   # one executed "instruction" (per evaluated AST node)
+LOAD = 1     # data load from memory (addressable cells / buffers)
+STORE = 2    # data store to memory
+ALU = 3      # add/sub/logic/compare
+MUL = 4
+DIV = 5
+BRANCH = 6   # conditional branch (if/while/for/&&/||/?:)
+CALL = 7     # function call linkage
+RET = 8
+BYTESWAP = 9  # htonl/ntohl work on little-endian hosts
+NET_SEND = 10  # datagram handed to the NIC (size = payload bytes)
+NET_RECV = 11  # datagram received from the NIC
+
+KIND_NAMES = {
+    IFETCH: "ifetch",
+    LOAD: "load",
+    STORE: "store",
+    ALU: "alu",
+    MUL: "mul",
+    DIV: "div",
+    BRANCH: "branch",
+    CALL: "call",
+    RET: "ret",
+    BYTESWAP: "byteswap",
+    NET_SEND: "net_send",
+    NET_RECV: "net_recv",
+}
+
+
+class Trace:
+    """A recorded instruction/memory event stream.
+
+    The interpreter appends to :attr:`events`; the simulator replays
+    them.  ``counts()`` summarizes by kind for quick assertions.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, code_addr, mem_addr=0, size=0):
+        self.events.append((kind, code_addr, mem_addr, size))
+
+    def __len__(self):
+        return len(self.events)
+
+    def counts(self):
+        """Return {kind name: count} over the trace."""
+        totals = {}
+        for kind, _, _, _ in self.events:
+            name = KIND_NAMES[kind]
+            totals[name] = totals.get(name, 0) + 1
+        return totals
+
+    def memory_traffic(self):
+        """Total bytes moved by LOAD and STORE events."""
+        return sum(
+            size for kind, _, _, size in self.events if kind in (LOAD, STORE)
+        )
+
+    def extend(self, other):
+        self.events.extend(other.events)
+
+
+class CodeLayout:
+    """Assigns a synthetic, stable code address to every AST node.
+
+    Addresses are laid out in AST order at 2 bytes per node — roughly
+    one RISC instruction (4 bytes) per two AST nodes, matching compiled
+    code density — so a residual program with an unrolled loop occupies
+    proportionally more of the simulated instruction cache, the effect
+    behind the paper's Table 4.
+    """
+
+    WORD = 2
+
+    def __init__(self, program):
+        from repro.minic.ast import walk
+
+        self.addr_of_uid = {}
+        next_addr = 0x0001_0000
+        for func in program.funcs:
+            for node in walk(func):
+                if node.uid not in self.addr_of_uid:
+                    self.addr_of_uid[node.uid] = next_addr
+                    next_addr += self.WORD
+        self.code_bytes = next_addr - 0x0001_0000
+
+    def addr(self, node):
+        return self.addr_of_uid.get(node.uid, 0)

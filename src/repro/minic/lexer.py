@@ -1,0 +1,211 @@
+"""Hand-written lexer for MiniC.
+
+Supports ``//`` and ``/* */`` comments, decimal / hex / octal integer
+literals with optional ``u``/``U``/``l``/``L`` suffixes, character
+literals, and a ``#define NAME value`` directive that is expanded at the
+token level (the Sun RPC sources use ``#define`` for constants such as
+``XDR_ENCODE``; MiniC keeps that surface syntax).
+"""
+
+from repro.errors import LexError
+from repro.minic.tokens import (
+    CHARLIT,
+    EOF,
+    IDENT,
+    INT,
+    KEYWORD,
+    KEYWORDS,
+    PUNCT,
+    PUNCTUATORS,
+    STRINGLIT,
+    Token,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Converts MiniC source text into a list of :class:`Token`."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.defines = {}
+
+    def error(self, message):
+        raise LexError(message, self.line, self.col)
+
+    def _peek(self, ahead=0):
+        index = self.pos + ahead
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self.error("unterminated block comment")
+            elif ch == "#":
+                self._lex_directive()
+            else:
+                return
+
+    def _lex_directive(self):
+        start_line = self.line
+        line_chars = []
+        while self.pos < len(self.source) and self._peek() != "\n":
+            line_chars.append(self._peek())
+            self._advance()
+        text = "".join(line_chars).strip()
+        if not text.startswith("#define"):
+            raise LexError(f"unsupported directive: {text!r}", start_line, 1)
+        parts = text[len("#define"):].split(None, 1)
+        if len(parts) != 2:
+            raise LexError(f"malformed #define: {text!r}", start_line, 1)
+        name, value = parts
+        sub_tokens = Lexer(value).tokenize()
+        # Drop the EOF marker from the expansion.
+        self.defines[name] = [t for t in sub_tokens if t.kind != EOF]
+
+    def _lex_number(self):
+        line, col = self.line, self.col
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek().isalnum():
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text.rstrip("uUlL"), 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            while self._peek() and self._peek() in "uUlL":
+                self._advance()
+            text = self.source[start:self.pos].rstrip("uUlL")
+            if len(text) > 1 and text.startswith("0"):
+                value = int(text, 8)
+            else:
+                value = int(text, 10)
+        return Token(INT, value, line, col)
+
+    def _lex_ident(self):
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        if text in KEYWORDS:
+            return Token(KEYWORD, text, line, col)
+        return Token(IDENT, text, line, col)
+
+    def _lex_char(self):
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _ESCAPES:
+                self.error(f"unknown escape: \\{escape}")
+            value = ord(_ESCAPES[escape])
+            self._advance()
+        else:
+            value = ord(ch)
+            self._advance()
+        if self._peek() != "'":
+            self.error("unterminated character literal")
+        self._advance()
+        return Token(CHARLIT, value, line, col)
+
+    def _lex_string(self):
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                self.error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape not in _ESCAPES:
+                    self.error(f"unknown escape: \\{escape}")
+                chars.append(_ESCAPES[escape])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(STRINGLIT, "".join(chars), line, col)
+
+    def _lex_punct(self):
+        line, col = self.line, self.col
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, line, col)
+        self.error(f"unexpected character {self._peek()!r}")
+
+    def tokenize(self):
+        """Lex the whole input, returning tokens terminated by EOF."""
+        tokens = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(Token(EOF, None, self.line, self.col))
+                return tokens
+            ch = self._peek()
+            if ch.isdigit():
+                tokens.append(self._lex_number())
+            elif ch.isalpha() or ch == "_":
+                token = self._lex_ident()
+                if token.kind == IDENT and token.value in self.defines:
+                    tokens.extend(self.defines[token.value])
+                else:
+                    tokens.append(token)
+            elif ch == "'":
+                tokens.append(self._lex_char())
+            elif ch == '"':
+                tokens.append(self._lex_string())
+            else:
+                tokens.append(self._lex_punct())
+
+
+def tokenize(source):
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,504 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is the pragmatic C subset needed by the Sun RPC sources:
+struct/enum/typedef declarations, function definitions, the full C
+expression precedence ladder (without the comma operator), and the
+statement forms ``if``/``while``/``for``/``return``/``break``/
+``continue``/blocks/declarations.
+"""
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic import types as ct
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import CHARLIT, EOF, IDENT, INT, KEYWORD, PUNCT, STRINGLIT
+
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+        #: typedef name -> CType
+        self.typedefs = {}
+        #: struct name -> StructType (filled as struct defs are parsed)
+        self.struct_types = {}
+        #: enum constant name -> int value
+        self.enum_consts = {}
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self, ahead=0):
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, text):
+        token = self.peek()
+        if not token.is_punct(text):
+            raise ParseError(f"expected {text!r}", token)
+        return self.advance()
+
+    def expect_kind(self, kind):
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}", token)
+        return self.advance()
+
+    def accept_punct(self, text):
+        if self.peek().is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    # -- types ----------------------------------------------------------
+
+    def at_type(self):
+        """Is the current token the start of a type?"""
+        token = self.peek()
+        if token.kind == KEYWORD and (
+            ct.is_base_type(token.value) or token.value == "struct"
+        ):
+            return True
+        return token.kind == IDENT and token.value in self.typedefs
+
+    def parse_base_type(self):
+        token = self.peek()
+        if token.is_keyword("struct"):
+            self.advance()
+            name = self.expect_kind(IDENT).value
+            if name not in self.struct_types:
+                # Allow forward references to structs defined later.
+                self.struct_types[name] = ct.StructType(name)
+            return self.struct_types[name]
+        if token.kind == KEYWORD and ct.is_base_type(token.value):
+            self.advance()
+            return ct.base_type(token.value)
+        if token.kind == IDENT and token.value in self.typedefs:
+            self.advance()
+            return self.typedefs[token.value]
+        raise ParseError("expected a type", token)
+
+    def parse_type(self):
+        """Parse a base type followed by zero or more ``*``."""
+        ctype = self.parse_base_type()
+        while self.peek().is_punct("*"):
+            self.advance()
+            ctype = ct.PointerType(ctype)
+        return ctype
+
+    def parse_declarator(self, base):
+        """Parse ``name`` optionally followed by ``[N]`` array suffixes."""
+        name = self.expect_kind(IDENT).value
+        ctype = base
+        if self.accept_punct("["):
+            length_token = self.peek()
+            length = self.parse_const_int()
+            if length <= 0:
+                raise ParseError("array length must be positive", length_token)
+            self.expect_punct("]")
+            ctype = ct.ArrayType(ctype, length)
+        return ctype, name
+
+    def parse_const_int(self):
+        """Parse a compile-time integer (literal or enum constant)."""
+        token = self.peek()
+        if token.kind == INT:
+            self.advance()
+            return token.value
+        if token.kind == IDENT and token.value in self.enum_consts:
+            self.advance()
+            return self.enum_consts[token.value]
+        raise ParseError("expected integer constant", token)
+
+    # -- top level --------------------------------------------------------
+
+    def parse_program(self):
+        program = ast.Program()
+        while self.peek().kind != EOF:
+            token = self.peek()
+            if token.is_keyword("typedef"):
+                self.parse_typedef()
+            elif token.is_keyword("struct") and self.peek(2).is_punct("{"):
+                program.structs.append(self.parse_struct_def())
+            elif token.is_keyword("enum"):
+                program.enums.append(self.parse_enum_def())
+            elif token.is_keyword("const"):
+                self.parse_named_const()
+            else:
+                self.parse_external(program)
+        return program
+
+    def parse_typedef(self):
+        self.advance()  # typedef
+        base = self.parse_type()
+        alias = self.expect_kind(IDENT).value
+        self.expect_punct(";")
+        self.typedefs[alias] = base
+
+    def parse_named_const(self):
+        # const int NAME = <int>;
+        self.advance()  # const
+        self.parse_type()
+        name = self.expect_kind(IDENT).value
+        self.expect_punct("=")
+        value = self.parse_const_int()
+        self.expect_punct(";")
+        self.enum_consts[name] = value
+
+    def parse_struct_def(self):
+        line = self.peek().line
+        self.advance()  # struct
+        name = self.expect_kind(IDENT).value
+        self.expect_punct("{")
+        fields = []
+        while not self.peek().is_punct("}"):
+            base = self.parse_type()
+            ctype, fname = self.parse_declarator(base)
+            fields.append(ast.Field(ctype, fname, line=self.peek().line))
+            while self.accept_punct(","):
+                ctype2, fname2 = self.parse_declarator(base)
+                fields.append(ast.Field(ctype2, fname2, line=self.peek().line))
+            self.expect_punct(";")
+        self.expect_punct("}")
+        self.expect_punct(";")
+        struct_type = ct.StructType(
+            name, tuple((f.name, f.ctype) for f in fields)
+        )
+        self.struct_types[name] = struct_type
+        return ast.StructDef(name, fields, line=line)
+
+    def parse_enum_def(self):
+        line = self.peek().line
+        self.advance()  # enum
+        name = None
+        if self.peek().kind == IDENT:
+            name = self.advance().value
+        self.expect_punct("{")
+        members = []
+        next_value = 0
+        while not self.peek().is_punct("}"):
+            member = self.expect_kind(IDENT).value
+            if self.accept_punct("="):
+                next_value = self.parse_const_int()
+            members.append((member, next_value))
+            self.enum_consts[member] = next_value
+            next_value += 1
+            if not self.accept_punct(","):
+                break
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return ast.EnumDef(name, members, line=line)
+
+    def parse_external(self, program):
+        line = self.peek().line
+        base = self.parse_type()
+        ctype, name = self.parse_declarator(base)
+        if self.peek().is_punct("("):
+            program.funcs.append(self.parse_func_def(ctype, name, line))
+        else:
+            init = None
+            if self.accept_punct("="):
+                init = self.parse_expr()
+            self.expect_punct(";")
+            program.globals.append(ast.GlobalDecl(ctype, name, init, line=line))
+
+    def parse_func_def(self, ret_type, name, line):
+        self.expect_punct("(")
+        params = []
+        if not self.peek().is_punct(")"):
+            if self.peek().is_keyword("void") and self.peek(1).is_punct(")"):
+                self.advance()
+            else:
+                params.append(self.parse_param())
+                while self.accept_punct(","):
+                    params.append(self.parse_param())
+        self.expect_punct(")")
+        body = self.parse_block()
+        return ast.FuncDef(ret_type, name, params, body, line=line)
+
+    def parse_param(self):
+        line = self.peek().line
+        base = self.parse_type()
+        ctype, name = self.parse_declarator(base)
+        return ast.Param(ctype, name, line=line)
+
+    # -- statements -------------------------------------------------------
+
+    def parse_block(self):
+        line = self.peek().line
+        self.expect_punct("{")
+        stmts = []
+        while not self.peek().is_punct("}"):
+            stmts.append(self.parse_stmt())
+        self.expect_punct("}")
+        return ast.Block(stmts, line=line)
+
+    def parse_stmt(self):
+        token = self.peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.is_keyword("for"):
+            return self.parse_for()
+        if token.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.peek().is_punct(";"):
+                value = self.parse_expr()
+            self.expect_punct(";")
+            return ast.Return(value, line=token.line)
+        if token.is_keyword("break"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Continue(line=token.line)
+        if self.at_type():
+            return self.parse_decl()
+        expr = self.parse_expr()
+        self.expect_punct(";")
+        return ast.ExprStmt(expr, line=token.line)
+
+    def parse_decl(self):
+        line = self.peek().line
+        base = self.parse_type()
+        ctype, name = self.parse_declarator(base)
+        init = None
+        if self.accept_punct("="):
+            init = self.parse_expr()
+        self.expect_punct(";")
+        return ast.Decl(ctype, name, init, line=line)
+
+    def parse_if(self):
+        line = self.peek().line
+        self.advance()  # if
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        then = self.parse_stmt()
+        other = None
+        if self.peek().is_keyword("else"):
+            self.advance()
+            other = self.parse_stmt()
+        return ast.If(cond, then, other, line=line)
+
+    def parse_while(self):
+        line = self.peek().line
+        self.advance()  # while
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_stmt()
+        return ast.While(cond, body, line=line)
+
+    def parse_for(self):
+        line = self.peek().line
+        self.advance()  # for
+        self.expect_punct("(")
+        init = None
+        if not self.peek().is_punct(";"):
+            if self.at_type():
+                # C99-style: for (int i = 0; ...)
+                base = self.parse_type()
+                ctype, name = self.parse_declarator(base)
+                init_expr = None
+                if self.accept_punct("="):
+                    init_expr = self.parse_expr()
+                init = ast.Decl(ctype, name, init_expr, line=line)
+                self.expect_punct(";")
+            else:
+                init = ast.ExprStmt(self.parse_expr(), line=line)
+                self.expect_punct(";")
+        else:
+            self.expect_punct(";")
+        cond = None
+        if not self.peek().is_punct(";"):
+            cond = self.parse_expr()
+        self.expect_punct(";")
+        step = None
+        if not self.peek().is_punct(")"):
+            step = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_stmt()
+        return ast.For(init, cond, step, body, line=line)
+
+    # -- expressions (precedence climbing) ---------------------------------
+
+    def parse_expr(self):
+        return self.parse_assignment()
+
+    _COMPOUND_OPS = {
+        "+=": "+",
+        "-=": "-",
+        "*=": "*",
+        "/=": "/",
+        "%=": "%",
+        "&=": "&",
+        "|=": "|",
+        "^=": "^",
+        "<<=": "<<",
+        ">>=": ">>",
+    }
+
+    def parse_assignment(self):
+        left = self.parse_conditional()
+        token = self.peek()
+        if token.is_punct("="):
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(None, left, value, line=token.line)
+        if token.kind == PUNCT and token.value in self._COMPOUND_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            op = self._COMPOUND_OPS[token.value]
+            return ast.Assign(op, left, value, line=token.line)
+        return left
+
+    def parse_conditional(self):
+        cond = self.parse_binary(0)
+        if self.peek().is_punct("?"):
+            line = self.advance().line
+            then = self.parse_expr()
+            self.expect_punct(":")
+            other = self.parse_conditional()
+            return ast.Cond(cond, then, other, line=line)
+        return cond
+
+    # Binary operator precedence, loosest first.
+    _PRECEDENCE = (
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def parse_binary(self, level):
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = self._PRECEDENCE[level]
+        while self.peek().kind == PUNCT and self.peek().value in ops:
+            token = self.advance()
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(token.value, left, right, line=token.line)
+        return left
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == PUNCT and token.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(token.value, operand, line=token.line)
+        if token.is_punct("++") or token.is_punct("--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.IncDec(token.value, operand, True, line=token.line)
+        if token.is_keyword("sizeof"):
+            self.advance()
+            self.expect_punct("(")
+            ctype = self.parse_type()
+            self.expect_punct(")")
+            return ast.SizeOf(ctype, line=token.line)
+        if token.is_punct("(") and self._looks_like_cast():
+            self.advance()
+            ctype = self.parse_type()
+            self.expect_punct(")")
+            operand = self.parse_unary()
+            return ast.Cast(ctype, operand, line=token.line)
+        return self.parse_postfix()
+
+    def _looks_like_cast(self):
+        """Disambiguate ``(type)expr`` from ``(expr)``."""
+        token = self.peek(1)
+        if token.kind == KEYWORD and (
+            ct.is_base_type(token.value) or token.value == "struct"
+        ):
+            return True
+        return token.kind == IDENT and token.value in self.typedefs
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.is_punct("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_punct("]")
+                expr = ast.Index(expr, index, line=token.line)
+            elif token.is_punct("."):
+                self.advance()
+                field = self.expect_kind(IDENT).value
+                expr = ast.Member(expr, field, False, line=token.line)
+            elif token.is_punct("->"):
+                self.advance()
+                field = self.expect_kind(IDENT).value
+                expr = ast.Member(expr, field, True, line=token.line)
+            elif token.is_punct("("):
+                if not isinstance(expr, ast.Var):
+                    raise ParseError("can only call named functions", token)
+                self.advance()
+                args = []
+                if not self.peek().is_punct(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_punct(","):
+                        args.append(self.parse_expr())
+                self.expect_punct(")")
+                expr = ast.Call(expr.name, args, line=token.line)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self.advance()
+                expr = ast.IncDec(token.value, expr, False, line=token.line)
+            else:
+                return expr
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == INT:
+            self.advance()
+            return ast.IntLit(token.value, line=token.line)
+        if token.kind == CHARLIT:
+            self.advance()
+            return ast.IntLit(token.value, line=token.line)
+        if token.kind == STRINGLIT:
+            self.advance()
+            return ast.StrLit(token.value, line=token.line)
+        if token.kind == IDENT:
+            self.advance()
+            if token.value in self.enum_consts:
+                return ast.IntLit(self.enum_consts[token.value], line=token.line)
+            return ast.Var(token.value, line=token.line)
+        if token.is_punct("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse_program(source):
+    """Parse MiniC source text into a :class:`repro.minic.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source):
+    """Parse a single MiniC expression (testing helper)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    if parser.peek().kind != EOF:
+        raise ParseError("trailing input after expression", parser.peek())
+    return expr

@@ -1,0 +1,107 @@
+"""Token definitions for the MiniC lexer."""
+
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "IDENT"
+INT = "INT"
+CHARLIT = "CHARLIT"
+STRINGLIT = "STRINGLIT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "unsigned",
+        "char",
+        "void",
+        "bool_t",
+        "u_int",
+        "u_long",
+        "caddr_t",
+        "struct",
+        "enum",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "const",
+        "typedef",
+    }
+)
+
+# Multi-character punctuators must be listed longest first so the lexer
+# can match greedily.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "->",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def is_punct(self, text):
+        return self.kind == PUNCT and self.value == text
+
+    def is_keyword(self, text):
+        return self.kind == KEYWORD and self.value == text
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,256 @@
+"""Type checker for MiniC.
+
+Produces a :class:`TypeInfo` table mapping expression node uids to their
+static :mod:`repro.minic.types` type.  The interpreter, the Tempo
+specializer and the Python backend all consult this table — most
+importantly for scaled pointer arithmetic and ``sizeof``.
+"""
+
+from repro.errors import TypeCheckError
+from repro.minic import ast
+from repro.minic import builtins
+from repro.minic import types as ct
+
+
+class TypeInfo:
+    """The result of type checking a program."""
+
+    def __init__(self, program):
+        self.program = program
+        #: expression node uid -> CType
+        self.expr_types = {}
+        #: function name -> FuncType
+        self.func_types = {}
+
+    def type_of(self, expr):
+        return self.expr_types[expr.uid]
+
+    def set_type(self, expr, ctype):
+        self.expr_types[expr.uid] = ctype
+        return ctype
+
+
+def _is_lvalue(expr):
+    if isinstance(expr, (ast.Var, ast.Member, ast.Index)):
+        return True
+    if isinstance(expr, ast.Unary) and expr.op == "*":
+        return True
+    return False
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.vars = {}
+
+    def declare(self, name, ctype):
+        if name in self.vars:
+            raise TypeCheckError(f"redeclaration of {name!r}")
+        self.vars[name] = ctype
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        raise TypeCheckError(f"undeclared variable {name!r}")
+
+
+class TypeChecker:
+    def __init__(self, program):
+        self.program = program
+        self.info = TypeInfo(program)
+        self.current_ret = None
+
+    def check(self):
+        for name, (ret, params) in builtins.SIGNATURES.items():
+            self.info.func_types[name] = ct.FuncType(ret, tuple(params))
+        for func in self.program.funcs:
+            if func.name in self.info.func_types:
+                raise TypeCheckError(f"redefinition of function {func.name!r}")
+            params = tuple(p.ctype for p in func.params)
+            self.info.func_types[func.name] = ct.FuncType(func.ret_type, params)
+        globals_scope = _Scope()
+        for glob in self.program.globals:
+            globals_scope.declare(glob.name, glob.ctype)
+            if glob.init is not None:
+                self.expr(glob.init, globals_scope)
+        for func in self.program.funcs:
+            self.func(func, globals_scope)
+        return self.info
+
+    def func(self, func, globals_scope):
+        self.current_ret = func.ret_type
+        scope = _Scope(globals_scope)
+        for param in func.params:
+            scope.declare(param.name, param.ctype)
+        self.block(func.body, scope)
+
+    def block(self, block, scope):
+        inner = _Scope(scope)
+        for stmt in block.stmts:
+            self.stmt(stmt, inner)
+
+    def stmt(self, node, scope):
+        if isinstance(node, ast.Block):
+            self.block(node, scope)
+        elif isinstance(node, ast.ExprStmt):
+            self.expr(node.expr, scope)
+        elif isinstance(node, ast.Decl):
+            if node.init is not None:
+                self.expr(node.init, scope)
+            scope.declare(node.name, node.ctype)
+        elif isinstance(node, ast.If):
+            self.expr(node.cond, scope)
+            self.stmt(node.then, scope)
+            if node.other is not None:
+                self.stmt(node.other, scope)
+        elif isinstance(node, ast.While):
+            self.expr(node.cond, scope)
+            self.stmt(node.body, scope)
+        elif isinstance(node, ast.For):
+            inner = _Scope(scope)
+            if isinstance(node.init, ast.Decl):
+                self.stmt(node.init, inner)
+            elif isinstance(node.init, ast.ExprStmt):
+                self.expr(node.init.expr, inner)
+            if node.cond is not None:
+                self.expr(node.cond, inner)
+            if node.step is not None:
+                self.expr(node.step, inner)
+            self.stmt(node.body, inner)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                if self.current_ret.is_void:
+                    raise TypeCheckError("returning a value from void function")
+                self.expr(node.value, scope)
+            elif not self.current_ret.is_void:
+                raise TypeCheckError("missing return value")
+        elif isinstance(node, (ast.Break, ast.Continue)):
+            pass
+        else:
+            raise TypeCheckError(f"unknown statement: {node!r}")
+
+    def expr(self, node, scope):
+        info = self.info
+        if isinstance(node, ast.IntLit):
+            return info.set_type(node, ct.INT)
+        if isinstance(node, ast.StrLit):
+            return info.set_type(node, ct.PointerType(ct.CHAR))
+        if isinstance(node, ast.Var):
+            return info.set_type(node, scope.lookup(node.name))
+        if isinstance(node, ast.Unary):
+            operand = self.expr(node.operand, scope)
+            if node.op == "*":
+                if isinstance(operand, ct.PointerType):
+                    return info.set_type(node, operand.base)
+                if isinstance(operand, ct.ArrayType):
+                    return info.set_type(node, operand.base)
+                raise TypeCheckError(f"dereference of non-pointer {operand}")
+            if node.op == "&":
+                if not _is_lvalue(node.operand):
+                    raise TypeCheckError("address-of a non-lvalue")
+                return info.set_type(node, ct.PointerType(operand))
+            if node.op in ("-", "~"):
+                if not operand.is_integer:
+                    raise TypeCheckError(f"{node.op} on non-integer {operand}")
+                return info.set_type(node, operand)
+            if node.op == "!":
+                return info.set_type(node, ct.INT)
+            raise TypeCheckError(f"unknown unary op {node.op!r}")
+        if isinstance(node, ast.Binary):
+            left = self.expr(node.left, scope)
+            right = self.expr(node.right, scope)
+            return info.set_type(node, self._binary_type(node.op, left, right))
+        if isinstance(node, ast.Assign):
+            if not _is_lvalue(node.target):
+                raise TypeCheckError("assignment to a non-lvalue")
+            target = self.expr(node.target, scope)
+            self.expr(node.value, scope)
+            if isinstance(target, ct.ArrayType):
+                raise TypeCheckError("assignment to an array")
+            return info.set_type(node, target)
+        if isinstance(node, ast.IncDec):
+            if not _is_lvalue(node.target):
+                raise TypeCheckError(f"{node.op} on a non-lvalue")
+            target = self.expr(node.target, scope)
+            if not (target.is_integer or target.is_pointer):
+                raise TypeCheckError(f"{node.op} on {target}")
+            return info.set_type(node, target)
+        if isinstance(node, ast.Call):
+            if node.name not in info.func_types:
+                raise TypeCheckError(f"call to undeclared function {node.name!r}")
+            ftype = info.func_types[node.name]
+            if len(node.args) != len(ftype.params):
+                raise TypeCheckError(
+                    f"{node.name} expects {len(ftype.params)} args,"
+                    f" got {len(node.args)}"
+                )
+            for arg in node.args:
+                self.expr(arg, scope)
+            return info.set_type(node, ftype.ret)
+        if isinstance(node, ast.Member):
+            obj = self.expr(node.obj, scope)
+            if node.arrow:
+                if not isinstance(obj, ct.PointerType) or not isinstance(
+                    obj.base, ct.StructType
+                ):
+                    raise TypeCheckError(f"-> on non-struct-pointer {obj}")
+                struct = obj.base
+            else:
+                if not isinstance(obj, ct.StructType):
+                    raise TypeCheckError(f". on non-struct {obj}")
+                struct = obj
+            return info.set_type(node, struct.field_type(node.field))
+        if isinstance(node, ast.Index):
+            obj = self.expr(node.obj, scope)
+            index = self.expr(node.index, scope)
+            if not index.is_integer:
+                raise TypeCheckError("array index must be an integer")
+            if isinstance(obj, ct.ArrayType):
+                return info.set_type(node, obj.base)
+            if isinstance(obj, ct.PointerType):
+                return info.set_type(node, obj.base)
+            raise TypeCheckError(f"subscript of non-array {obj}")
+        if isinstance(node, ast.Cast):
+            self.expr(node.operand, scope)
+            return info.set_type(node, node.ctype)
+        if isinstance(node, ast.Cond):
+            self.expr(node.cond, scope)
+            then = self.expr(node.then, scope)
+            self.expr(node.other, scope)
+            return info.set_type(node, then)
+        if isinstance(node, ast.SizeOf):
+            return info.set_type(node, ct.U_INT)
+        raise TypeCheckError(f"unknown expression: {node!r}")
+
+    @staticmethod
+    def _binary_type(op, left, right):
+        if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return ct.INT
+        if op in ("+", "-"):
+            left_ptr = isinstance(left, (ct.PointerType, ct.ArrayType))
+            right_ptr = isinstance(right, (ct.PointerType, ct.ArrayType))
+            if left_ptr and right_ptr:
+                if op == "-":
+                    return ct.INT
+                raise TypeCheckError("cannot add two pointers")
+            if left_ptr:
+                if isinstance(left, ct.ArrayType):
+                    return ct.PointerType(left.base)
+                return left
+            if right_ptr:
+                if op == "-":
+                    raise TypeCheckError("cannot subtract pointer from int")
+                if isinstance(right, ct.ArrayType):
+                    return ct.PointerType(right.base)
+                return right
+        if left.is_integer and right.is_integer:
+            return ct.common_arith_type(left, right)
+        raise TypeCheckError(f"bad operands for {op!r}: {left}, {right}")
+
+
+def typecheck_program(program):
+    """Type check ``program`` and return its :class:`TypeInfo`."""
+    return TypeChecker(program).check()

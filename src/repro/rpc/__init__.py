@@ -1,0 +1,39 @@
+"""Sun RPC (RFC 1057) — protocol engine, transports, and portmapper.
+
+A working pure-Python Sun RPC stack structured like the 1984 sources:
+
+* :mod:`repro.rpc.message` — call/reply message headers;
+* :mod:`repro.rpc.auth` — AUTH_NONE / AUTH_SYS credentials;
+* :mod:`repro.rpc.clnt_udp` / :mod:`repro.rpc.clnt_tcp` — clients with
+  retransmission (UDP) and record marking (TCP);
+* :mod:`repro.rpc.server` + :mod:`repro.rpc.svc_udp` /
+  :mod:`repro.rpc.svc_tcp` — service dispatch and transports;
+* :mod:`repro.rpc.pmap` — the portmapper (program 100000).
+
+Marshaling is pluggable per call: the generic path uses the
+:mod:`repro.xdr` micro-layers, the optimized path plugs in marshalers
+compiled from Tempo residual programs (:mod:`repro.specialized`).
+"""
+
+from repro.rpc.auth import AUTH_NONE, AUTH_SYS, OpaqueAuth, make_auth_none, make_auth_sys
+from repro.rpc.clnt_tcp import TcpClient
+from repro.rpc.clnt_udp import UdpClient
+from repro.rpc.message import RPC_VERSION
+from repro.rpc.server import SvcRegistry, rpc_service
+from repro.rpc.svc_tcp import TcpServer
+from repro.rpc.svc_udp import UdpServer
+
+__all__ = [
+    "AUTH_NONE",
+    "AUTH_SYS",
+    "OpaqueAuth",
+    "make_auth_none",
+    "make_auth_sys",
+    "RPC_VERSION",
+    "SvcRegistry",
+    "rpc_service",
+    "TcpClient",
+    "TcpServer",
+    "UdpClient",
+    "UdpServer",
+]

@@ -1,0 +1,106 @@
+"""RPC authentication areas (RFC 1057 §7.2, §9).
+
+Only the flavors the 1984 Sun RPC shipped: ``AUTH_NONE`` (null) and
+``AUTH_SYS``/``AUTH_UNIX`` (uid/gid assertion).  An auth area is an
+*opaque auth*: a flavor discriminant plus up to 400 bytes of body.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import RpcProtocolError
+from repro.xdr import XdrMemStream, XdrOp, xdr_bytes, xdr_string, xdr_u_long
+from repro.xdr.composite import xdr_array
+from repro.xdr.primitives import xdr_long
+
+AUTH_NONE = 0
+AUTH_SYS = 1
+AUTH_SHORT = 2
+
+MAX_AUTH_BYTES = 400
+
+
+@dataclass(frozen=True)
+class OpaqueAuth:
+    """One auth area as it rides the wire."""
+
+    flavor: int = AUTH_NONE
+    body: bytes = b""
+
+    def __post_init__(self):
+        if len(self.body) > MAX_AUTH_BYTES:
+            raise RpcProtocolError(
+                f"auth body too long: {len(self.body)} > {MAX_AUTH_BYTES}"
+            )
+
+
+NULL_AUTH = OpaqueAuth(AUTH_NONE, b"")
+
+
+def xdr_opaque_auth(xdrs, value):
+    """Filter for an opaque auth area."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        xdr_u_long(xdrs, value.flavor)
+        xdr_bytes(xdrs, value.body, MAX_AUTH_BYTES)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        flavor = xdr_u_long(xdrs, None)
+        body = xdr_bytes(xdrs, None, MAX_AUTH_BYTES)
+        return OpaqueAuth(flavor, body)
+    return value
+
+
+@dataclass(frozen=True)
+class AuthSysParams:
+    """The body of an AUTH_SYS credential (RFC 1057 §9.2)."""
+
+    stamp: int
+    machinename: str
+    uid: int
+    gid: int
+    gids: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if len(self.machinename) > 255:
+            raise RpcProtocolError("machinename too long")
+        if len(self.gids) > 16:
+            raise RpcProtocolError("too many supplementary gids")
+
+
+def _xdr_auth_sys(xdrs, value):
+    if xdrs.x_op == XdrOp.ENCODE:
+        xdr_u_long(xdrs, value.stamp)
+        xdr_string(xdrs, value.machinename, 255)
+        xdr_u_long(xdrs, value.uid)
+        xdr_u_long(xdrs, value.gid)
+        xdr_array(xdrs, list(value.gids), 16, xdr_long)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        stamp = xdr_u_long(xdrs, None)
+        machinename = xdr_string(xdrs, None, 255)
+        uid = xdr_u_long(xdrs, None)
+        gid = xdr_u_long(xdrs, None)
+        gids = tuple(xdr_array(xdrs, None, 16, xdr_long))
+        return AuthSysParams(stamp, machinename, uid, gid, gids)
+    return value
+
+
+def make_auth_none():
+    """The null credential/verifier pair."""
+    return NULL_AUTH
+
+
+def make_auth_sys(stamp, machinename, uid, gid, gids=()):
+    """Build an AUTH_SYS credential area."""
+    params = AuthSysParams(stamp, machinename, uid, gid, tuple(gids))
+    buffer = bytearray(MAX_AUTH_BYTES)
+    stream = XdrMemStream(buffer, XdrOp.ENCODE)
+    _xdr_auth_sys(stream, params)
+    return OpaqueAuth(AUTH_SYS, stream.data())
+
+
+def parse_auth_sys(auth):
+    """Decode an AUTH_SYS credential body."""
+    if auth.flavor != AUTH_SYS:
+        raise RpcProtocolError(f"not an AUTH_SYS credential: {auth.flavor}")
+    stream = XdrMemStream(bytearray(auth.body), XdrOp.DECODE)
+    return _xdr_auth_sys(stream, None)

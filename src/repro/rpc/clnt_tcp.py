@@ -1,0 +1,42 @@
+"""TCP RPC client (``clnttcp_call``): record-marked stream transport."""
+
+import socket
+
+from repro.errors import RpcProtocolError, RpcTimeoutError
+from repro.rpc.client import RpcClient
+from repro.rpc.record import read_record, write_record
+
+
+class TcpClient(RpcClient):
+    """An RPC client over a persistent TCP connection."""
+
+    def __init__(self, host, port, prog, vers, timeout=25.0, bufsize=1 << 16,
+                 **kwargs):
+        super().__init__(prog, vers, bufsize=bufsize, **kwargs)
+        self.timeout = timeout
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+
+    def call(self, proc, args=None, xdr_args=None, xdr_res=None):
+        xid = self.next_xid()
+        request = self.build_call(xid, proc, args, xdr_args)
+        try:
+            write_record(self.sock, request)
+            while True:
+                data = read_record(self.sock)
+                matched, value = self.parse_reply(data, xid, proc, xdr_res)
+                if matched:
+                    return value
+        except socket.timeout as exc:
+            raise RpcTimeoutError(
+                f"TCP RPC call (prog={self.prog}, proc={proc}) timed out"
+            ) from exc
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise RpcProtocolError(f"connection failed: {exc}") from exc
+
+    def close(self):
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()

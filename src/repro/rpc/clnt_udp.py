@@ -1,0 +1,78 @@
+"""UDP RPC client (``clntudp_call`` of the paper's Figure 1).
+
+Implements the classic Sun retransmission discipline: send the
+datagram, wait ``wait`` seconds for a matching reply, retransmit on
+timeout, and give up when the total ``timeout`` budget is exhausted.
+Stale replies (xid mismatch) are discarded without consuming a retry.
+"""
+
+import select
+import socket
+import time
+
+from repro.errors import RpcTimeoutError
+from repro.rpc.client import RpcClient, UDPMSGSIZE
+
+
+class UdpClient(RpcClient):
+    """An RPC client over UDP."""
+
+    def __init__(
+        self,
+        host,
+        port,
+        prog,
+        vers,
+        timeout=5.0,
+        wait=0.5,
+        bufsize=UDPMSGSIZE,
+        **kwargs,
+    ):
+        super().__init__(prog, vers, bufsize=bufsize, **kwargs)
+        self.address = (host, port)
+        self.timeout = timeout
+        self.wait = wait
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setblocking(False)
+        #: retransmissions performed over the client's lifetime
+        self.retransmissions = 0
+
+    def call(self, proc, args=None, xdr_args=None, xdr_res=None):
+        xid = self.next_xid()
+        request = self.build_call(xid, proc, args, xdr_args)
+        deadline = time.monotonic() + self.timeout
+        first = True
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                raise RpcTimeoutError(
+                    f"RPC call (prog={self.prog}, proc={proc}) timed out"
+                    f" after {self.timeout}s"
+                )
+            if not first:
+                self.retransmissions += 1
+            first = False
+            self.sock.sendto(request, self.address)
+            try_deadline = min(now + self.wait, deadline)
+            reply = self._await_reply(xid, proc, xdr_res, try_deadline)
+            if reply is not None:
+                return reply[0]
+
+    def _await_reply(self, xid, proc, xdr_res, try_deadline):
+        """Wait for a matching reply until ``try_deadline``; None means
+        retransmit."""
+        while True:
+            remaining = try_deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            readable, _, _ = select.select([self.sock], [], [], remaining)
+            if not readable:
+                return None
+            data, _addr = self.sock.recvfrom(self.bufsize)
+            matched, value = self.parse_reply(data, xid, proc, xdr_res)
+            if matched:
+                return (value,)
+            # Stale xid: keep listening within the same try window.
+
+    def close(self):
+        self.sock.close()

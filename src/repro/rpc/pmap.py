@@ -1,0 +1,133 @@
+"""The portmapper (program 100000, version 2 — RFC 1057 appendix A).
+
+Sun RPC services traditionally register their ephemeral ports with the
+portmapper; clients ask it where a program lives.  This module provides
+both halves: :class:`PortMapper` (the service, mountable on a
+:class:`~repro.rpc.server.SvcRegistry`) and client helpers
+(:func:`pmap_set`, :func:`pmap_unset`, :func:`pmap_getport`).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import RpcError
+from repro.rpc.clnt_udp import UdpClient
+from repro.xdr import XdrOp, xdr_bool, xdr_u_long
+
+PMAP_PROG = 100000
+PMAP_VERS = 2
+PMAP_PORT = 111
+
+PMAPPROC_NULL = 0
+PMAPPROC_SET = 1
+PMAPPROC_UNSET = 2
+PMAPPROC_GETPORT = 3
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One (program, version, protocol) -> port binding."""
+
+    prog: int
+    vers: int
+    prot: int
+    port: int
+
+
+def xdr_mapping(xdrs, value):
+    if xdrs.x_op == XdrOp.ENCODE:
+        xdr_u_long(xdrs, value.prog)
+        xdr_u_long(xdrs, value.vers)
+        xdr_u_long(xdrs, value.prot)
+        xdr_u_long(xdrs, value.port)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        return Mapping(
+            xdr_u_long(xdrs, None),
+            xdr_u_long(xdrs, None),
+            xdr_u_long(xdrs, None),
+            xdr_u_long(xdrs, None),
+        )
+    return value
+
+
+class PortMapper:
+    """In-process portmapper service."""
+
+    def __init__(self):
+        #: (prog, vers, prot) -> port
+        self.bindings = {}
+
+    def mount(self, registry):
+        """Register the portmapper procedures on a registry."""
+        registry.register(
+            PMAP_PROG, PMAP_VERS, PMAPPROC_SET, self._set, xdr_mapping,
+            xdr_bool,
+        )
+        registry.register(
+            PMAP_PROG, PMAP_VERS, PMAPPROC_UNSET, self._unset, xdr_mapping,
+            xdr_bool,
+        )
+        registry.register(
+            PMAP_PROG, PMAP_VERS, PMAPPROC_GETPORT, self._getport,
+            xdr_mapping, xdr_u_long,
+        )
+        return registry
+
+    def _set(self, mapping):
+        key = (mapping.prog, mapping.vers, mapping.prot)
+        if key in self.bindings:
+            return False
+        self.bindings[key] = mapping.port
+        return True
+
+    def _unset(self, mapping):
+        removed = False
+        for prot in (IPPROTO_UDP, IPPROTO_TCP):
+            removed |= (
+                self.bindings.pop((mapping.prog, mapping.vers, prot), None)
+                is not None
+            )
+        return removed
+
+    def _getport(self, mapping):
+        return self.bindings.get(
+            (mapping.prog, mapping.vers, mapping.prot), 0
+        )
+
+
+def _pmap_client(host, port, timeout):
+    return UdpClient(host, port, PMAP_PROG, PMAP_VERS, timeout=timeout)
+
+
+def pmap_set(prog, vers, prot, port, host="127.0.0.1",
+             pmap_port=PMAP_PORT, timeout=5.0):
+    """Register a binding with a remote portmapper."""
+    with _pmap_client(host, pmap_port, timeout) as client:
+        return client.call(
+            PMAPPROC_SET, Mapping(prog, vers, prot, port), xdr_mapping,
+            xdr_bool,
+        )
+
+
+def pmap_unset(prog, vers, host="127.0.0.1", pmap_port=PMAP_PORT,
+               timeout=5.0):
+    with _pmap_client(host, pmap_port, timeout) as client:
+        return client.call(
+            PMAPPROC_UNSET, Mapping(prog, vers, 0, 0), xdr_mapping, xdr_bool
+        )
+
+
+def pmap_getport(prog, vers, prot=IPPROTO_UDP, host="127.0.0.1",
+                 pmap_port=PMAP_PORT, timeout=5.0):
+    """Ask the portmapper for a program's port; raises if unregistered."""
+    with _pmap_client(host, pmap_port, timeout) as client:
+        port = client.call(
+            PMAPPROC_GETPORT, Mapping(prog, vers, prot, 0), xdr_mapping,
+            xdr_u_long,
+        )
+    if port == 0:
+        raise RpcError(f"program {prog} version {vers} is not registered")
+    return port

@@ -1,0 +1,59 @@
+"""TCP record marking (RFC 1057 §10).
+
+RPC over TCP delimits messages with *record marking*: each record is a
+sequence of fragments, each prefixed by a 4-byte header whose high bit
+flags the last fragment and whose low 31 bits give the fragment length.
+"""
+
+import struct
+
+from repro.errors import RpcProtocolError
+
+LAST_FRAGMENT = 0x8000_0000
+MAX_FRAGMENT = 0x7FFF_FFFF
+#: Sun's default fragment size.
+DEFAULT_FRAGMENT_SIZE = 8192
+
+
+def write_record(sock, payload, fragment_size=DEFAULT_FRAGMENT_SIZE):
+    """Send one RPC record, fragmenting as needed."""
+    view = memoryview(payload)
+    total = len(view)
+    if total == 0:
+        sock.sendall(struct.pack(">I", LAST_FRAGMENT))
+        return
+    offset = 0
+    while offset < total:
+        chunk = view[offset:offset + fragment_size]
+        offset += len(chunk)
+        header = len(chunk) | (LAST_FRAGMENT if offset >= total else 0)
+        sock.sendall(struct.pack(">I", header) + bytes(chunk))
+
+
+def _read_exact(sock, size):
+    chunks = []
+    remaining = size
+    while remaining:
+        data = sock.recv(remaining)
+        if not data:
+            raise RpcProtocolError("connection closed mid-record")
+        chunks.append(data)
+        remaining -= len(data)
+    return b"".join(chunks)
+
+
+def read_record(sock, max_size=1 << 24):
+    """Receive one complete RPC record (all fragments)."""
+    fragments = []
+    total = 0
+    while True:
+        header = struct.unpack(">I", _read_exact(sock, 4))[0]
+        last = bool(header & LAST_FRAGMENT)
+        length = header & MAX_FRAGMENT
+        total += length
+        if total > max_size:
+            raise RpcProtocolError(f"record too large: {total} > {max_size}")
+        if length:
+            fragments.append(_read_exact(sock, length))
+        if last:
+            return b"".join(fragments)

@@ -1,0 +1,177 @@
+"""RPC service dispatch — the transport-independent server half.
+
+A :class:`SvcRegistry` maps (program, version, procedure) to handlers
+with their XDR filters, and turns a raw call message into a raw reply
+message, covering every accept/deny path of RFC 1057 (PROG_UNAVAIL,
+PROG_MISMATCH, PROC_UNAVAIL, GARBAGE_ARGS, SYSTEM_ERR, RPC_MISMATCH).
+
+Like the client, marshaling is pluggable per procedure so the
+Tempo-specialized server stubs can replace the generic micro-layers.
+"""
+
+import logging
+from dataclasses import dataclass
+
+from repro.errors import RpcProtocolError, XdrError
+from repro.rpc.auth import NULL_AUTH
+from repro.rpc.message import (
+    AcceptStat,
+    RejectStat,
+    decode_call_header,
+    encode_accepted_reply,
+    encode_denied_reply,
+)
+from repro.xdr import XdrMemStream, XdrOp
+
+logger = logging.getLogger(__name__)
+
+#: procedure 0 of every program/version is the NULL ping.
+NULLPROC = 0
+
+
+@dataclass
+class Procedure:
+    """One registered procedure."""
+
+    handler: object
+    xdr_args: object
+    xdr_res: object
+    #: optional specialized (decode_args_fn, encode_res_fn)
+    decode_args: object = None
+    encode_res: object = None
+
+
+class SvcRegistry:
+    """Dispatch table for any number of programs/versions."""
+
+    def __init__(self, bufsize=8800):
+        #: (prog, vers) -> {proc: Procedure}
+        self._programs = {}
+        self.bufsize = bufsize
+
+    def register(self, prog, vers, proc, handler, xdr_args=None,
+                 xdr_res=None):
+        """Register ``handler(args) -> result`` for one procedure."""
+        table = self._programs.setdefault((prog, vers), {})
+        table[proc] = Procedure(handler, xdr_args, xdr_res)
+
+    def install_marshaler(self, prog, vers, proc, decode_args=None,
+                          encode_res=None):
+        """Plug specialized marshalers into a registered procedure."""
+        entry = self._programs[(prog, vers)][proc]
+        entry.decode_args = decode_args
+        entry.encode_res = encode_res
+
+    def versions_of(self, prog):
+        return sorted(vers for p, vers in self._programs if p == prog)
+
+    # -- the dispatcher ---------------------------------------------------
+
+    def dispatch_bytes(self, data):
+        """Process one call message; returns the reply message bytes, or
+        None when the request is unparseable garbage (dropped, like the
+        C svc code drops undecodable datagrams)."""
+        stream = XdrMemStream(bytearray(data), XdrOp.DECODE)
+        reply = bytearray(self.bufsize)
+        out = XdrMemStream(reply, XdrOp.ENCODE)
+        try:
+            header = decode_call_header(stream)
+        except RpcProtocolError as exc:
+            if "bad RPC version" in str(exc):
+                # We can still answer an RPC_MISMATCH if the xid parsed.
+                try:
+                    xid = int.from_bytes(data[0:4], "big")
+                except Exception:
+                    return None
+                encode_denied_reply(out, xid, RejectStat.RPC_MISMATCH, (2, 2))
+                return out.data()
+            logger.debug("dropping undecodable call: %s", exc)
+            return None
+        except XdrError as exc:
+            logger.debug("dropping truncated call: %s", exc)
+            return None
+        return self._dispatch_call(header, stream, out)
+
+    def _dispatch_call(self, header, stream, out):
+        key = (header.prog, header.vers)
+        if key not in self._programs:
+            versions = self.versions_of(header.prog)
+            if versions:
+                encode_accepted_reply(
+                    out, header.xid, AcceptStat.PROG_MISMATCH, NULL_AUTH,
+                    mismatch=(versions[0], versions[-1]),
+                )
+            else:
+                encode_accepted_reply(
+                    out, header.xid, AcceptStat.PROG_UNAVAIL, NULL_AUTH
+                )
+            return out.data()
+        table = self._programs[key]
+        if header.proc == NULLPROC and NULLPROC not in table:
+            encode_accepted_reply(out, header.xid, AcceptStat.SUCCESS,
+                                  NULL_AUTH)
+            return out.data()
+        if header.proc not in table:
+            encode_accepted_reply(out, header.xid, AcceptStat.PROC_UNAVAIL,
+                                  NULL_AUTH)
+            return out.data()
+        proc = table[header.proc]
+        try:
+            if proc.decode_args is not None:
+                args = proc.decode_args(stream)
+            elif proc.xdr_args is not None:
+                args = proc.xdr_args(stream, None)
+            else:
+                args = None
+        except XdrError as exc:
+            logger.debug("garbage args: %s", exc)
+            encode_accepted_reply(out, header.xid, AcceptStat.GARBAGE_ARGS,
+                                  NULL_AUTH)
+            return out.data()
+        try:
+            result = proc.handler(args)
+        except Exception:
+            logger.exception(
+                "handler for prog=%d proc=%d failed", header.prog, header.proc
+            )
+            encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
+                                  NULL_AUTH)
+            return out.data()
+        encode_accepted_reply(out, header.xid, AcceptStat.SUCCESS, NULL_AUTH)
+        try:
+            if proc.encode_res is not None:
+                proc.encode_res(out, result)
+            elif proc.xdr_res is not None:
+                proc.xdr_res(out, result)
+        except XdrError:
+            # Result does not fit the reply buffer: answer SYSTEM_ERR
+            # rather than killing the transport.
+            logger.exception(
+                "reply encoding failed for prog=%d proc=%d",
+                header.prog, header.proc,
+            )
+            out = XdrMemStream(bytearray(self.bufsize), XdrOp.ENCODE)
+            encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
+                                  NULL_AUTH)
+        return out.data()
+
+
+def rpc_service(registry, prog, vers):
+    """Decorator helper::
+
+        svc = SvcRegistry()
+        service = rpc_service(svc, PROG, VERS)
+
+        @service(1, xdr_args=..., xdr_res=...)
+        def rmin(args):
+            ...
+    """
+
+    def proc_decorator(proc, xdr_args=None, xdr_res=None):
+        def wrap(handler):
+            registry.register(prog, vers, proc, handler, xdr_args, xdr_res)
+            return handler
+
+        return wrap
+
+    return proc_decorator

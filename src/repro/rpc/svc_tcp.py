@@ -1,0 +1,82 @@
+"""TCP RPC server transport (``svctcp``) with record marking."""
+
+import socket
+import threading
+
+from repro.errors import RpcProtocolError
+from repro.rpc.record import read_record, write_record
+
+
+class TcpServer:
+    """Serves a :class:`~repro.rpc.server.SvcRegistry` over TCP.
+
+    Each accepted connection gets its own daemon thread, processing
+    record-marked calls until the peer disconnects.
+    """
+
+    def __init__(self, registry, host="127.0.0.1", port=0, backlog=16):
+        self.registry = registry
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind((host, port))
+        self.sock.listen(backlog)
+        self.sock.settimeout(0.2)
+        self.host, self.port = self.sock.getsockname()
+        self._stop = threading.Event()
+        self._thread = None
+        self._conn_threads = []
+        self.connections_accepted = 0
+
+    def _serve_connection(self, conn):
+        conn.settimeout(30.0)
+        try:
+            while not self._stop.is_set():
+                try:
+                    data = read_record(conn)
+                except (RpcProtocolError, socket.timeout, OSError):
+                    return
+                reply = self.registry.dispatch_bytes(data)
+                if reply is not None:
+                    write_record(conn, reply)
+        finally:
+            conn.close()
+
+    def serve_forever(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self.sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                if self._stop.is_set():
+                    return
+                raise
+            self.connections_accepted += 1
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def start(self):
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=f"svctcp:{self.port}", daemon=True
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.sock.close()
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

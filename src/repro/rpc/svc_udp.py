@@ -1,0 +1,76 @@
+"""UDP RPC server transport (``svcudp``)."""
+
+import socket
+import threading
+
+from repro.rpc.client import UDPMSGSIZE
+
+
+class UdpServer:
+    """Serves a :class:`~repro.rpc.server.SvcRegistry` over UDP.
+
+    Usable inline (``handle_once`` in a loop) or as a daemon thread
+    (``start``/``stop``), which is how the tests and examples run
+    loopback round-trips.
+    """
+
+    def __init__(self, registry, host="127.0.0.1", port=0,
+                 bufsize=UDPMSGSIZE):
+        self.registry = registry
+        self.bufsize = bufsize
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind((host, port))
+        self.sock.settimeout(0.2)
+        self.host, self.port = self.sock.getsockname()
+        self._thread = None
+        self._stop = threading.Event()
+        #: datagrams processed (for tests)
+        self.requests_handled = 0
+
+    def handle_once(self, timeout=None):
+        """Receive and answer one datagram; returns True if one was
+        handled."""
+        if timeout is not None:
+            self.sock.settimeout(timeout)
+        try:
+            data, addr = self.sock.recvfrom(self.bufsize)
+        except socket.timeout:
+            return False
+        reply = self.registry.dispatch_bytes(data)
+        if reply is not None:
+            self.sock.sendto(reply, addr)
+        self.requests_handled += 1
+        return True
+
+    def serve_forever(self):
+        while not self._stop.is_set():
+            try:
+                self.handle_once()
+            except OSError:
+                if self._stop.is_set():
+                    return
+                raise
+
+    def start(self):
+        """Run the server in a daemon thread; returns (host, port)."""
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=f"svcudp:{self.port}", daemon=True
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.sock.close()
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

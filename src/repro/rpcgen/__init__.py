@@ -1,0 +1,18 @@
+"""rpcgen — the Sun RPC stub compiler.
+
+Parses ``.x`` interface files (the XDR/RPC language subset the paper's
+``rmin`` example uses: constants, enums, typedefs, structs, unions,
+program/version/procedure declarations) and generates:
+
+* Python stubs over the :mod:`repro.xdr` micro-layers and
+  :mod:`repro.rpc` transports (:mod:`repro.rpcgen.codegen_py`);
+* MiniC marshaling code mirroring the paper's Figure 1 call path
+  (:mod:`repro.rpcgen.codegen_minic`), which is what the Tempo
+  specializer optimizes.
+"""
+
+from repro.rpcgen.idl_parser import parse_idl
+from repro.rpcgen.codegen_py import generate_python
+from repro.rpcgen.codegen_minic import generate_minic
+
+__all__ = ["parse_idl", "generate_python", "generate_minic"]

@@ -1,0 +1,47 @@
+"""``repro-rpcgen`` — command-line stub compiler.
+
+Usage::
+
+    repro-rpcgen interface.x --python out_stubs.py
+    repro-rpcgen interface.x --minic out_stubs.c
+"""
+
+import argparse
+import sys
+
+from repro.rpcgen.codegen_minic import generate_minic
+from repro.rpcgen.codegen_py import generate_python
+from repro.rpcgen.idl_parser import parse_idl
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-rpcgen",
+        description="Sun RPC stub compiler (Python and MiniC back ends)",
+    )
+    parser.add_argument("input", help=".x interface definition file")
+    parser.add_argument(
+        "--python", metavar="FILE", help="write Python stubs to FILE"
+    )
+    parser.add_argument(
+        "--minic", metavar="FILE", help="write MiniC stubs to FILE"
+    )
+    args = parser.parse_args(argv)
+    with open(args.input, encoding="utf-8") as handle:
+        interface = parse_idl(handle.read())
+    wrote = False
+    if args.python:
+        with open(args.python, "w", encoding="utf-8") as handle:
+            handle.write(generate_python(interface))
+        wrote = True
+    if args.minic:
+        with open(args.minic, "w", encoding="utf-8") as handle:
+            handle.write(generate_minic(interface))
+        wrote = True
+    if not wrote:
+        sys.stdout.write(generate_python(interface))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""AST for the rpcgen interface definition language (.x files)."""
+
+from dataclasses import dataclass, field
+
+
+class TypeRef:
+    """Base class for IDL type references."""
+
+
+@dataclass(frozen=True)
+class Prim(TypeRef):
+    """A primitive: int, unsigned, bool, hyper, float, double, void."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Named(TypeRef):
+    """Reference to a typedef/struct/enum/union by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StringT(TypeRef):
+    """``string name<bound>``."""
+
+    bound: int = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class OpaqueFixed(TypeRef):
+    """``opaque name[size]``."""
+
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class OpaqueVar(TypeRef):
+    """``opaque name<bound>``."""
+
+    bound: int = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FixedArray(TypeRef):
+    elem: TypeRef = None
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class VarArray(TypeRef):
+    """Bounded counted array ``T name<bound>``."""
+
+    elem: TypeRef = None
+    bound: int = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Optional(TypeRef):
+    """``T *name`` — XDR optional data."""
+
+    elem: TypeRef = None
+
+
+VOID = Prim("void")
+
+
+@dataclass
+class ConstDef:
+    name: str
+    value: int
+
+
+@dataclass
+class EnumDef:
+    name: str
+    members: list  # (name, value)
+
+
+@dataclass
+class TypedefDef:
+    name: str
+    type: TypeRef
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type: TypeRef
+
+
+@dataclass
+class StructDef:
+    name: str
+    fields: list  # FieldDecl
+
+
+@dataclass
+class UnionArm:
+    values: list  # discriminant values for this arm
+    decl: FieldDecl  # decl.type may be VOID
+
+
+@dataclass
+class UnionDef:
+    name: str
+    disc_name: str
+    disc_type: TypeRef
+    arms: list  # UnionArm
+    default: FieldDecl = None
+
+
+@dataclass
+class ProcDef:
+    name: str
+    number: int
+    ret: TypeRef
+    arg: TypeRef
+
+
+@dataclass
+class VersionDef:
+    name: str
+    number: int
+    procs: list  # ProcDef
+
+
+@dataclass
+class ProgramDef:
+    name: str
+    number: int
+    versions: list  # VersionDef
+
+
+@dataclass
+class Interface:
+    """A parsed .x file."""
+
+    consts: list = field(default_factory=list)
+    enums: list = field(default_factory=list)
+    typedefs: list = field(default_factory=list)
+    structs: list = field(default_factory=list)
+    unions: list = field(default_factory=list)
+    programs: list = field(default_factory=list)
+
+    def struct(self, name):
+        for struct in self.structs:
+            if struct.name == name:
+                return struct
+        raise KeyError(name)
+
+    def resolve(self, type_ref):
+        """Follow typedef chains to the underlying type."""
+        seen = set()
+        while isinstance(type_ref, Named):
+            if type_ref.name in seen:
+                raise ValueError(f"typedef cycle at {type_ref.name}")
+            seen.add(type_ref.name)
+            for typedef in self.typedefs:
+                if typedef.name == type_ref.name:
+                    type_ref = typedef.type
+                    break
+            else:
+                return type_ref  # struct/enum/union name
+        return type_ref

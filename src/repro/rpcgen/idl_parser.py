@@ -1,0 +1,321 @@
+"""Parser for the rpcgen interface language (.x files).
+
+Reuses the MiniC lexer (the token-level languages coincide) and parses
+the RPC-language subset the 1984 rpcgen accepted: ``const``, ``enum``,
+``typedef``, ``struct``, ``union ... switch``, and
+``program { version { procs } = N; } = M;`` declarations.
+"""
+
+from repro.errors import IdlError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import EOF, IDENT, INT, KEYWORD, PUNCT
+from repro.rpcgen import idl_ast as idl
+
+_PRIMS = {
+    "int": "int",
+    "long": "int",
+    "short": "int",
+    "char": "int",
+    "bool": "bool",
+    "bool_t": "bool",
+    "hyper": "hyper",
+    "float": "float",
+    "double": "double",
+    "void": "void",
+}
+
+
+class IdlParser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+        self.consts = {}
+
+    # -- token plumbing ------------------------------------------------
+
+    def peek(self, ahead=0):
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message):
+        token = self.peek()
+        where = f" at {token.line}:{token.col} (near {token.value!r})"
+        raise IdlError(f"{message}{where}")
+
+    def expect_punct(self, text):
+        token = self.peek()
+        if not (token.kind == PUNCT and token.value == text):
+            self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_name(self):
+        token = self.peek()
+        if token.kind not in (IDENT, KEYWORD):
+            self.error("expected a name")
+        return self.advance().value
+
+    def expect_word(self, word):
+        token = self.peek()
+        if token.value != word or token.kind not in (IDENT, KEYWORD):
+            self.error(f"expected {word!r}")
+        return self.advance()
+
+    def at_word(self, word):
+        token = self.peek()
+        return token.kind in (IDENT, KEYWORD) and token.value == word
+
+    def parse_value(self):
+        """An integer literal, a defined constant, or a negative."""
+        token = self.peek()
+        if token.kind == PUNCT and token.value == "-":
+            self.advance()
+            return -self.parse_value()
+        if token.kind == INT:
+            self.advance()
+            return token.value
+        if token.kind in (IDENT, KEYWORD) and token.value in self.consts:
+            self.advance()
+            return self.consts[token.value]
+        self.error("expected an integer constant")
+
+    # -- grammar --------------------------------------------------------
+
+    def parse(self):
+        interface = idl.Interface()
+        while self.peek().kind != EOF:
+            if self.at_word("const"):
+                interface.consts.append(self.parse_const())
+            elif self.at_word("enum"):
+                interface.enums.append(self.parse_enum())
+            elif self.at_word("typedef"):
+                interface.typedefs.append(self.parse_typedef())
+            elif self.at_word("struct"):
+                interface.structs.append(self.parse_struct())
+            elif self.at_word("union"):
+                interface.unions.append(self.parse_union())
+            elif self.at_word("program"):
+                interface.programs.append(self.parse_program())
+            else:
+                self.error("expected a top-level declaration")
+        return interface
+
+    def parse_const(self):
+        self.advance()  # const
+        name = self.expect_name()
+        self.expect_punct("=")
+        value = self.parse_value()
+        self.expect_punct(";")
+        self.consts[name] = value
+        return idl.ConstDef(name, value)
+
+    def parse_enum(self):
+        self.advance()  # enum
+        name = self.expect_name()
+        self.expect_punct("{")
+        members = []
+        next_value = 0
+        while not self.peek().is_punct("}"):
+            member = self.expect_name()
+            if self.peek().is_punct("="):
+                self.advance()
+                next_value = self.parse_value()
+            members.append((member, next_value))
+            self.consts[member] = next_value
+            next_value += 1
+            if not self.peek().is_punct(","):
+                break
+            self.advance()
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return idl.EnumDef(name, members)
+
+    def parse_base_type(self):
+        """A type name (possibly multi-word like ``unsigned int``)."""
+        token = self.peek()
+        if token.value == "unsigned":
+            self.advance()
+            if self.peek().value in ("int", "long", "short", "char",
+                                     "hyper"):
+                inner = self.advance().value
+                if inner == "hyper":
+                    return idl.Prim("u_hyper")
+                return idl.Prim("u_int")
+            return idl.Prim("u_int")
+        if token.value == "struct":
+            self.advance()
+            return idl.Named(self.expect_name())
+        if token.value == "enum":
+            self.advance()
+            return idl.Named(self.expect_name())
+        name = self.expect_name()
+        if name in _PRIMS:
+            return idl.Prim(_PRIMS[name])
+        if name == "u_int" or name == "u_long":
+            return idl.Prim("u_int")
+        return idl.Named(name)
+
+    def parse_declaration(self):
+        """One declaration: ``type name``, with array/pointer suffixes
+        and the string/opaque special forms.  Returns FieldDecl."""
+        if self.at_word("void"):
+            self.advance()
+            return idl.FieldDecl("", idl.VOID)
+        if self.at_word("string"):
+            self.advance()
+            name = self.expect_name()
+            bound = self._angle_bound()
+            return idl.FieldDecl(name, idl.StringT(bound))
+        if self.at_word("opaque"):
+            self.advance()
+            name = self.expect_name()
+            if self.peek().is_punct("["):
+                self.advance()
+                size = self.parse_value()
+                self.expect_punct("]")
+                return idl.FieldDecl(name, idl.OpaqueFixed(size))
+            bound = self._angle_bound()
+            return idl.FieldDecl(name, idl.OpaqueVar(bound))
+        base = self.parse_base_type()
+        pointer = False
+        if self.peek().is_punct("*"):
+            self.advance()
+            pointer = True
+        name = self.expect_name()
+        type_ref = base
+        if self.peek().is_punct("["):
+            self.advance()
+            size = self.parse_value()
+            self.expect_punct("]")
+            type_ref = idl.FixedArray(base, size)
+        elif self.peek().is_punct("<"):
+            bound = self._angle_bound()
+            type_ref = idl.VarArray(base, bound)
+        if pointer:
+            type_ref = idl.Optional(type_ref)
+        return idl.FieldDecl(name, type_ref)
+
+    def _angle_bound(self):
+        if not self.peek().is_punct("<"):
+            return 0xFFFFFFFF
+        self.advance()
+        if self.peek().is_punct(">"):
+            self.advance()
+            return 0xFFFFFFFF
+        bound = self.parse_value()
+        self.expect_punct(">")
+        return bound
+
+    def parse_typedef(self):
+        self.advance()  # typedef
+        decl = self.parse_declaration()
+        self.expect_punct(";")
+        if not decl.name:
+            self.error("typedef needs a name")
+        return idl.TypedefDef(decl.name, decl.type)
+
+    def parse_struct(self):
+        self.advance()  # struct
+        name = self.expect_name()
+        self.expect_punct("{")
+        fields = []
+        while not self.peek().is_punct("}"):
+            decl = self.parse_declaration()
+            self.expect_punct(";")
+            fields.append(decl)
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return idl.StructDef(name, fields)
+
+    def parse_union(self):
+        self.advance()  # union
+        name = self.expect_name()
+        self.expect_word("switch")
+        self.expect_punct("(")
+        disc_type = self.parse_base_type()
+        disc_name = self.expect_name()
+        self.expect_punct(")")
+        self.expect_punct("{")
+        arms = []
+        default = None
+        while not self.peek().is_punct("}"):
+            if self.at_word("case"):
+                values = []
+                while self.at_word("case"):
+                    self.advance()
+                    values.append(self.parse_value())
+                    self.expect_punct(":")
+                decl = self.parse_declaration()
+                self.expect_punct(";")
+                arms.append(idl.UnionArm(values, decl))
+            elif self.at_word("default"):
+                self.advance()
+                self.expect_punct(":")
+                decl = self.parse_declaration()
+                self.expect_punct(";")
+                default = decl
+            else:
+                self.error("expected case or default")
+        self.expect_punct("}")
+        self.expect_punct(";")
+        return idl.UnionDef(name, disc_name, disc_type, arms, default)
+
+    def parse_program(self):
+        self.advance()  # program
+        name = self.expect_name()
+        self.expect_punct("{")
+        versions = []
+        while not self.peek().is_punct("}"):
+            versions.append(self.parse_version())
+        self.expect_punct("}")
+        self.expect_punct("=")
+        number = self.parse_value()
+        self.expect_punct(";")
+        return idl.ProgramDef(name, number, versions)
+
+    def parse_version(self):
+        self.expect_word("version")
+        name = self.expect_name()
+        self.expect_punct("{")
+        procs = []
+        while not self.peek().is_punct("}"):
+            procs.append(self.parse_proc())
+        self.expect_punct("}")
+        self.expect_punct("=")
+        number = self.parse_value()
+        self.expect_punct(";")
+        return idl.VersionDef(name, number, procs)
+
+    def parse_proc(self):
+        ret = self._proc_type()
+        name = self.expect_name()
+        self.expect_punct("(")
+        arg = self._proc_type()
+        self.expect_punct(")")
+        self.expect_punct("=")
+        number = self.parse_value()
+        self.expect_punct(";")
+        return idl.ProcDef(name, number, ret, arg)
+
+    def _proc_type(self):
+        if self.at_word("void"):
+            self.advance()
+            return idl.VOID
+        if self.at_word("string"):
+            self.advance()
+            return idl.StringT()
+        base = self.parse_base_type()
+        if self.peek().is_punct("*"):
+            self.advance()
+            return idl.Optional(base)
+        return base
+
+
+def parse_idl(source):
+    """Parse .x interface source into an :class:`Interface`."""
+    return IdlParser(tokenize(source)).parse()

@@ -1,0 +1,332 @@
+"""The Sun RPC micro-layers in MiniC — the code the paper specializes.
+
+This is a statement-for-statement rendition of the 1984 Sun RPC client
+and server paths the paper works on (its Figures 1–4):
+
+* ``xdrmem_create`` / ``xdrmem_putlong`` / ``xdrmem_getlong`` — the
+  memory stream with ``x_handy`` overflow accounting (Figure 3);
+* ``xdr_putlong`` / ``xdr_getlong`` — the stream-kind dispatch standing
+  in for the C ``x_ops`` vtable (MiniC has no function pointers; the
+  ``x_kind`` switch preserves the same interpretation overhead);
+* ``xdr_long`` — the encode/decode/free dispatch (Figure 2);
+* ``xdr_int`` — the "machine dependent switch on integer size";
+* ``xdr_callhdr`` / ``xdr_replyhdr`` / ``xdr_callhdr_decode`` /
+  ``xdr_replyhdr_encode`` — RPC message headers over the micro-layers.
+
+The record-stream variants (``xdrrec_*``) exist so the ``x_kind``
+dispatch is genuine; they carry an extra fragment-space counter the way
+the C ``xdrrec`` layer tracks its output fragment.
+"""
+
+SUNRPC_MINIC_RUNTIME = r"""
+#define XDR_ENCODE 0
+#define XDR_DECODE 1
+#define XDR_FREE 2
+#define TRUE 1
+#define FALSE 0
+
+#define XDR_STREAM_MEM 0
+#define XDR_STREAM_REC 1
+
+#define MSG_CALL 0
+#define MSG_REPLY 1
+#define MSG_ACCEPTED 0
+#define ACCEPT_SUCCESS 0
+#define RPC_VERSION 2
+#define AUTH_NULL 0
+
+struct XDR {
+    int x_op;          /* XDR_ENCODE / XDR_DECODE / XDR_FREE */
+    int x_kind;        /* stream implementation selector */
+    int x_handy;       /* bytes remaining in the buffer */
+    caddr_t x_private; /* current position */
+    caddr_t x_base;    /* buffer start */
+    int x_frag;        /* xdrrec: bytes left in the output fragment */
+};
+
+struct CLIENT {
+    u_long cl_prog;    /* remote program number */
+    u_long cl_vers;    /* remote program version */
+};
+
+void xdrmem_create(struct XDR *xdrs, caddr_t addr, int size, int op)
+{
+    xdrs->x_op = op;
+    xdrs->x_kind = XDR_STREAM_MEM;
+    xdrs->x_handy = size;
+    xdrs->x_private = addr;
+    xdrs->x_base = addr;
+    xdrs->x_frag = 0;
+}
+
+bool_t xdrmem_putlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+bool_t xdrmem_getlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *lp = (long)ntohl((u_long)(*(long *)(xdrs->x_private)));
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+bool_t xdrrec_putlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_frag -= sizeof(long)) < 0)
+        return FALSE;
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+bool_t xdrrec_getlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_frag -= sizeof(long)) < 0)
+        return FALSE;
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *lp = (long)ntohl((u_long)(*(long *)(xdrs->x_private)));
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+/* XDR_PUTLONG: generic marshaling to memory, stream... (Figure 1) */
+bool_t xdr_putlong(struct XDR *xdrs, long *lp)
+{
+    if (xdrs->x_kind == XDR_STREAM_MEM)
+        return xdrmem_putlong(xdrs, lp);
+    if (xdrs->x_kind == XDR_STREAM_REC)
+        return xdrrec_putlong(xdrs, lp);
+    return FALSE;
+}
+
+bool_t xdr_getlong(struct XDR *xdrs, long *lp)
+{
+    if (xdrs->x_kind == XDR_STREAM_MEM)
+        return xdrmem_getlong(xdrs, lp);
+    if (xdrs->x_kind == XDR_STREAM_REC)
+        return xdrrec_getlong(xdrs, lp);
+    return FALSE;
+}
+
+/* Generic encoding or decoding of a long integer (Figure 2). */
+bool_t xdr_long(struct XDR *xdrs, long *lp)
+{
+    if (xdrs->x_op == XDR_ENCODE)
+        return xdr_putlong(xdrs, lp);
+    if (xdrs->x_op == XDR_DECODE)
+        return xdr_getlong(xdrs, lp);
+    if (xdrs->x_op == XDR_FREE)
+        return TRUE;
+    return FALSE;
+}
+
+/* Machine dependent switch on integer size (Figure 1). */
+bool_t xdr_int(struct XDR *xdrs, int *ip)
+{
+    if (sizeof(int) == sizeof(long))
+        return xdr_long(xdrs, (long *)ip);
+    return FALSE;
+}
+
+bool_t xdr_u_long(struct XDR *xdrs, u_long *ulp)
+{
+    if (xdrs->x_op == XDR_ENCODE)
+        return xdr_putlong(xdrs, (long *)ulp);
+    if (xdrs->x_op == XDR_DECODE)
+        return xdr_getlong(xdrs, (long *)ulp);
+    if (xdrs->x_op == XDR_FREE)
+        return TRUE;
+    return FALSE;
+}
+
+bool_t xdr_u_int(struct XDR *xdrs, unsigned *up)
+{
+    return xdr_u_long(xdrs, (u_long *)up);
+}
+
+bool_t xdr_bool(struct XDR *xdrs, int *bp)
+{
+    long lb;
+    if (xdrs->x_op == XDR_ENCODE) {
+        if (*bp != 0)
+            lb = 1;
+        else
+            lb = 0;
+        return xdr_putlong(xdrs, &lb);
+    }
+    if (xdrs->x_op == XDR_DECODE) {
+        if (!xdr_getlong(xdrs, &lb))
+            return FALSE;
+        if (lb != 0)
+            *bp = 1;
+        else
+            *bp = 0;
+        return TRUE;
+    }
+    if (xdrs->x_op == XDR_FREE)
+        return TRUE;
+    return FALSE;
+}
+
+bool_t xdr_enum_t(struct XDR *xdrs, int *ep)
+{
+    return xdr_long(xdrs, (long *)ep);
+}
+
+int xdr_getpos(struct XDR *xdrs)
+{
+    return (int)(xdrs->x_private - xdrs->x_base);
+}
+
+/* Marshal the RPC call header: xid, CALL, RPC version, program,
+ * version, procedure, then null credential and verifier areas. */
+bool_t xdr_callhdr(struct XDR *xdrs, u_long xid, u_long prog, u_long vers,
+                   u_long proc)
+{
+    long tmp;
+    tmp = (long)xid;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = MSG_CALL;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = RPC_VERSION;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = (long)prog;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = (long)vers;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = (long)proc;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = AUTH_NULL;            /* credential flavor */
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = 0;                    /* credential length */
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = AUTH_NULL;            /* verifier flavor */
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = 0;                    /* verifier length */
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    return TRUE;
+}
+
+/* Unmarshal and validate a reply header: the dynamic tests that must
+ * remain in the specialized code (paper, section 3.4). */
+bool_t xdr_replyhdr(struct XDR *xdrs, u_long xid)
+{
+    long rxid;
+    long mtype;
+    long rstat;
+    long vflavor;
+    long vlen;
+    long astat;
+    if (!xdr_long(xdrs, &rxid))
+        return FALSE;
+    if ((u_long)rxid != xid)
+        return FALSE;
+    if (!xdr_long(xdrs, &mtype))
+        return FALSE;
+    if (mtype != MSG_REPLY)
+        return FALSE;
+    if (!xdr_long(xdrs, &rstat))
+        return FALSE;
+    if (rstat != MSG_ACCEPTED)
+        return FALSE;
+    if (!xdr_long(xdrs, &vflavor))
+        return FALSE;
+    if (!xdr_long(xdrs, &vlen))
+        return FALSE;
+    if (vlen == 0) {
+        if (!xdr_long(xdrs, &astat))
+            return FALSE;
+        if (astat != ACCEPT_SUCCESS)
+            return FALSE;
+        return TRUE;
+    }
+    return FALSE;
+}
+
+/* Server side: unmarshal and validate a call header. */
+bool_t xdr_callhdr_decode(struct XDR *xdrs, u_long prog, u_long vers,
+                          u_long *xidp, long *procp)
+{
+    long tmp;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    *xidp = (u_long)tmp;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    if (tmp != MSG_CALL)
+        return FALSE;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    if (tmp != RPC_VERSION)
+        return FALSE;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    if ((u_long)tmp != prog)
+        return FALSE;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    if ((u_long)tmp != vers)
+        return FALSE;
+    if (!xdr_long(xdrs, procp))
+        return FALSE;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    if (tmp == 0) {
+        if (!xdr_long(xdrs, &tmp))
+            return FALSE;
+        if (!xdr_long(xdrs, &tmp))
+            return FALSE;
+        if (tmp == 0)
+            return TRUE;
+        return FALSE;
+    }
+    return FALSE;
+}
+
+/* Server side: marshal an accepted SUCCESS reply header. */
+bool_t xdr_replyhdr_encode(struct XDR *xdrs, u_long xid)
+{
+    long tmp;
+    tmp = (long)xid;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = MSG_REPLY;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = MSG_ACCEPTED;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = AUTH_NULL;            /* verifier flavor */
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = 0;                    /* verifier length */
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    tmp = ACCEPT_SUCCESS;
+    if (!xdr_long(xdrs, &tmp))
+        return FALSE;
+    return TRUE;
+}
+"""

@@ -1,0 +1,37 @@
+"""Platform timing simulator for the paper's two 1997 testbeds.
+
+The MiniC interpreter emits an instruction/memory event trace
+(:mod:`repro.minic.cost`); this package replays such traces against
+calibrated machine models — a 40 MHz Sun IPX 4/50 (SunOS, 64 KB unified
+write-through cache, 100 Mb/s ATM) and a 166 MHz Pentium (Linux,
+8 KB+8 KB L1, 256 KB L2, 100 Mb/s Fast Ethernet) — to regenerate the
+paper's Tables 1–4 and Figure 6.
+
+The models are calibrated to reproduce the *shape* of the paper's
+results (who wins, by what factor, where the crossovers are), not exact
+microseconds; the calibration constants and their rationale live in
+:mod:`repro.simulator.platforms`.
+"""
+
+from repro.simulator.caches import DirectMappedCache
+from repro.simulator.machine import Machine, TimeBreakdown
+from repro.simulator.network import Link
+from repro.simulator.platforms import (
+    atm_link,
+    fast_ethernet_link,
+    ipx_sunos,
+    pc_linux,
+)
+from repro.simulator.roundtrip import RoundTripModel
+
+__all__ = [
+    "DirectMappedCache",
+    "Link",
+    "Machine",
+    "TimeBreakdown",
+    "RoundTripModel",
+    "atm_link",
+    "fast_ethernet_link",
+    "ipx_sunos",
+    "pc_linux",
+]

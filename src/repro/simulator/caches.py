@@ -1,0 +1,75 @@
+"""Cache models.
+
+A :class:`DirectMappedCache` tracks tags only (contents don't matter for
+timing).  Caches chain: a miss in L1 consults ``next_level`` (another
+cache) or pays ``miss_penalty`` cycles (memory).  Bulk accesses (bzero,
+memcpy, datagram receive) touch every line in their range.
+"""
+
+from repro.errors import SimulatorError
+
+
+class DirectMappedCache:
+    """A direct-mapped cache with single-cycle hits by default."""
+
+    def __init__(self, size, line_size=32, hit_cycles=0, miss_penalty=10,
+                 next_level=None, name="cache"):
+        if size % line_size:
+            raise SimulatorError("cache size must be a multiple of the line")
+        self.size = size
+        self.line_size = line_size
+        self.hit_cycles = hit_cycles
+        self.miss_penalty = miss_penalty
+        self.next_level = next_level
+        self.name = name
+        self.lines = size // line_size
+        self.tags = [None] * self.lines
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self):
+        self.tags = [None] * self.lines
+        self.hits = 0
+        self.misses = 0
+        if self.next_level is not None:
+            self.next_level.reset()
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        if self.next_level is not None:
+            self.next_level.reset_stats()
+
+    def access_line(self, line_addr):
+        """One line-granular access; returns cycles."""
+        index = line_addr % self.lines
+        if self.tags[index] == line_addr:
+            self.hits += 1
+            return self.hit_cycles
+        self.misses += 1
+        self.tags[index] = line_addr
+        if self.next_level is not None:
+            return self.hit_cycles + self.miss_penalty + (
+                self.next_level.access_line(line_addr)
+            )
+        return self.hit_cycles + self.miss_penalty
+
+    def access(self, addr, size=4):
+        """An access covering [addr, addr+size); returns cycles."""
+        if size <= 0:
+            size = 1
+        first = addr // self.line_size
+        last = (addr + size - 1) // self.line_size
+        cycles = 0
+        for line_addr in range(first, last + 1):
+            cycles += self.access_line(line_addr)
+        return cycles
+
+    def stats(self):
+        result = {
+            f"{self.name}_hits": self.hits,
+            f"{self.name}_misses": self.misses,
+        }
+        if self.next_level is not None:
+            result.update(self.next_level.stats())
+        return result

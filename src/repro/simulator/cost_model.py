@@ -1,0 +1,38 @@
+"""Per-event base cycle costs.
+
+The interpreter emits one IFETCH per evaluated AST node, which tracks
+the dynamic instruction count of compiled C closely enough for shape
+reproduction; the other kinds add the extra latency of their operation
+class on 1990s in-order hardware.
+"""
+
+from repro.minic import cost
+
+
+def base_costs(
+    ifetch=1.0,
+    alu=0.0,
+    mul=3.0,
+    div=18.0,
+    branch=1.0,
+    call=4.0,
+    ret=2.0,
+    load=1.0,
+    store=1.0,
+    byteswap=0.0,
+):
+    """Build a cost table; kinds absent here cost 1 cycle."""
+    return {
+        cost.IFETCH: ifetch,
+        cost.ALU: alu,
+        cost.MUL: mul,
+        cost.DIV: div,
+        cost.BRANCH: branch,
+        cost.CALL: call,
+        cost.RET: ret,
+        cost.LOAD: load,
+        cost.STORE: store,
+        cost.BYTESWAP: byteswap,
+        cost.NET_SEND: 0.0,
+        cost.NET_RECV: 0.0,
+    }

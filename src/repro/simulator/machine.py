@@ -1,0 +1,155 @@
+"""Machine models: replay MiniC cost traces into cycles and seconds."""
+
+from dataclasses import dataclass, field
+
+from repro.minic import cost
+
+
+@dataclass
+class TimeBreakdown:
+    """The result of replaying one trace on one machine."""
+
+    seconds: float
+    cycles: float
+    instr_cycles: float
+    icache_cycles: float
+    dcache_cycles: float
+    store_through_cycles: float
+    net_send_bytes: int
+    net_recv_bytes: int
+    cache_stats: dict = field(default_factory=dict)
+
+    def ms(self):
+        return self.seconds * 1e3
+
+    def us(self):
+        return self.seconds * 1e6
+
+
+class Machine:
+    """A calibrated CPU + memory hierarchy.
+
+    ``costs`` maps event kinds (:mod:`repro.minic.cost`) to base cycle
+    counts; data accesses additionally consult the D-cache, instruction
+    events the I-cache (the two may be the same object to model a
+    unified cache, as on the Sun IPX).  ``store_through_cycles`` charges
+    every store the write-through penalty of the IPX's cache.
+    ``fixed_overhead_s`` models per-measurement constant costs (call
+    setup, timer read) observed in the paper's numbers.
+    """
+
+    def __init__(
+        self,
+        name,
+        clock_hz,
+        costs,
+        icache,
+        dcache,
+        write_drain_cycles=0.0,
+        fixed_overhead_s=0.0,
+        nic=None,
+    ):
+        self.name = name
+        self.clock_hz = clock_hz
+        self.costs = costs
+        self.icache = icache
+        self.dcache = dcache
+        #: write-through store model: a one-deep write buffer that takes
+        #: this many cycles per 4-byte word to drain to memory.  Dense
+        #: store sequences (the specialized marshaling loop) stall on
+        #: it; sparse ones (the generic micro-layers) hide it — the
+        #: memory-boundedness the paper observes on the Sun IPX.
+        self.write_drain_cycles = write_drain_cycles
+        self.fixed_overhead_s = fixed_overhead_s
+        self.nic = nic
+
+    def reset(self):
+        self.icache.reset()
+        if self.dcache is not self.icache:
+            self.dcache.reset()
+
+    def replay(self, trace):
+        """Replay one trace with the current cache state."""
+        costs = self.costs
+        icache = self.icache
+        dcache = self.dcache
+        drain = self.write_drain_cycles
+        cycle = 0.0
+        instr_cycles = 0.0
+        icache_cycles = 0.0
+        dcache_cycles = 0.0
+        store_stall = 0.0
+        write_buffer_free_at = 0.0
+        net_send = net_recv = 0
+        for kind, code_addr, mem_addr, size in trace.events:
+            base = costs.get(kind, 1.0)
+            instr_cycles += base
+            cycle += base
+            if kind == cost.IFETCH:
+                if code_addr:
+                    penalty = icache.access(code_addr, 4)
+                    icache_cycles += penalty
+                    cycle += penalty
+            elif kind == cost.LOAD:
+                units = max(1, (size or 4) // 4)
+                if units > 1:
+                    # Bulk copies (memcpy sources) cost a load per word.
+                    extra = (units - 1) * costs.get(cost.LOAD, 1.0)
+                    instr_cycles += extra
+                    cycle += extra
+                if mem_addr:
+                    penalty = dcache.access(mem_addr, size or 4)
+                    dcache_cycles += penalty
+                    cycle += penalty
+            elif kind == cost.STORE or kind == cost.NET_RECV:
+                units = max(1, (size or 4) // 4)
+                if kind == cost.NET_RECV:
+                    net_recv += size
+                if units > 1:
+                    # Bulk fills (bzero, datagram landing) cost a store
+                    # per word even on write-back caches.
+                    extra = (units - 1) * costs.get(cost.STORE, 1.0)
+                    instr_cycles += extra
+                    cycle += extra
+                if mem_addr:
+                    penalty = dcache.access(mem_addr, size or 4)
+                    dcache_cycles += penalty
+                    cycle += penalty
+                if drain:
+                    if cycle < write_buffer_free_at:
+                        stall = write_buffer_free_at - cycle
+                        store_stall += stall
+                        cycle += stall
+                    write_buffer_free_at = cycle + drain * units
+            elif kind == cost.NET_SEND:
+                net_send += size
+        return TimeBreakdown(
+            seconds=cycle / self.clock_hz + self.fixed_overhead_s,
+            cycles=cycle,
+            instr_cycles=instr_cycles,
+            icache_cycles=icache_cycles,
+            dcache_cycles=dcache_cycles,
+            store_through_cycles=store_stall,
+            net_send_bytes=net_send,
+            net_recv_bytes=net_recv,
+            cache_stats={
+                **self.icache.stats(),
+                **(
+                    self.dcache.stats()
+                    if self.dcache is not self.icache
+                    else {}
+                ),
+            },
+        )
+
+    def steady_state_time(self, trace, warmup_runs=1):
+        """Steady-state replay: warm the caches with ``warmup_runs``
+        passes, then measure one pass — modelling the paper's
+        mean-of-10000-iterations benchmarks."""
+        self.reset()
+        for _ in range(warmup_runs):
+            self.replay(trace)
+        self.icache.reset_stats()
+        if self.dcache is not self.icache:
+            self.dcache.reset_stats()
+        return self.replay(trace)

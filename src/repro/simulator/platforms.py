@@ -1,0 +1,116 @@
+"""Calibrated models of the paper's two measurement platforms.
+
+Calibration philosophy: the *structure* of each model follows the real
+hardware —
+
+* **Sun IPX 4/50** (SunOS 4.1.4): 40 MHz SPARC, a 64 KB direct-mapped
+  *unified write-through* cache, slow DRAM.  The write-through cache is
+  why the paper's IPX marshaling becomes memory-bound as arrays grow
+  (its §5 "program execution time is dominated by memory accesses"),
+  and the unified cache is why the fully-unrolled specialized code
+  *loses* ground at 2000 elements: ~100 KB of straight-line code
+  streams through a 64 KB cache.
+* **166 MHz Pentium MMX** (Linux): split 16 KB L1 I/D caches backed by
+  a 256 KB L2.  Unrolled code overflows L1 but stays L2-resident, so
+  the specialized marshaling speedup keeps climbing ("the speedup curve
+  only bends"), and a 250-element re-rolled chunk fits L1 again
+  (Table 4).
+
+The scalar constants (clock, penalties, per-call fixed overheads, NIC
+latencies) are then fitted so the generic/specialized times land near
+the paper's Tables 1–2.  Exact microseconds are not the goal — shape
+is; EXPERIMENTS.md records measured-vs-paper for every cell.
+"""
+
+from repro.simulator.caches import DirectMappedCache
+from repro.simulator.cost_model import base_costs
+from repro.simulator.machine import Machine
+from repro.simulator.network import Link
+
+
+def ipx_sunos():
+    """Sun IPX 4/50, SunOS 4.1.4 (40 MHz SPARC, 64 KB unified cache)."""
+    unified = DirectMappedCache(
+        size=64 * 1024, line_size=32, hit_cycles=0, miss_penalty=14,
+        name="l1",
+    )
+    return Machine(
+        name="IPX/SunOS",
+        clock_hz=40e6,
+        costs=base_costs(
+            ifetch=0.55,
+            call=4.0,
+            ret=2.0,
+            branch=1.2,
+            load=1.0,
+            store=1.0,
+            byteswap=0.0,  # big-endian SPARC: htonl is the identity macro
+        ),
+        icache=unified,
+        dcache=unified,
+        write_drain_cycles=6.0,  # write-through cache, one-deep buffer
+        fixed_overhead_s=4e-6,
+        nic=atm_link(),
+    )
+
+
+def pc_linux():
+    """166 MHz Pentium MMX, Linux (16K/16K L1, 256K L2)."""
+    l2 = DirectMappedCache(
+        size=256 * 1024, line_size=32, hit_cycles=0, miss_penalty=30,
+        name="l2",
+    )
+    l1i = DirectMappedCache(
+        size=16 * 1024, line_size=32, hit_cycles=0, miss_penalty=3,
+        next_level=l2, name="l1i",
+    )
+    l1d = DirectMappedCache(
+        size=16 * 1024, line_size=32, hit_cycles=0, miss_penalty=3,
+        next_level=l2, name="l1d",
+    )
+    return Machine(
+        name="PC/Linux",
+        clock_hz=166e6,
+        costs=base_costs(
+            ifetch=0.60,
+            call=4.0,
+            ret=2.0,
+            branch=1.3,
+            load=1.0,
+            store=1.0,
+            byteswap=1.0,  # little-endian x86: bswap on every long
+        ),
+        icache=l1i,
+        dcache=l1d,
+        write_drain_cycles=0.0,  # write-back L1
+        fixed_overhead_s=57e-6,
+        nic=fast_ethernet_link(),
+    )
+
+
+def atm_link():
+    """100 Mb/s ATM (Fore ESA-200, 1993): high per-message latency from
+    the AAL5 segmentation/reassembly done largely in the driver, and
+    cell-tax on the payload."""
+    return Link(
+        name="ATM-100",
+        latency_s=600e-6,
+        bandwidth_bps=100e6,
+        per_byte_overhead=0.4e-6,
+    )
+
+
+def fast_ethernet_link():
+    """100 Mb/s Fast Ethernet (1997 PCI NIC): low latency, low tax."""
+    return Link(
+        name="FastEthernet-100",
+        latency_s=200e-6,
+        bandwidth_bps=100e6,
+        per_byte_overhead=0.2e-6,
+    )
+
+
+PLATFORMS = {
+    "ipx": ipx_sunos,
+    "pc": pc_linux,
+}

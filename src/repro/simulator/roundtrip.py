@@ -1,0 +1,63 @@
+"""Round-trip composition: client compute + link + server compute.
+
+The paper's Table 2 measures the elapsed time of a complete RPC (client
+marshal, send, server decode+dispatch+encode, reply, client decode,
+plus the ``bzero`` input-buffer initialization on both sides)."""
+
+from repro.minic import cost
+from repro.minic.cost import Trace
+
+
+def with_bzero_prologue(trace, size, addr=0x7000_0000):
+    """Prepend the server's receive-buffer ``bzero`` to a trace (the
+    client-side bzero is already in the generated clntudp path)."""
+    combined = Trace()
+    combined.events.append((cost.STORE, 0, addr, size))
+    combined.events.extend(trace.events)
+    return combined
+
+
+class RoundTripModel:
+    """Composes one full RPC from component traces.
+
+    ``client_machine`` and ``server_machine`` should be distinct
+    instances (separate caches) of the same platform model; ``link`` is
+    the platform's NIC model.
+    """
+
+    def __init__(self, client_machine, server_machine, link):
+        self.client_machine = client_machine
+        self.server_machine = server_machine
+        self.link = link
+
+    def total_seconds(self, client_trace, server_trace, request_bytes,
+                      reply_bytes, warmup_runs=1):
+        client = self.client_machine.steady_state_time(
+            client_trace, warmup_runs
+        )
+        server = self.server_machine.steady_state_time(
+            server_trace, warmup_runs
+        )
+        wire = self.link.transfer_time(request_bytes) + (
+            self.link.transfer_time(reply_bytes)
+        )
+        return client.seconds + server.seconds + wire
+
+    def breakdown(self, client_trace, server_trace, request_bytes,
+                  reply_bytes, warmup_runs=1):
+        client = self.client_machine.steady_state_time(
+            client_trace, warmup_runs
+        )
+        server = self.server_machine.steady_state_time(
+            server_trace, warmup_runs
+        )
+        request_time = self.link.transfer_time(request_bytes)
+        reply_time = self.link.transfer_time(reply_bytes)
+        return {
+            "client_s": client.seconds,
+            "server_s": server.seconds,
+            "request_wire_s": request_time,
+            "reply_wire_s": reply_time,
+            "total_s": client.seconds + server.seconds + request_time
+            + reply_time,
+        }

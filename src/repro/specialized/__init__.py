@@ -1,0 +1,22 @@
+"""End-to-end specialization pipeline.
+
+Chains the stages of the paper's experiment: a ``.x`` interface is
+compiled to MiniC stubs (:mod:`repro.rpcgen.codegen_minic`), specialized
+by Tempo (:mod:`repro.tempo`) against the declared invariants (program
+number, procedure, operation, buffer sizes, array lengths), and the
+residual program is compiled to Python (:mod:`repro.minic.compile_py`).
+The resulting marshalers plug into the live RPC stack
+(:mod:`repro.rpc`), replacing the generic XDR micro-layers.
+"""
+
+from repro.specialized.pipeline import (
+    ClientSpecialization,
+    ServerSpecialization,
+    SpecializationPipeline,
+)
+
+__all__ = [
+    "ClientSpecialization",
+    "ServerSpecialization",
+    "SpecializationPipeline",
+]

@@ -1,0 +1,354 @@
+"""The IDL -> MiniC -> Tempo -> Python marshaler pipeline.
+
+This ties the whole experiment together for live use:
+
+1. ``rpcgen`` compiles the ``.x`` interface to MiniC stubs built on the
+   Sun RPC micro-layers;
+2. Tempo specializes the client marshal/receive paths (and optionally
+   the server dispatch path) to the declared invariants — program and
+   procedure numbers, buffer sizes, the XDR operation, and the assumed
+   bounded-array lengths (the paper's ``expected_inlen`` rewrite);
+3. the residual MiniC is compiled to Python and wrapped in codecs that
+   plug into :class:`repro.rpc.client.RpcClient` /
+   :class:`repro.rpc.svc_udp.UdpServer`.
+
+Replies that do not match the expected shape (wrong length, stale xid,
+error status) fall back to the generic decode path, mirroring the
+residual ``else`` branches of the paper's §6.2 rewrite.
+"""
+
+from repro.errors import IdlError, XdrError
+from repro.minic.compile_py import compile_program
+from repro.minic.parser import parse_program
+from repro.minic.typecheck import typecheck_program
+from repro.rpc.message import decode_reply_header, raise_for_reply
+from repro.rpcgen import idl_ast as idl
+from repro.rpcgen.codegen_minic import MiniCGenerator, generate_minic
+from repro.rpcgen.codegen_py import load_python
+from repro.specialized import runtime as sr
+from repro.specialized.sizes import reply_size, request_size
+from repro.tempo import Dyn, DynPtr, Known, PtrTo, StructOf, specialize
+from repro.xdr import XdrMemStream, XdrOp
+
+
+class ClientSpecialization:
+    """Compiled specialized client codecs for one procedure."""
+
+    def __init__(self, pipeline, proc, arg_struct, ret_struct, arg_lens,
+                 res_lens, bufsize, marshal_result, recv_result):
+        self.pipeline = pipeline
+        self.proc = proc
+        self.arg_struct = arg_struct
+        self.ret_struct = ret_struct
+        self.bufsize = bufsize
+        self.expected_reply = reply_size(
+            pipeline.interface, ret_struct, res_lens
+        )
+        self.expected_request = request_size(
+            pipeline.interface, arg_struct, arg_lens
+        )
+        self.marshal_result = marshal_result
+        self.recv_result = recv_result
+        self._marshal_module = compile_program(marshal_result.program)
+        self._recv_module = compile_program(recv_result.program)
+        self._marshal_params = [n for _t, n in marshal_result.residual_params]
+        self._recv_params = [n for _t, n in recv_result.residual_params]
+        self._marshal_entry = marshal_result.entry_name
+        self._recv_entry = recv_result.entry_name
+        self._stub_ret_class = getattr(pipeline.stubs, ret_struct.name)
+        self._generic_ret_filter = getattr(
+            pipeline.stubs, f"xdr_{ret_struct.name}"
+        )
+        self._arg_lens = arg_lens
+        self._res_lens = res_lens
+
+    # -- codec entry points ---------------------------------------------
+
+    def build_request(self, xid, args):
+        """Serialize a complete call message with the residual marshaler."""
+        module = self._marshal_module
+        buffer = sr.fresh_buffer(self.bufsize)
+        clnt = module.new_struct("CLIENT")
+        clnt.cl_prog = self.pipeline.prog_number
+        clnt.cl_vers = self.pipeline.vers_number
+        arg_obj = sr.to_compiled(
+            self.pipeline.interface, self.arg_struct, module, args
+        )
+        values = {
+            "clnt": clnt,
+            "xid": xid & 0xFFFFFFFF,
+            "argsp": arg_obj,
+            "outbuf": sr.buffer_cursor(buffer),
+            "outsize": self.bufsize,
+        }
+        for field, length in self._arg_lens.items():
+            values[f"expected_{field}_len"] = length
+        outlen = module.call(
+            self._marshal_entry,
+            *[values[name] for name in self._marshal_params],
+        )
+        if outlen == 0:
+            raise XdrError(
+                f"specialized marshaler failed for proc {self.proc.name}"
+            )
+        return bytes(buffer.data[:outlen])
+
+    def parse_reply(self, data, xid):
+        """Decode a reply; falls back to the generic path off the fast
+        shape.  Returns (matched, value) like RpcClient.parse_reply."""
+        if len(data) == self.expected_reply:
+            module = self._recv_module
+            buffer = sr.fresh_buffer(data)
+            res_obj = module.new_struct(self.ret_struct.name)
+            values = {
+                "inbuf": sr.buffer_cursor(buffer),
+                "inlen": len(data),
+                "xid": xid & 0xFFFFFFFF,
+                "resp": res_obj,
+            }
+            for field, length in self._res_lens.items():
+                values[f"expected_{field}_len"] = length
+            ok = module.call(
+                self._recv_entry,
+                *[values[name] for name in self._recv_params],
+            )
+            if ok:
+                return True, sr.from_compiled(
+                    self.pipeline.interface,
+                    self.ret_struct,
+                    res_obj,
+                    factory=self._stub_ret_class,
+                )
+        # Generic fallback: classify stale xids and protocol errors.
+        stream = XdrMemStream(bytearray(data), XdrOp.DECODE)
+        reply = decode_reply_header(stream)
+        if reply.xid != (xid & 0xFFFFFFFF):
+            return False, None
+        raise_for_reply(reply)
+        return True, self._generic_ret_filter(stream, None)
+
+    def install(self, client):
+        """Attach these codecs to an RpcClient for this procedure."""
+        client.install_codec(
+            self.proc.number, self.build_request, self.parse_reply
+        )
+        return client
+
+
+class ServerSpecialization:
+    """A compiled specialized dispatcher, duck-typed as a registry for
+    :class:`~repro.rpc.svc_udp.UdpServer` (it only needs
+    ``dispatch_bytes``)."""
+
+    def __init__(self, pipeline, handle_result, bufsize, fallback=None):
+        self.pipeline = pipeline
+        self.bufsize = bufsize
+        self.fallback = fallback
+        self.result = handle_result
+        self._module = compile_program(handle_result.program)
+        self._params = [n for _t, n in handle_result.residual_params]
+        self._entry = handle_result.entry_name
+        self.fast_path_hits = 0
+        self.fallback_hits = 0
+
+    def dispatch_bytes(self, data):
+        in_buffer = sr.fresh_buffer(data)
+        out_buffer = sr.fresh_buffer(self.bufsize)
+        values = {
+            "inbuf": sr.buffer_cursor(in_buffer),
+            "inlen": len(data),
+            "outbuf": sr.buffer_cursor(out_buffer),
+            "outsize": self.bufsize,
+        }
+        outlen = self._module.call(
+            self._entry, *[values[name] for name in self._params]
+        )
+        if outlen:
+            self.fast_path_hits += 1
+            return bytes(out_buffer.data[:outlen])
+        if self.fallback is not None:
+            self.fallback_hits += 1
+            return self.fallback.dispatch_bytes(data)
+        return None
+
+
+class SpecializationPipeline:
+    """Front door: one pipeline per interface (and program version)."""
+
+    def __init__(self, idl_source, impl_sources=None, options=None,
+                 program=None, version=None):
+        from repro.rpcgen.idl_parser import parse_idl
+
+        self.interface = parse_idl(idl_source)
+        self.impl_sources = impl_sources
+        self.options = options
+        self.minic_source = generate_minic(self.interface, impl_sources)
+        self.program_ast = parse_program(self.minic_source)
+        self.typeinfo = typecheck_program(self.program_ast)
+        self.stubs = load_python(self.interface, "pipeline_stubs")
+        self.idl_program = self._select_program(program)
+        self.idl_version = self._select_version(version)
+        self._gen = MiniCGenerator(self.interface)
+
+    def _select_program(self, name):
+        programs = self.interface.programs
+        if not programs:
+            raise IdlError("interface declares no program")
+        if name is None:
+            return programs[0]
+        for program in programs:
+            if program.name == name:
+                return program
+        raise IdlError(f"no program named {name!r}")
+
+    def _select_version(self, number):
+        versions = self.idl_program.versions
+        if number is None:
+            return versions[0]
+        for version in versions:
+            if version.number == number:
+                return version
+        raise IdlError(f"no version {number!r}")
+
+    @property
+    def prog_number(self):
+        return self.idl_program.number
+
+    @property
+    def vers_number(self):
+        return self.idl_version.number
+
+    def find_proc(self, name):
+        for proc in self.idl_version.procs:
+            if proc.name == name:
+                return proc
+        raise IdlError(f"no procedure named {name!r}")
+
+    def _struct_for(self, type_ref, where):
+        resolved = self.interface.resolve(type_ref)
+        if isinstance(resolved, idl.Named):
+            return self.interface.struct(resolved.name)
+        raise IdlError(f"{where}: MiniC pipeline needs struct types")
+
+    def _length_assumptions(self, struct, lens):
+        """Normalize/validate the assumed bounded-array lengths."""
+        expected = set(self._gen.var_fields(struct))
+        lens = dict(lens or {})
+        missing = expected - set(lens)
+        if missing:
+            raise IdlError(
+                f"missing assumed lengths for bounded arrays of"
+                f" {struct.name}: {sorted(missing)}"
+            )
+        extra = set(lens) - expected
+        if extra:
+            raise IdlError(f"unknown bounded arrays: {sorted(extra)}")
+        return lens
+
+    # -- client ------------------------------------------------------------
+
+    def specialize_client(self, proc_name, arg_lens=None, res_lens=None,
+                          bufsize=8800):
+        """Specialize the marshal and receive paths of one procedure.
+
+        ``arg_lens``/``res_lens`` map bounded-array field names to the
+        assumed element counts (the invariants of the workload)."""
+        proc = self.find_proc(proc_name)
+        arg_struct = self._struct_for(proc.arg, proc.name)
+        ret_struct = self._struct_for(proc.ret, proc.name)
+        arg_lens = self._length_assumptions(arg_struct, arg_lens)
+        res_lens = self._length_assumptions(ret_struct, res_lens)
+        lname = proc.name.lower()
+        marshal_assumptions = {
+            "clnt": PtrTo(
+                StructOf(
+                    cl_prog=Known(self.prog_number),
+                    cl_vers=Known(self.vers_number),
+                )
+            ),
+            "xid": Dyn(),
+            "argsp": PtrTo(
+                StructOf(
+                    {f"{f}_len": Known(n) for f, n in arg_lens.items()}
+                )
+            ),
+            "outbuf": DynPtr(),
+            "outsize": Known(bufsize),
+        }
+        for field, length in arg_lens.items():
+            marshal_assumptions[f"expected_{field}_len"] = Known(length)
+        marshal_result = specialize(
+            self.program_ast,
+            f"{lname}_marshal",
+            marshal_assumptions,
+            options=self.options,
+            typeinfo=self.typeinfo,
+        )
+        expected_reply = reply_size(self.interface, ret_struct, res_lens)
+        recv_assumptions = {
+            "inbuf": DynPtr(),
+            "inlen": Known(expected_reply),
+            "xid": Dyn(),
+            "resp": PtrTo(StructOf()),
+        }
+        for field, length in res_lens.items():
+            recv_assumptions[f"expected_{field}_len"] = Known(length)
+        recv_result = specialize(
+            self.program_ast,
+            f"{lname}_recv",
+            recv_assumptions,
+            options=self.options,
+            typeinfo=self.typeinfo,
+        )
+        return ClientSpecialization(
+            self, proc, arg_struct, ret_struct, arg_lens, res_lens, bufsize,
+            marshal_result, recv_result,
+        )
+
+    # -- server -------------------------------------------------------------
+
+    def specialize_server(self, hot_proc, arg_lens=None, res_lens=None,
+                          bufsize=8800, fallback=None):
+        """Specialize the server dispatch path for the expected workload
+        (``hot_proc`` with the given array lengths); other requests take
+        the generic residual branch or the optional ``fallback``
+        registry."""
+        if self.impl_sources is None:
+            raise IdlError(
+                "server specialization needs MiniC impl_sources for the"
+                " procedure bodies"
+            )
+        proc = self.find_proc(hot_proc)
+        arg_struct = self._struct_for(proc.arg, proc.name)
+        ret_struct = self._struct_for(proc.ret, proc.name)
+        arg_lens = self._length_assumptions(arg_struct, arg_lens)
+        res_lens = self._length_assumptions(ret_struct, res_lens)
+        expected_request = request_size(self.interface, arg_struct, arg_lens)
+        suffix = f"{self.idl_program.name.lower()}_{self.vers_number}"
+        assumptions = {
+            "inbuf": DynPtr(),
+            "inlen": Dyn(),
+            "outbuf": DynPtr(),
+            "outsize": Known(bufsize),
+            "expected_inlen": Known(expected_request),
+        }
+        for version_proc in self.idl_version.procs:
+            vp_name = version_proc.name.lower()
+            vp_arg = self._struct_for(version_proc.arg, version_proc.name)
+            vp_ret = self._struct_for(version_proc.ret, version_proc.name)
+            for field in self._gen.var_fields(vp_arg):
+                length = arg_lens.get(field, 0) if version_proc is proc else 0
+                assumptions[f"{vp_name}_expected_{field}_len"] = Known(length)
+            for field in self._gen.var_fields(vp_ret):
+                length = res_lens.get(field, 0) if version_proc is proc else 0
+                assumptions[f"{vp_name}_expected_{field}_len_res"] = Known(
+                    length
+                )
+        handle_result = specialize(
+            self.program_ast,
+            f"svc_handle_{suffix}",
+            assumptions,
+            options=self.options,
+            typeinfo=self.typeinfo,
+        )
+        return ServerSpecialization(self, handle_result, bufsize, fallback)

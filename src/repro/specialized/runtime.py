@@ -1,0 +1,87 @@
+"""Runtime glue between Python-land values and compiled residual code.
+
+Compiled residual programs (from :mod:`repro.minic.compile_py`) operate
+on :mod:`repro.minic.pyruntime` values: generated struct classes, plain
+lists for arrays, :class:`~repro.minic.pyruntime.PyBuffer` cursors.
+These converters move data between those and the Python stub structs
+(or dict/attribute-style values) the application uses.
+"""
+
+from repro.errors import IdlError
+from repro.minic import pyruntime as rt
+from repro.rpcgen import idl_ast as idl
+
+
+def _get(value, name):
+    if isinstance(value, dict):
+        return value[name]
+    return getattr(value, name)
+
+
+def to_compiled(interface, struct_def, module, value):
+    """Build a compiled-module struct instance from a Python value."""
+    obj = module.new_struct(struct_def.name)
+    for field in struct_def.fields:
+        resolved = interface.resolve(field.type)
+        if isinstance(resolved, idl.Prim):
+            setattr(obj, field.name, int(_get(value, field.name)))
+        elif isinstance(resolved, idl.FixedArray):
+            items = list(_get(value, field.name))
+            if len(items) != resolved.size:
+                raise IdlError(
+                    f"{struct_def.name}.{field.name}: expected"
+                    f" {resolved.size} items, got {len(items)}"
+                )
+            getattr(obj, field.name)[:] = [int(i) for i in items]
+        elif isinstance(resolved, idl.VarArray):
+            items = list(_get(value, field.name))
+            if len(items) > resolved.bound:
+                raise IdlError(
+                    f"{struct_def.name}.{field.name}: {len(items)} items"
+                    f" exceed bound {resolved.bound}"
+                )
+            setattr(obj, f"{field.name}_len", len(items))
+            backing = getattr(obj, field.name)
+            backing[:len(items)] = [int(i) for i in items]
+        elif isinstance(resolved, idl.Named):
+            nested_def = interface.struct(resolved.name)
+            nested = to_compiled(
+                interface, nested_def, module, _get(value, field.name)
+            )
+            setattr(obj, field.name, nested)
+        else:
+            raise IdlError(f"unsupported field type {resolved!r}")
+    return obj
+
+
+def from_compiled(interface, struct_def, obj, factory=None):
+    """Extract a plain-dict (or ``factory``-built) value from a compiled
+    struct instance."""
+    result = {}
+    for field in struct_def.fields:
+        resolved = interface.resolve(field.type)
+        if isinstance(resolved, idl.Prim):
+            result[field.name] = getattr(obj, field.name)
+        elif isinstance(resolved, idl.FixedArray):
+            result[field.name] = list(getattr(obj, field.name))
+        elif isinstance(resolved, idl.VarArray):
+            length = getattr(obj, f"{field.name}_len")
+            result[field.name] = list(getattr(obj, field.name)[:length])
+        elif isinstance(resolved, idl.Named):
+            nested_def = interface.struct(resolved.name)
+            result[field.name] = from_compiled(
+                interface, nested_def, getattr(obj, field.name)
+            )
+        else:
+            raise IdlError(f"unsupported field type {resolved!r}")
+    if factory is not None:
+        return factory(**result)
+    return result
+
+
+def fresh_buffer(size):
+    return rt.PyBuffer(size)
+
+
+def buffer_cursor(buffer, offset=0):
+    return rt.BufPtr(buffer, offset, 1, True)

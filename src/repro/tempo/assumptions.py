@@ -1,0 +1,78 @@
+"""Binding-time assumptions: the user-facing declaration of known inputs.
+
+This is the moral equivalent of Tempo's binding-time signature files:
+for each entry-point parameter the user states what is known before run
+time.  Examples::
+
+    specialize(program, "xdr_pair", {
+        "xdrs": PtrTo(StructOf(
+            x_op=Known(XDR_ENCODE),
+            x_handy=Known(400),
+            x_private=Dyn(),
+            x_base=Dyn(),
+        )),
+        "objp": PtrTo(StructOf(int1=Dyn(), int2=Dyn())),
+    })
+
+``Known(v)`` — the value is available at specialization time.
+``Dyn()`` — the value is a runtime input (stays a residual parameter).
+``DynPtr()`` — an opaque runtime pointer (e.g. an I/O buffer address).
+``PtrTo(spec)`` — a pointer to described storage (struct/array/scalar).
+``StructOf(**fields)`` — a struct with per-field binding times
+(fields omitted from the mapping default to ``Dyn()``).
+``ArrayOf(length, elem=Dyn())`` — an array of known length; element
+binding time is uniform (the marshaling arrays of the paper are
+dynamic-content/known-length).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Known:
+    """A value known at specialization time (an int for scalars)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Dyn:
+    """A runtime value; becomes (part of) the residual input."""
+
+
+@dataclass(frozen=True)
+class DynPtr:
+    """An opaque runtime pointer (buffer addresses, etc.)."""
+
+
+@dataclass(frozen=True)
+class PtrTo:
+    """A pointer to storage described by ``pointee``."""
+
+    pointee: object
+
+
+@dataclass(frozen=True)
+class StructOf:
+    """Per-field binding times; omitted fields default to ``Dyn()``."""
+
+    fields: dict = field(default_factory=dict)
+
+    def __init__(self, fields=None, **kwargs):
+        merged = dict(fields or {})
+        merged.update(kwargs)
+        object.__setattr__(self, "fields", merged)
+
+    def spec_for(self, name):
+        return self.fields.get(name, Dyn())
+
+    def __hash__(self):
+        return hash(tuple(sorted(self.fields.items(), key=lambda kv: kv[0])))
+
+
+@dataclass(frozen=True)
+class ArrayOf:
+    """An array of ``length`` elements with uniform element binding time."""
+
+    length: int
+    elem: object = Dyn()

@@ -1,0 +1,667 @@
+"""Offline binding-time analysis (BTA).
+
+Tempo is an *offline* partial evaluator: a binding-time analysis first
+divides the program into static and dynamic parts (which the UI shows in
+two colors, §6.1); the specializer then executes the static parts.  The
+engine in :mod:`repro.tempo.specializer` is online (it discovers binding
+times while specializing), which is strictly more precise; this module
+provides the offline view:
+
+* it computes binding times *without* concrete values, from the same
+  assumption declarations, so a user can inspect what will specialize
+  before running the (potentially expensive) specialization;
+* it documents the congruence rules, including the paper's refinements:
+  per-field binding times on structures, flow-sensitive environments
+  with joins at control merges, polyvariant (per call signature)
+  function analysis, and *static returns* (a function's return binding
+  time is computed from its return expressions, not poisoned by dynamic
+  control);
+* the test suite cross-validates it against the online engine: anything
+  BTA calls static, the specializer also evaluates statically.
+
+Abstract domain: ``S < D`` for scalars; pointers carry abstract objects
+with per-field/element binding times (the partially-static structures
+refinement).  Loops and recursive call chains run to fixpoint — the
+lattice is finite, so termination is structural.
+"""
+
+import itertools
+
+from repro.errors import BindingTimeError
+from repro.minic import ast
+from repro.minic import builtins
+from repro.minic import types as ctypes
+from repro.minic.interp import _address_taken_names
+from repro.tempo.assumptions import ArrayOf, Dyn, DynPtr, Known, PtrTo, StructOf
+
+S, D = "S", "D"
+
+_obj_ids = itertools.count(1)
+
+
+def _join(a, b):
+    return D if D in (a, b) else S
+
+
+class AbsStruct:
+    """Abstract struct instance: one binding time per field."""
+
+    __slots__ = ("oid", "stype", "fields")
+
+    def __init__(self, stype):
+        self.oid = next(_obj_ids)
+        self.stype = stype
+        #: field name -> S/D or AbsPtr for aggregate fields
+        self.fields = {}
+
+    def __repr__(self):
+        return f"AbsStruct(#{self.oid} {self.stype.name})"
+
+
+class AbsArray:
+    """Abstract array: a single summary binding time for all elements."""
+
+    __slots__ = ("oid", "atype", "elems")
+
+    def __init__(self, atype, elems=S):
+        self.oid = next(_obj_ids)
+        self.atype = atype
+        self.elems = elems
+
+    def __repr__(self):
+        return f"AbsArray(#{self.oid} {self.atype})"
+
+
+class AbsCell:
+    """Abstract scalar cell (address-taken locals, &x targets)."""
+
+    __slots__ = ("oid", "bt")
+
+    def __init__(self, bt=S):
+        self.oid = next(_obj_ids)
+        self.bt = bt
+
+
+class AbsPtr:
+    """A *static* pointer to an abstract object.  A dynamic pointer is
+    just the scalar binding time D."""
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj):
+        self.obj = obj
+
+    def __repr__(self):
+        return f"AbsPtr({self.obj!r})"
+
+
+def _value_join(a, b):
+    """Join two abstract values."""
+    if isinstance(a, tuple) and a and a[0] == "cell":
+        if isinstance(b, tuple) and b and b[0] == "cell" and b[1] is a[1]:
+            return a
+        # A cell binding joined against anything else: poison the cell
+        # and fall back to a plain dynamic scalar.
+        a[1].bt = D
+        return D
+    if isinstance(b, tuple) and b and b[0] == "cell":
+        b[1].bt = D
+        return D
+    if isinstance(a, AbsPtr) and isinstance(b, AbsPtr):
+        if a.obj is b.obj:
+            return a
+        # Distinct targets: widen — conservatively dynamic pointer, and
+        # both targets become dynamic (they may alias at run time).
+        _poison(a.obj)
+        _poison(b.obj)
+        return D
+    if isinstance(a, AbsPtr) or isinstance(b, AbsPtr):
+        pointer = a if isinstance(a, AbsPtr) else b
+        other = b if isinstance(a, AbsPtr) else a
+        if other == D:
+            _poison(pointer.obj)
+            return D
+        return pointer
+    return _join(a, b)
+
+
+def _poison(obj):
+    """Make every part of an abstract object dynamic."""
+    if isinstance(obj, AbsStruct):
+        for fname, value in list(obj.fields.items()):
+            if isinstance(value, AbsPtr):
+                _poison(value.obj)
+            else:
+                obj.fields[fname] = D
+        for fname, _ftype in obj.stype.fields:
+            obj.fields.setdefault(fname, D)
+    elif isinstance(obj, AbsArray):
+        obj.elems = D
+    elif isinstance(obj, AbsCell):
+        obj.bt = D
+
+
+class _Env:
+    """Flow-sensitive variable environment (a scope chain)."""
+
+    def __init__(self, parent=None):
+        self.vars = {}
+        self.parent = parent
+
+    def lookup(self, name):
+        env = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise BindingTimeError(f"undeclared variable {name!r}")
+
+    def assign(self, name, value):
+        env = self
+        while env is not None:
+            if name in env.vars:
+                env.vars[name] = value
+                return
+            env = env.parent
+        raise BindingTimeError(f"assignment to undeclared {name!r}")
+
+    def declare(self, name, value):
+        self.vars[name] = value
+
+    def snapshot(self):
+        """Flatten to {id(scope): dict} pairs for joining."""
+        chain = []
+        env = self
+        while env is not None:
+            chain.append(env)
+            env = env.parent
+        return [(env, dict(env.vars)) for env in chain]
+
+    @staticmethod
+    def restore(snapshot):
+        for env, saved in snapshot:
+            env.vars = dict(saved)
+
+    @staticmethod
+    def join_into(snap_a, snap_b):
+        """Write join(a, b) into the live scopes of snapshot a."""
+        for (env, vars_a), (_env_b, vars_b) in zip(snap_a, snap_b):
+            merged = {}
+            for name in vars_a:
+                if name in vars_b:
+                    merged[name] = _value_join(vars_a[name], vars_b[name])
+                else:
+                    merged[name] = vars_a[name]
+            env.vars = merged
+
+
+class BtaResult:
+    """Output of :func:`analyze`."""
+
+    def __init__(self, program):
+        self.program = program
+        #: original node uid -> S/D marks (same shape the online engine
+        #: records, so the visualizer works on either)
+        self.marks = {}
+        #: (function name, signature) -> return binding time
+        self.summaries = {}
+
+    def mark(self, node, bt):
+        self.marks.setdefault(node.uid, set()).add(bt)
+
+    def is_dynamic(self, node):
+        return D in self.marks.get(node.uid, set())
+
+    def dynamic_fraction(self, func):
+        total = dynamic = 0
+        for node in ast.walk(func):
+            if node.uid in self.marks:
+                total += 1
+                if D in self.marks[node.uid]:
+                    dynamic += 1
+        return dynamic / total if total else 0.0
+
+
+class BindingTimeAnalysis:
+    def __init__(self, program, typeinfo=None):
+        from repro.minic.typecheck import typecheck_program
+
+        self.program = program
+        self.typeinfo = typeinfo or typecheck_program(program)
+        self.result = BtaResult(program)
+        #: memo: (func name, signature) -> return BT (None while in
+        #: progress: recursion widens to D)
+        self.memo = {}
+        self._taken = {}
+        self.func_stack = []
+
+    # -- signatures -------------------------------------------------------
+
+    def _signature(self, values, depth=0):
+        parts = []
+        for value in values:
+            parts.append(self._abstract_sig(value, depth))
+        return tuple(parts)
+
+    def _abstract_sig(self, value, depth):
+        if depth > 8:
+            return "deep"
+        if isinstance(value, AbsPtr):
+            obj = value.obj
+            if isinstance(obj, AbsStruct):
+                return (
+                    "s",
+                    obj.stype.name,
+                    tuple(
+                        (
+                            fname,
+                            self._abstract_sig(
+                                obj.fields.get(fname, S), depth + 1
+                            ),
+                        )
+                        for fname, _t in obj.stype.fields
+                    ),
+                )
+            if isinstance(obj, AbsArray):
+                return ("a", obj.elems)
+            return ("c", obj.bt)
+        return value
+
+    def taken(self, func):
+        if func.name not in self._taken:
+            self._taken[func.name] = _address_taken_names(func)
+        return self._taken[func.name]
+
+    # -- function analysis ---------------------------------------------------
+
+    def analyze_function(self, func, arg_values):
+        key = (func.name, self._signature(arg_values))
+        if key in self.memo:
+            cached = self.memo[key]
+            return D if cached is None else cached
+        self.memo[key] = None  # in progress: recursion sees D
+        self.func_stack.append(func)
+        env = _Env()
+        for param, value in zip(func.params, arg_values):
+            if param.name in self.taken(func) and not isinstance(
+                value, AbsPtr
+            ):
+                cell = AbsCell(value if value in (S, D) else D)
+                env.declare(param.name, ("cell", cell))
+            else:
+                env.declare(param.name, value)
+        returns = []
+        try:
+            self.stmt(func.body, _Env(env), returns)
+        finally:
+            self.func_stack.pop()
+        ret_bt = S
+        for value in returns:
+            ret_bt = _join(ret_bt, value)
+        if func.ret_type.is_void:
+            ret_bt = S
+        self.memo[key] = ret_bt
+        self.result.summaries[key] = ret_bt
+        return ret_bt
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, node, env, returns):
+        if isinstance(node, ast.Block):
+            inner = _Env(env)
+            for child in node.stmts:
+                self.stmt(child, inner, returns)
+            return
+        if isinstance(node, ast.ExprStmt):
+            self.expr(node.expr, env)
+            return
+        if isinstance(node, ast.Decl):
+            init = S
+            if node.init is not None:
+                init = self.expr(node.init, env)
+            if isinstance(node.ctype, ctypes.StructType):
+                env.declare(node.name, AbsPtr(AbsStruct(node.ctype)))
+            elif isinstance(node.ctype, ctypes.ArrayType):
+                env.declare(node.name, AbsPtr(AbsArray(node.ctype)))
+            else:
+                scalar = init if init in (S, D) else init
+                if node.name in self.taken(self.func_stack[-1]):
+                    # Address-taken locals live in (sticky) cells.
+                    bt = scalar if scalar in (S, D) else D
+                    env.declare(node.name, ("cell", AbsCell(bt)))
+                else:
+                    env.declare(node.name, scalar)
+            return
+        if isinstance(node, ast.If):
+            cond = self.expr(node.cond, env)
+            self.result.mark(node, cond if cond in (S, D) else D)
+            # Offline congruence: both branches are analyzed regardless
+            # of the condition's binding time; states join.
+            before = env.snapshot()
+            self.stmt(node.then, _Env(env), returns)
+            after_then = env.snapshot()
+            _Env.restore(before)
+            if node.other is not None:
+                self.stmt(node.other, _Env(env), returns)
+            after_else = env.snapshot()
+            _Env.join_into(after_then, after_else)
+            return
+        if isinstance(node, (ast.While, ast.For)):
+            self._loop(node, env, returns)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                value = self.expr(node.value, env)
+                returns.append(value if value in (S, D) else S)
+            return
+        if isinstance(node, (ast.Break, ast.Continue)):
+            return
+        raise BindingTimeError(f"unhandled statement {node!r}")
+
+    def _loop(self, node, env, returns):
+        if isinstance(node, ast.For):
+            inner = _Env(env)
+            if isinstance(node.init, ast.Decl):
+                self.stmt(node.init, inner, returns)
+            elif isinstance(node.init, ast.ExprStmt):
+                self.expr(node.init.expr, inner)
+            cond, body, step = node.cond, node.body, node.step
+        else:
+            inner = env
+            cond, body, step = node.cond, node.body, None
+        # Fixpoint: re-analyze the body until the environment is stable.
+        for _ in range(64):
+            before = inner.snapshot()
+            if cond is not None:
+                cond_bt = self.expr(cond, inner)
+                self.result.mark(node, cond_bt if cond_bt in (S, D) else D)
+            self.stmt(body, _Env(inner), returns)
+            if step is not None:
+                self.expr(step, inner)
+            after = inner.snapshot()
+            _Env.join_into(after, before)
+            if all(
+                dict(vars_now) == saved
+                for (env_now, vars_now), (_e, saved) in zip(
+                    inner.snapshot(), before
+                )
+            ):
+                break
+        else:
+            raise BindingTimeError("loop binding-time fixpoint diverged")
+
+    # -- expressions --------------------------------------------------------------
+
+    def expr(self, node, env):
+        value = self._expr(node, env)
+        bt = value if value in (S, D) else S  # static pointers are S
+        self.result.mark(node, bt)
+        return value
+
+    def _lookup(self, env, name):
+        value = env.lookup(name)
+        if isinstance(value, tuple) and value[0] == "cell":
+            return value[1].bt
+        return value
+
+    def _expr(self, node, env):
+        if isinstance(node, (ast.IntLit, ast.SizeOf)):
+            return S
+        if isinstance(node, ast.StrLit):
+            return D
+        if isinstance(node, ast.Var):
+            return self._lookup(env, node.name)
+        if isinstance(node, ast.Unary):
+            if node.op == "&":
+                return self._address_of(node.operand, env)
+            if node.op == "*":
+                pointer = self.expr(node.operand, env)
+                return self._deref_read(pointer)
+            return self.expr(node.operand, env)
+        if isinstance(node, ast.Binary):
+            left = self.expr(node.left, env)
+            right = self.expr(node.right, env)
+            return self._combine(left, right)
+        if isinstance(node, ast.Assign):
+            value = self.expr(node.value, env)
+            if node.op is not None:
+                current = self._read_lvalue(node.target, env)
+                value = self._combine(current, value)
+            self._write_lvalue(node.target, value, env)
+            return value
+        if isinstance(node, ast.IncDec):
+            current = self._read_lvalue(node.target, env)
+            self._write_lvalue(node.target, current, env)
+            return current
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.Member):
+            return self._member_read(node, env)
+        if isinstance(node, ast.Index):
+            base = self.expr(node.obj, env)
+            index = self.expr(node.index, env)
+            if isinstance(base, AbsPtr) and isinstance(base.obj, AbsArray):
+                if index == D and base.obj.elems == S:
+                    # A dynamic subscript forces the array dynamic.
+                    base.obj.elems = D
+                return base.obj.elems
+            return D
+        if isinstance(node, ast.Cast):
+            return self.expr(node.operand, env)
+        if isinstance(node, ast.Cond):
+            cond = self.expr(node.cond, env)
+            then = self.expr(node.then, env)
+            other = self.expr(node.other, env)
+            return self._combine(cond, self._combine(then, other))
+        raise BindingTimeError(f"unhandled expression {node!r}")
+
+    @staticmethod
+    def _combine(a, b):
+        a_bt = a if a in (S, D) else S
+        b_bt = b if b in (S, D) else S
+        return _join(a_bt, b_bt)
+
+    def _deref_read(self, pointer):
+        if isinstance(pointer, AbsPtr):
+            obj = pointer.obj
+            if isinstance(obj, AbsCell):
+                return obj.bt
+            if isinstance(obj, AbsArray):
+                return obj.elems
+            return D
+        return D
+
+    def _address_of(self, target, env):
+        if isinstance(target, ast.Var):
+            value = env.lookup(target.name)
+            if isinstance(value, tuple) and value[0] == "cell":
+                return AbsPtr(value[1])
+            if isinstance(value, AbsPtr):
+                return value
+            return D
+        if isinstance(target, ast.Member):
+            # Pointer to a field: reading/writing through it touches the
+            # field; approximate with a cell aliased to the field.
+            owner = self._member_owner(target, env)
+            if owner is not None:
+                return AbsPtr(_FieldCell(owner, target.field))
+            return D
+        if isinstance(target, ast.Index):
+            base = self.expr(target.obj, env)
+            self.expr(target.index, env)
+            if isinstance(base, AbsPtr) and isinstance(base.obj, AbsArray):
+                return AbsPtr(_ArrayCell(base.obj))
+            return D
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return self.expr(target.operand, env)
+        return D
+
+    def _member_owner(self, node, env):
+        base = self.expr(node.obj, env)
+        if isinstance(base, AbsPtr) and isinstance(base.obj, AbsStruct):
+            return base.obj
+        return None
+
+    def _member_read(self, node, env):
+        owner = self._member_owner(node, env)
+        if owner is None:
+            return D
+        ftype = owner.stype.field_type(node.field)
+        if node.field not in owner.fields:
+            if isinstance(ftype, ctypes.StructType):
+                owner.fields[node.field] = AbsPtr(AbsStruct(ftype))
+            elif isinstance(ftype, ctypes.ArrayType):
+                owner.fields[node.field] = AbsPtr(AbsArray(ftype))
+            else:
+                owner.fields[node.field] = S
+        return owner.fields[node.field]
+
+    def _read_lvalue(self, target, env):
+        if isinstance(target, ast.Var):
+            return self._lookup(env, target.name)
+        if isinstance(target, ast.Member):
+            return self._member_read(target, env)
+        if isinstance(target, ast.Index):
+            return self._expr(target, env)
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return self._deref_read(self.expr(target.operand, env))
+        raise BindingTimeError(f"not an lvalue: {target!r}")
+
+    def _write_lvalue(self, target, value, env):
+        bt = value if value in (S, D) else S
+        if isinstance(target, ast.Var):
+            current = env.lookup(target.name)
+            if isinstance(current, tuple) and current[0] == "cell":
+                # Heap-resident storage is treated sticky-monotone
+                # (classic BTA: once dynamic, dynamic) — cells are not
+                # snapshotted across branches.
+                current[1].bt = _join(current[1].bt, bt)
+            elif isinstance(value, AbsPtr):
+                env.assign(target.name, value)
+            else:
+                env.assign(target.name, bt)
+            return
+        if isinstance(target, ast.Member):
+            owner = self._member_owner(target, env)
+            if owner is not None:
+                current = owner.fields.get(target.field, S)
+                current_bt = current if current in (S, D) else S
+                owner.fields[target.field] = _join(current_bt, bt)
+            return
+        if isinstance(target, ast.Index):
+            base = self.expr(target.obj, env)
+            index = self.expr(target.index, env)
+            if isinstance(base, AbsPtr) and isinstance(base.obj, AbsArray):
+                # Array summary: join (a single D element poisons all).
+                base.obj.elems = _join(base.obj.elems, _join(bt, index))
+            return
+        if isinstance(target, ast.Unary) and target.op == "*":
+            pointer = self.expr(target.operand, env)
+            if isinstance(pointer, AbsPtr):
+                obj = pointer.obj
+                if isinstance(obj, AbsCell):
+                    obj.bt = _join(obj.bt, bt)
+                elif isinstance(obj, AbsArray):
+                    obj.elems = _join(obj.elems, bt)
+                elif isinstance(obj, _FieldCell):
+                    current = obj.owner.fields.get(obj.field, S)
+                    current_bt = current if current in (S, D) else S
+                    obj.owner.fields[obj.field] = _join(current_bt, bt)
+                elif isinstance(obj, _ArrayCell):
+                    obj.array.elems = _join(obj.array.elems, bt)
+            return
+        raise BindingTimeError(f"not an lvalue: {target!r}")
+
+    def _call(self, node, env):
+        values = [self.expr(arg, env) for arg in node.args]
+        if builtins.is_builtin(node.name):
+            if node.name in ("net_sendrecv",):
+                return D
+            if node.name in ("bzero", "memcpy", "abort"):
+                return S
+            return self._combine(
+                values[0] if values else S, S
+            )
+        func = self.program.func(node.name)
+        return self.analyze_function(func, values)
+
+
+class _FieldCell:
+    """Alias handle: a pointer to one struct field."""
+
+    __slots__ = ("owner", "field")
+
+    def __init__(self, owner, field):
+        self.owner = owner
+        self.field = field
+
+    @property
+    def bt(self):
+        return self.owner.fields.get(self.field, S)
+
+
+class _ArrayCell:
+    """Alias handle: a pointer into an array's element summary."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array):
+        self.array = array
+
+    @property
+    def bt(self):
+        return self.array.elems
+
+
+def _bind_assumption(spec, param):
+    if isinstance(spec, Known):
+        return S
+    if isinstance(spec, (Dyn, DynPtr)):
+        return D
+    if isinstance(spec, PtrTo):
+        pointee = spec.pointee
+        if isinstance(pointee, StructOf):
+            stype = param.ctype.base
+            obj = AbsStruct(stype)
+            for fname, ftype in stype.fields:
+                fspec = pointee.spec_for(fname)
+                if isinstance(fspec, Known):
+                    obj.fields[fname] = S
+                elif isinstance(fspec, (Dyn, DynPtr)):
+                    obj.fields[fname] = D
+                elif isinstance(fspec, ArrayOf):
+                    array = AbsArray(ftype)
+                    array.elems = (
+                        S if isinstance(fspec.elem, Known) else D
+                    )
+                    obj.fields[fname] = AbsPtr(array)
+                else:
+                    obj.fields[fname] = D
+            return AbsPtr(obj)
+        if isinstance(pointee, ArrayOf):
+            array = AbsArray(
+                ctypes.ArrayType(param.ctype.base, pointee.length)
+            )
+            array.elems = S if isinstance(pointee.elem, Known) else D
+            return AbsPtr(array)
+        if isinstance(pointee, Known):
+            return AbsPtr(AbsCell(S))
+        if isinstance(pointee, Dyn):
+            return AbsPtr(AbsCell(D))
+    raise BindingTimeError(f"unsupported assumption {spec!r}")
+
+
+def analyze(program, entry, assumptions, typeinfo=None):
+    """Run the offline BTA; returns a :class:`BtaResult`.
+
+    Takes the same assumption mapping as
+    :func:`repro.tempo.driver.specialize`.
+    """
+    engine = BindingTimeAnalysis(program, typeinfo)
+    func = program.func(entry)
+    values = []
+    for param in func.params:
+        spec = assumptions.get(param.name, Dyn())
+        values.append(_bind_assumption(spec, param))
+    engine.analyze_function(func, values)
+    return engine.result

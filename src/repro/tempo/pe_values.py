@@ -1,0 +1,546 @@
+"""Partial-evaluation value domain for the Tempo specializer.
+
+A *PE value* is either
+
+* :class:`Static` — fully known at specialization time: an ``int``, the
+  null pointer, or a :class:`PEPtr` referencing a specialization-time
+  storage object; or
+* :class:`Dynamic` — a runtime value represented by a *template* residual
+  expression.  Templates are cloned on every lift so residual AST nodes
+  are never shared (node identity drives the simulator's code layout).
+
+Storage objects (registered in a :class:`Store` so branch specialization
+can snapshot and merge program state):
+
+* :class:`PEStruct` — a struct instance with per-field PE values — the
+  paper's **partially-static structures**;
+* :class:`PEArray` — an array with per-element PE values;
+* :class:`PELocal` — an address-taken scalar local.
+
+Each storage object may carry a *residual root* describing how the
+runtime counterpart is named in the residual program (a parameter, a
+materialized local, or a sub-object of another rooted object).
+"""
+
+import itertools
+
+from repro.errors import SpecializationError
+from repro.minic import ast
+from repro.minic import types as ct
+
+_obj_ids = itertools.count(1)
+
+
+def clone_expr(node):
+    """Deep-copy an expression AST with fresh node uids."""
+    if isinstance(node, ast.IntLit):
+        return ast.IntLit(node.value, line=node.line)
+    if isinstance(node, ast.StrLit):
+        return ast.StrLit(node.value, line=node.line)
+    if isinstance(node, ast.Var):
+        return ast.Var(node.name, line=node.line)
+    if isinstance(node, ast.Unary):
+        return ast.Unary(node.op, clone_expr(node.operand), line=node.line)
+    if isinstance(node, ast.Binary):
+        return ast.Binary(
+            node.op, clone_expr(node.left), clone_expr(node.right),
+            line=node.line,
+        )
+    if isinstance(node, ast.Assign):
+        return ast.Assign(
+            node.op, clone_expr(node.target), clone_expr(node.value),
+            line=node.line,
+        )
+    if isinstance(node, ast.IncDec):
+        return ast.IncDec(
+            node.op, clone_expr(node.target), node.prefix, line=node.line
+        )
+    if isinstance(node, ast.Call):
+        return ast.Call(
+            node.name, [clone_expr(a) for a in node.args], line=node.line
+        )
+    if isinstance(node, ast.Member):
+        return ast.Member(
+            clone_expr(node.obj), node.field, node.arrow, line=node.line
+        )
+    if isinstance(node, ast.Index):
+        return ast.Index(
+            clone_expr(node.obj), clone_expr(node.index), line=node.line
+        )
+    if isinstance(node, ast.Cast):
+        return ast.Cast(node.ctype, clone_expr(node.operand), line=node.line)
+    if isinstance(node, ast.Cond):
+        return ast.Cond(
+            clone_expr(node.cond),
+            clone_expr(node.then),
+            clone_expr(node.other),
+            line=node.line,
+        )
+    if isinstance(node, ast.SizeOf):
+        return ast.SizeOf(node.ctype, line=node.line)
+    raise SpecializationError(f"cannot clone expression {node!r}")
+
+
+class _Uninit:
+    """Sentinel for declared-but-unassigned storage."""
+
+    def __repr__(self):
+        return "<uninit>"
+
+
+UNINIT = _Uninit()
+
+
+class PEVal:
+    """Base class for partial-evaluation values."""
+
+    __slots__ = ()
+
+    @property
+    def is_static(self):
+        return isinstance(self, Static)
+
+
+class Static(PEVal):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"Static({self.value!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Static) and static_equal(
+            self.value, other.value
+        )
+
+    def __hash__(self):
+        return hash(repr(self.value))
+
+
+class Dynamic(PEVal):
+    """A runtime value.  ``template`` is a residual expression AST that
+    is cloned at every use (see :func:`lift`)."""
+
+    __slots__ = ("template",)
+
+    def __init__(self, template):
+        self.template = template
+
+    def __repr__(self):
+        from repro.minic.pretty import pretty_expr
+
+        return f"Dynamic({pretty_expr(self.template)})"
+
+
+def static_equal(left, right):
+    """Equality on static values (ints and pointers)."""
+    if isinstance(left, PEPtr) or isinstance(right, PEPtr):
+        return isinstance(left, PEPtr) and isinstance(right, PEPtr) and (
+            left.key() == right.key()
+        )
+    if (left is PE_NULL) != (right is PE_NULL):
+        return False
+    return left == right
+
+
+# -- pointers ---------------------------------------------------------------
+
+
+class PEPtr:
+    """Base class for static pointers into the PE store."""
+
+    __slots__ = ()
+
+    def key(self):
+        raise NotImplementedError
+
+
+class NullValue:
+    def __repr__(self):
+        return "PE_NULL"
+
+
+PE_NULL = NullValue()
+
+
+class StructPtr(PEPtr):
+    __slots__ = ("sid",)
+
+    def __init__(self, sid):
+        self.sid = sid
+
+    def key(self):
+        return ("sp", self.sid)
+
+    def __repr__(self):
+        return f"StructPtr(#{self.sid})"
+
+
+class FieldPtr(PEPtr):
+    """Pointer to one scalar field of a PEStruct (``&p->f``)."""
+
+    __slots__ = ("sid", "field")
+
+    def __init__(self, sid, field):
+        self.sid = sid
+        self.field = field
+
+    def key(self):
+        return ("fp", self.sid, self.field)
+
+    def __repr__(self):
+        return f"FieldPtr(#{self.sid}.{self.field})"
+
+
+class ElemPtr(PEPtr):
+    """Pointer to element ``index`` of a PEArray."""
+
+    __slots__ = ("aid", "index")
+
+    def __init__(self, aid, index):
+        self.aid = aid
+        self.index = index
+
+    def key(self):
+        return ("ep", self.aid, self.index)
+
+    def __repr__(self):
+        return f"ElemPtr(#{self.aid}[{self.index}])"
+
+
+class LocalPtr(PEPtr):
+    """Pointer to an address-taken scalar local (``&x``)."""
+
+    __slots__ = ("lid",)
+
+    def __init__(self, lid):
+        self.lid = lid
+
+    def key(self):
+        return ("lp", self.lid)
+
+    def __repr__(self):
+        return f"LocalPtr(#{self.lid})"
+
+
+# -- residual roots -----------------------------------------------------------
+
+
+class Root:
+    """How a store object is named in the residual program.
+
+    Roots are resolved *through the store* (see :meth:`Store.object_expr`)
+    so that re-rooting a parent object — as outlined-function
+    specialization does when it rebinds a caller object to a callee
+    parameter — is automatically seen by nested sub-objects.
+    """
+
+    __slots__ = ()
+
+
+class ParamPtrRoot(Root):
+    """The object is the pointee of residual parameter ``name``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"ParamPtrRoot({self.name!r})"
+
+
+class LocalRoot(Root):
+    """The object is residual local variable ``name``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"LocalRoot({self.name!r})"
+
+
+class SubRoot(Root):
+    """The object is a field/element of another store object."""
+
+    __slots__ = ("parent_oid", "field", "index")
+
+    def __init__(self, parent_oid, field=None, index=None):
+        self.parent_oid = parent_oid
+        self.field = field
+        self.index = index
+
+    def __repr__(self):
+        part = self.field if self.field is not None else f"[{self.index}]"
+        return f"SubRoot(#{self.parent_oid}.{part})"
+
+
+# -- store objects --------------------------------------------------------------
+
+
+class StoreObject:
+    __slots__ = ("oid", "root")
+
+    def clone(self):
+        raise NotImplementedError
+
+
+class PEStruct(StoreObject):
+    __slots__ = ("stype", "fields")
+
+    def __init__(self, stype, root=None, oid=None):
+        self.oid = oid if oid is not None else next(_obj_ids)
+        self.stype = stype
+        self.root = root
+        self.fields = {}
+
+    def field_type(self, name):
+        return self.stype.field_type(name)
+
+    def clone(self):
+        copy = PEStruct(self.stype, self.root, oid=self.oid)
+        copy.fields = dict(self.fields)
+        return copy
+
+    def __repr__(self):
+        return f"PEStruct(#{self.oid} {self.stype.name})"
+
+
+class PEArray(StoreObject):
+    __slots__ = ("atype", "elems", "static_count")
+
+    def __init__(self, atype, root=None, oid=None):
+        self.oid = oid if oid is not None else next(_obj_ids)
+        self.atype = atype
+        self.root = root
+        self.elems = {}
+        #: number of elements currently holding a Static value; keeping
+        #: this incrementally makes signature computation O(1) for the
+        #: common all-dynamic marshaling arrays (it would otherwise be a
+        #: full scan per call, quadratic over an unrolled loop).
+        self.static_count = 0
+
+    @property
+    def length(self):
+        return self.atype.length
+
+    def set_elem(self, index, value):
+        old = self.elems.get(index)
+        self.static_count += int(isinstance(value, Static)) - int(
+            isinstance(old, Static)
+        )
+        self.elems[index] = value
+
+    def clone(self):
+        copy = PEArray(self.atype, self.root, oid=self.oid)
+        copy.elems = dict(self.elems)
+        copy.static_count = self.static_count
+        return copy
+
+    def __repr__(self):
+        return f"PEArray(#{self.oid} {self.atype})"
+
+
+class PELocal(StoreObject):
+    """An address-taken scalar local: one PE value cell."""
+
+    __slots__ = ("ctype", "value", "name")
+
+    def __init__(self, ctype, value, name, root=None, oid=None):
+        self.oid = oid if oid is not None else next(_obj_ids)
+        self.ctype = ctype
+        self.value = value
+        self.name = name
+        self.root = root
+
+    def clone(self):
+        copy = PELocal(self.ctype, self.value, self.name, self.root,
+                       oid=self.oid)
+        return copy
+
+    def __repr__(self):
+        return f"PELocal(#{self.oid} {self.name})"
+
+
+class Store:
+    """All specialization-time storage objects, keyed by object id.
+
+    Snapshots are copy-on-write: :meth:`clone` shares the object
+    instances and marks every oid *shared* in both stores; mutators must
+    go through :meth:`mutable`, which clones a shared object on first
+    write.  This keeps branch/trial snapshots O(#objects) instead of
+    O(total state), which is what makes specializing a 2000-element
+    unrolled marshaling loop linear.
+    """
+
+    def __init__(self):
+        self.objects = {}
+        self.shared = set()
+
+    def add(self, obj):
+        self.objects[obj.oid] = obj
+        self.shared.discard(obj.oid)
+        return obj
+
+    def get(self, oid):
+        try:
+            return self.objects[oid]
+        except KeyError:
+            raise SpecializationError(f"dangling store object #{oid}") from None
+
+    def mutable(self, oid):
+        """Fetch an object for mutation, un-sharing it if needed."""
+        obj = self.get(oid)
+        if oid in self.shared:
+            obj = obj.clone()
+            self.objects[oid] = obj
+            self.shared.discard(oid)
+        return obj
+
+    def assign_from(self, other):
+        """Adopt another store's state (copy-on-write both ways)."""
+        self.objects = dict(other.objects)
+        self.shared = set(other.objects)
+        other.shared = set(other.objects)
+
+    def struct(self, pointer):
+        obj = self.get(pointer.sid)
+        if not isinstance(obj, PEStruct):
+            raise SpecializationError(f"#{pointer.sid} is not a struct")
+        return obj
+
+    def array(self, aid):
+        obj = self.get(aid)
+        if not isinstance(obj, PEArray):
+            raise SpecializationError(f"#{aid} is not an array")
+        return obj
+
+    def local(self, lid):
+        obj = self.get(lid)
+        if not isinstance(obj, PELocal):
+            raise SpecializationError(f"#{lid} is not a local")
+        return obj
+
+    def clone(self):
+        copy = Store()
+        copy.objects = dict(self.objects)
+        copy.shared = set(self.objects)
+        self.shared = set(self.objects)
+        return copy
+
+    # -- residual path construction --------------------------------------
+
+    def object_expr(self, oid):
+        """Fresh residual expression denoting store object ``oid``."""
+        obj = self.get(oid)
+        root = obj.root
+        if root is None:
+            raise SpecializationError(
+                f"store object #{oid} has no residual root"
+            )
+        if isinstance(root, ParamPtrRoot):
+            if isinstance(obj, PEArray):
+                # Array/pointer duality: an array reached through a
+                # pointer parameter is indexed as ``p[i]``, not ``(*p)[i]``.
+                return ast.Var(root.name)
+            return ast.Unary("*", ast.Var(root.name))
+        if isinstance(root, LocalRoot):
+            return ast.Var(root.name)
+        if isinstance(root, SubRoot):
+            base = self.object_expr(root.parent_oid)
+            if root.field is not None:
+                return self._member(base, root.field)
+            return ast.Index(base, ast.IntLit(root.index))
+        raise SpecializationError(f"unknown root {root!r}")
+
+    @staticmethod
+    def _member(base, field):
+        # ``(*p).f`` is rendered as ``p->f``.
+        if isinstance(base, ast.Unary) and base.op == "*":
+            return ast.Member(base.operand, field, True)
+        return ast.Member(base, field, False)
+
+    def pointer_expr(self, oid):
+        """Fresh residual expression for the address of object ``oid``."""
+        obj = self.get(oid)
+        if isinstance(obj.root, ParamPtrRoot):
+            return ast.Var(obj.root.name)
+        return ast.Unary("&", self.object_expr(oid))
+
+    def member_expr(self, oid, field):
+        """Fresh residual expression for field ``field`` of struct
+        ``oid``."""
+        return self._member(self.object_expr(oid), field)
+
+    def elem_expr(self, oid, index_expr):
+        return ast.Index(self.object_expr(oid), index_expr)
+
+
+# -- binding-time signatures -----------------------------------------------------
+
+
+def value_signature(value, store, depth=0):
+    """Abstract a PE value into a hashable binding-time signature.
+
+    Signatures drive polyvariant specialization: calls whose arguments
+    have equal signatures share one residual function.  Static scalars
+    embed their value (so different static procedure numbers produce
+    different specializations, as the paper requires); pointed-to
+    storage is abstracted field by field.
+    """
+    if depth > 12:
+        return ("deep",)
+    if isinstance(value, Dynamic):
+        return ("D",)
+    concrete = value.value
+    if isinstance(concrete, NullValue):
+        return ("null",)
+    if isinstance(concrete, int):
+        return ("i", concrete)
+    if isinstance(concrete, StructPtr):
+        struct = store.struct(concrete)
+        parts = []
+        for fname, _ftype in struct.stype.fields:
+            fval = struct.fields.get(fname)
+            if fval is None:
+                rooted = struct.root is not None
+                parts.append((fname, ("D",) if rooted else ("unset",)))
+            else:
+                parts.append((fname, value_signature(fval, store, depth + 1)))
+        return ("s", struct.stype.name, tuple(parts))
+    if isinstance(concrete, FieldPtr):
+        struct = store.get(concrete.sid)
+        fval = struct.fields.get(concrete.field)
+        if fval is not None:
+            inner = value_signature(fval, store, depth + 1)
+        else:
+            inner = ("D",) if struct.root is not None else ("unset",)
+        return ("f", struct.stype.name, concrete.field, inner)
+    if isinstance(concrete, ElemPtr):
+        array = store.array(concrete.aid)
+        rooted = array.root is not None
+        if array.static_count == 0 and rooted:
+            summary = ("alldyn",)
+        elif array.static_count == 0 and not array.elems:
+            summary = ("allunset",)
+        else:
+            summary = tuple(
+                value_signature(
+                    array.elems.get(i, Dynamic(ast.IntLit(0))), store,
+                    depth + 1,
+                )
+                for i in range(array.length)
+            )
+        return ("a", array.length, concrete.index, summary)
+    if isinstance(concrete, LocalPtr):
+        local = store.local(concrete.lid)
+        if local.value is None or local.value is UNINIT:
+            inner = ("D",) if local.root is not None else ("unset",)
+        else:
+            inner = value_signature(local.value, store, depth + 1)
+        return ("l", str(local.ctype), inner)
+    raise SpecializationError(f"cannot abstract value {value!r}")

@@ -1,0 +1,322 @@
+"""Loop re-rolling: bounded unrolling as a post-pass (the paper's §5,
+Table 4).
+
+Tempo's default specialization unrolls marshaling loops completely.  For
+large arrays the unrolled code overflows the instruction cache, so the
+paper *manually* re-rolled the residual code into chunks of 250 elements
+("This transformation was done manually.  In the future, such strategy
+to control loop unrolling is planned to be introduced in Tempo.").
+
+This module implements that transformation as an automatic post-pass on
+residual programs: it detects maximal runs of structurally identical
+statements whose integer literals advance in arithmetic progression
+(the signature of an unrolled loop) and rebuilds them as a loop whose
+body contains ``factor`` copies — preserving the per-element instruction
+savings while bounding the code footprint.
+"""
+
+import itertools
+
+from repro.minic import ast
+from repro.minic import types as ctypes
+
+_counter = itertools.count(1)
+
+
+def _structural_match(left, right, diffs, counter):
+    """Match two AST nodes; differing IntLit values are recorded in
+    ``diffs`` keyed by a traversal-order position id."""
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, ast.IntLit):
+        position = counter[0]
+        counter[0] += 1
+        if left.value != right.value:
+            diffs[position] = (left.value, right.value)
+        return True
+    fields = getattr(left, "_fields", None)
+    if fields is None:
+        if isinstance(left, ast.Program):
+            return False
+        return left is right
+    for field in fields:
+        a = getattr(left, field)
+        b = getattr(right, field)
+        if isinstance(a, ast.Node):
+            if not isinstance(b, ast.Node):
+                return False
+            if not _structural_match(a, b, diffs, counter):
+                return False
+        elif isinstance(a, (list, tuple)):
+            if not isinstance(b, (list, tuple)) or len(a) != len(b):
+                return False
+            for item_a, item_b in zip(a, b):
+                if isinstance(item_a, ast.Node):
+                    if not _structural_match(item_a, item_b, diffs, counter):
+                        return False
+                elif item_a != item_b:
+                    return False
+        else:
+            if a != b:
+                return False
+    return True
+
+
+def _match_group(template_group, candidate_group):
+    """Match two equal-length statement groups; return a position->(v0,
+    v1) diff map or None."""
+    diffs = {}
+    counter = [0]
+    for template, candidate in zip(template_group, candidate_group):
+        if not _structural_match(template, candidate, diffs, counter):
+            return None
+    return diffs
+
+
+def _clone_with_substitution(node, substitution, counter):
+    """Clone a statement/expression; IntLits at positions named in
+    ``substitution`` are replaced by generated expressions."""
+    if isinstance(node, ast.IntLit):
+        position = counter[0]
+        counter[0] += 1
+        if position in substitution:
+            return substitution[position]()
+        return ast.IntLit(node.value)
+    if isinstance(node, ast.ExprStmt):
+        return ast.ExprStmt(
+            _clone_with_substitution(node.expr, substitution, counter)
+        )
+    if isinstance(node, ast.Assign):
+        return ast.Assign(
+            node.op,
+            _clone_with_substitution(node.target, substitution, counter),
+            _clone_with_substitution(node.value, substitution, counter),
+        )
+    if isinstance(node, ast.Binary):
+        return ast.Binary(
+            node.op,
+            _clone_with_substitution(node.left, substitution, counter),
+            _clone_with_substitution(node.right, substitution, counter),
+        )
+    if isinstance(node, ast.Unary):
+        return ast.Unary(
+            node.op, _clone_with_substitution(node.operand, substitution,
+                                              counter)
+        )
+    if isinstance(node, ast.Member):
+        return ast.Member(
+            _clone_with_substitution(node.obj, substitution, counter),
+            node.field,
+            node.arrow,
+        )
+    if isinstance(node, ast.Index):
+        return ast.Index(
+            _clone_with_substitution(node.obj, substitution, counter),
+            _clone_with_substitution(node.index, substitution, counter),
+        )
+    if isinstance(node, ast.Cast):
+        return ast.Cast(
+            node.ctype,
+            _clone_with_substitution(node.operand, substitution, counter),
+        )
+    if isinstance(node, ast.Call):
+        return ast.Call(
+            node.name,
+            [
+                _clone_with_substitution(arg, substitution, counter)
+                for arg in node.args
+            ],
+        )
+    if isinstance(node, ast.Var):
+        return ast.Var(node.name)
+    if isinstance(node, ast.IncDec):
+        return ast.IncDec(
+            node.op,
+            _clone_with_substitution(node.target, substitution, counter),
+            node.prefix,
+        )
+    if isinstance(node, ast.SizeOf):
+        return ast.SizeOf(node.ctype)
+    # Statements other than ExprStmt terminate a rollable run, so they
+    # never reach this cloner.
+    raise TypeError(f"cannot substitute into {node!r}")
+
+
+class RollableRun:
+    """A detected unrolled run: ``count`` iterations of ``period``
+    statements starting at ``start``, whose varying integer literals
+    advance by ``deltas``."""
+
+    def __init__(self, start, period, count, deltas, base_values):
+        self.start = start
+        self.period = period
+        self.count = count
+        self.deltas = deltas  # position -> per-iteration delta
+        self.base_values = base_values  # position -> value at iteration 0
+
+    @property
+    def end(self):
+        return self.start + self.period * self.count
+
+
+def find_runs(stmts, min_iterations=4, max_period=4):
+    """Detect maximal arithmetic-progression runs in a statement list."""
+    runs = []
+    index = 0
+    total = len(stmts)
+    while index < total:
+        best = None
+        for period in range(1, max_period + 1):
+            if index + 2 * period > total:
+                break
+            group0 = stmts[index:index + period]
+            if any(not isinstance(s, ast.ExprStmt) for s in group0):
+                continue
+            group1 = stmts[index + period:index + 2 * period]
+            diffs = _match_group(group0, group1)
+            if diffs is None or not diffs:
+                continue
+            deltas = {pos: v1 - v0 for pos, (v0, v1) in diffs.items()}
+            base_values = {pos: v0 for pos, (v0, _v1) in diffs.items()}
+            count = 2
+            while True:
+                nxt = index + count * period
+                if nxt + period > total:
+                    break
+                group_n = stmts[nxt:nxt + period]
+                step_diffs = _match_group(group0, group_n)
+                if step_diffs is None:
+                    break
+                expected = {
+                    pos: (base_values[pos],
+                          base_values[pos] + count * deltas[pos])
+                    for pos in deltas
+                }
+                if step_diffs != expected:
+                    break
+                count += 1
+            if count >= min_iterations:
+                candidate = RollableRun(index, period, count, deltas,
+                                        base_values)
+                if best is None or candidate.count * candidate.period > (
+                    best.count * best.period
+                ):
+                    best = candidate
+        if best is not None:
+            runs.append(best)
+            index = best.end
+        else:
+            index += 1
+    return runs
+
+
+def _build_chunk_loop(template_group, run, factor):
+    """Build the re-rolled loop + remainder statements for a run.
+
+    The per-chunk offsets (``u * factor * delta``) are hoisted into one
+    variable per distinct step at the top of the loop body, so each
+    re-rolled element pays one addition rather than a multiply — the
+    same strength reduction a compiler applies to the paper's manual
+    re-roll."""
+    chunks = run.count // factor
+    remainder = run.count % factor
+    loop_var = f"_u{next(_counter)}"
+    steps = sorted({factor * delta for delta in run.deltas.values()})
+    step_vars = {step: f"_b{next(_counter)}" for step in steps}
+    body_stmts = [
+        ast.Decl(
+            ctypes.INT,
+            name,
+            ast.Binary("*", ast.Var(loop_var), ast.IntLit(step)),
+        )
+        for step, name in step_vars.items()
+    ]
+    for j in range(factor):
+        substitution = {}
+        for pos, delta in run.deltas.items():
+            base = run.base_values[pos] + j * delta
+            step_var = step_vars[factor * delta]
+
+            def make(base=base, step_var=step_var):
+                return ast.Binary(
+                    "+", ast.IntLit(base), ast.Var(step_var)
+                )
+
+            substitution[pos] = make
+        counter = [0]
+        for stmt in template_group:
+            body_stmts.append(
+                _clone_with_substitution(stmt, substitution, counter)
+            )
+    loop = ast.For(
+        ast.Decl(ctypes.INT, loop_var, ast.IntLit(0)),
+        ast.Binary("<", ast.Var(loop_var), ast.IntLit(chunks)),
+        ast.IncDec("++", ast.Var(loop_var), False),
+        ast.Block(body_stmts),
+    )
+    tail = []
+    for t in range(chunks * factor, run.count):
+        substitution = {}
+        for pos, delta in run.deltas.items():
+            value = run.base_values[pos] + t * delta
+
+            def make_lit(value=value):
+                return ast.IntLit(value)
+
+            substitution[pos] = make_lit
+        counter = [0]
+        for stmt in template_group:
+            tail.append(_clone_with_substitution(stmt, substitution, counter))
+    return [loop] + tail, chunks, remainder
+
+
+def reroll_block(block, factor, min_iterations=None):
+    """Re-roll every detected run in a block (recursing into nested
+    control flow).  Returns the number of runs rewritten."""
+    rewritten = 0
+    min_iterations = min_iterations or max(4, 2 * factor)
+    for stmt in block.stmts:
+        if isinstance(stmt, ast.Block):
+            rewritten += reroll_block(stmt, factor, min_iterations)
+        elif isinstance(stmt, ast.If):
+            for branch in (stmt.then, stmt.other):
+                if isinstance(branch, ast.Block):
+                    rewritten += reroll_block(branch, factor, min_iterations)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            if isinstance(stmt.body, ast.Block):
+                rewritten += reroll_block(stmt.body, factor, min_iterations)
+    runs = [
+        run
+        for run in find_runs(block.stmts, min_iterations=min_iterations)
+        if run.count >= min_iterations
+    ]
+    if not runs:
+        return rewritten
+    new_stmts = []
+    cursor = 0
+    for run in runs:
+        new_stmts.extend(block.stmts[cursor:run.start])
+        template = block.stmts[run.start:run.start + run.period]
+        rolled, _chunks, _rem = _build_chunk_loop(template, run, factor)
+        new_stmts.extend(rolled)
+        cursor = run.end
+        rewritten += 1
+    new_stmts.extend(block.stmts[cursor:])
+    block.stmts = new_stmts
+    return rewritten
+
+
+def reroll_function(func, factor):
+    """Re-roll unrolled runs in a residual function.  Mutates ``func``;
+    returns the number of runs rewritten."""
+    return reroll_block(func.body, factor)
+
+
+def reroll_program(program, factor, entry=None):
+    """Re-roll every function (or just ``entry``) of a residual program."""
+    total = 0
+    for func in program.funcs:
+        if entry is not None and func.name != entry:
+            continue
+        total += reroll_function(func, factor)
+    return total

@@ -1,0 +1,106 @@
+"""Binding-time visualization.
+
+Tempo's user interface displays the analyzed program with static and
+dynamic computations in different colors (§6.1 of the paper: "Different
+colors are used to display the static and dynamic parts of a program").
+This module renders the same view from the engine's per-node marks:
+every original AST node the specializer residualized is dynamic; every
+node it evaluated away is static.
+
+Rendering targets: ANSI terminals (:func:`ansi_listing`) and plain text
+with ``S``/``D``/``SD`` line gutters (:func:`gutter_listing`).
+"""
+
+from repro.minic import ast
+from repro.minic.pretty import pretty_func
+
+_ANSI_STATIC = "\x1b[2m"      # dim: evaluated at specialization time
+_ANSI_DYNAMIC = "\x1b[1;33m"  # bold yellow: residual (runtime) code
+_ANSI_RESET = "\x1b[0m"
+
+
+def _line_marks(func, bt_marks):
+    """Map 1-based source line -> set of marks for a function."""
+    lines = {}
+    for node in ast.walk(func):
+        marks = bt_marks.get(node.uid)
+        if not marks or node.line is None:
+            continue
+        lines.setdefault(node.line, set()).update(marks)
+    return lines
+
+
+def gutter_listing(func, bt_marks, source_lines=None):
+    """Annotated listing with an ``S``/``D``/``SD`` gutter per line.
+
+    If the original ``source_lines`` are supplied the listing uses them
+    (line numbers come from the parser); otherwise the function is
+    pretty-printed without line attribution.
+    """
+    marks_by_line = _line_marks(func, bt_marks)
+    if source_lines is None:
+        body = pretty_func(func)
+        return "\n".join(f"  | {line}" for line in body.split("\n"))
+    out = []
+    relevant = sorted(marks_by_line)
+    if not relevant:
+        return ""
+    start, end = relevant[0], relevant[-1]
+    for lineno in range(start, end + 1):
+        text = (
+            source_lines[lineno - 1]
+            if 0 <= lineno - 1 < len(source_lines)
+            else ""
+        )
+        marks = marks_by_line.get(lineno, set())
+        gutter = "".join(sorted(marks)) or " "
+        out.append(f"{gutter:>2} | {text}")
+    return "\n".join(out)
+
+
+def ansi_listing(func, bt_marks, source_lines):
+    """Colorized listing: dynamic lines highlighted, static lines dim."""
+    marks_by_line = _line_marks(func, bt_marks)
+    relevant = sorted(marks_by_line)
+    if not relevant:
+        return ""
+    out = []
+    start, end = relevant[0], relevant[-1]
+    for lineno in range(start, end + 1):
+        text = (
+            source_lines[lineno - 1]
+            if 0 <= lineno - 1 < len(source_lines)
+            else ""
+        )
+        marks = marks_by_line.get(lineno, set())
+        if "D" in marks:
+            out.append(f"{_ANSI_DYNAMIC}{text}{_ANSI_RESET}")
+        elif "S" in marks:
+            out.append(f"{_ANSI_STATIC}{text}{_ANSI_RESET}")
+        else:
+            out.append(text)
+    return "\n".join(out)
+
+
+def binding_time_summary(program, bt_marks):
+    """Per-function static/dynamic node counts — a quick measure of how
+    much of each function specializes away."""
+    summary = {}
+    for func in program.funcs:
+        static = dynamic = both = 0
+        for node in ast.walk(func):
+            marks = bt_marks.get(node.uid)
+            if not marks:
+                continue
+            if marks == {"S"}:
+                static += 1
+            elif marks == {"D"}:
+                dynamic += 1
+            else:
+                both += 1
+        summary[func.name] = {
+            "static": static,
+            "dynamic": dynamic,
+            "mixed": both,
+        }
+    return summary

@@ -1,0 +1,70 @@
+"""Sun XDR (RFC 1014) — External Data Representation.
+
+A faithful pure-Python port of the 1984 Sun XDR library's *structure*:
+the same micro-layers the paper specializes.  ``xdr_long`` dispatches on
+the stream's operation each call; ``XdrMemStream.putlong`` maintains the
+``x_handy`` remaining-space counter and checks it on every item — these
+are exactly the interpretation overheads the Tempo specializer removes
+in the MiniC rendition of this code, and they make this module the
+"generic" baseline of the live-Python benchmarks.
+
+Usage::
+
+    stream = XdrMemStream(bytearray(400), XdrOp.ENCODE)
+    xdr_int(stream, 42)          # encode
+    stream = XdrMemStream(data, XdrOp.DECODE)
+    value = xdr_int(stream, None)  # decode
+"""
+
+from repro.xdr.xdr_ops import XdrOp
+from repro.xdr.stream import XdrMemStream, XdrCountStream
+from repro.xdr.primitives import (
+    xdr_bool,
+    xdr_double,
+    xdr_enum,
+    xdr_float,
+    xdr_hyper,
+    xdr_int,
+    xdr_long,
+    xdr_short,
+    xdr_u_hyper,
+    xdr_u_int,
+    xdr_u_long,
+    xdr_u_short,
+    xdr_void,
+)
+from repro.xdr.composite import (
+    xdr_array,
+    xdr_bytes,
+    xdr_opaque,
+    xdr_optional,
+    xdr_string,
+    xdr_union,
+    xdr_vector,
+)
+
+__all__ = [
+    "XdrOp",
+    "XdrMemStream",
+    "XdrCountStream",
+    "xdr_bool",
+    "xdr_double",
+    "xdr_enum",
+    "xdr_float",
+    "xdr_hyper",
+    "xdr_int",
+    "xdr_long",
+    "xdr_short",
+    "xdr_u_hyper",
+    "xdr_u_int",
+    "xdr_u_long",
+    "xdr_u_short",
+    "xdr_void",
+    "xdr_array",
+    "xdr_bytes",
+    "xdr_opaque",
+    "xdr_optional",
+    "xdr_string",
+    "xdr_union",
+    "xdr_vector",
+]

@@ -1,0 +1,162 @@
+"""XDR composite filters: opaque data, strings, arrays, unions,
+optionals (RFC 1014 §3.9–3.15).
+
+These are the micro-layers the generated stubs compose: ``xdr_array``
+takes the element filter as a parameter, exactly like the C library
+takes an ``xdrproc_t`` function pointer.
+"""
+
+from repro.errors import XdrError
+from repro.xdr.primitives import xdr_bool, xdr_u_long, xdr_void
+from repro.xdr.xdr_ops import XdrOp
+
+
+def xdr_opaque(xdrs, value, size):
+    """Fixed-length opaque data, padded to a 4-byte boundary."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        data = bytes(value)
+        if len(data) != size:
+            raise XdrError(
+                f"opaque size mismatch: expected {size}, got {len(data)}"
+            )
+        if not xdrs.putbytes(data) or not xdrs.put_padding(size):
+            raise XdrError("xdr stream overflow")
+        return data
+    if xdrs.x_op == XdrOp.DECODE:
+        data = xdrs.getbytes(size)
+        if data is None or not xdrs.skip_padding(size):
+            raise XdrError("xdr stream underflow")
+        return data
+    return value
+
+
+def xdr_bytes(xdrs, value, maxsize=0xFFFFFFFF):
+    """Variable-length opaque data: length unit then padded payload."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        data = bytes(value)
+        if len(data) > maxsize:
+            raise XdrError(f"bytes too long: {len(data)} > {maxsize}")
+        xdr_u_long(xdrs, len(data))
+        return xdr_opaque(xdrs, data, len(data))
+    if xdrs.x_op == XdrOp.DECODE:
+        size = xdr_u_long(xdrs, None)
+        if size > maxsize:
+            raise XdrError(f"bytes too long on the wire: {size} > {maxsize}")
+        return xdr_opaque(xdrs, None, size)
+    return value
+
+
+def xdr_string(xdrs, value, maxsize=0xFFFFFFFF):
+    """Counted string; encoded as UTF-8 bytes (ASCII in classic RPC)."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        data = value.encode("utf-8") if isinstance(value, str) else bytes(
+            value
+        )
+        if len(data) > maxsize:
+            raise XdrError(f"string too long: {len(data)} > {maxsize}")
+        xdr_u_long(xdrs, len(data))
+        xdr_opaque(xdrs, data, len(data))
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        size = xdr_u_long(xdrs, None)
+        if size > maxsize:
+            raise XdrError(f"string too long on the wire: {size}")
+        data = xdr_opaque(xdrs, None, size)
+        return data.decode("utf-8")
+    return value
+
+
+def xdr_vector(xdrs, value, size, elem_filter):
+    """Fixed-length array: ``size`` elements, no length on the wire."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        items = list(value)
+        if len(items) != size:
+            raise XdrError(
+                f"vector size mismatch: expected {size}, got {len(items)}"
+            )
+        for item in items:
+            elem_filter(xdrs, item)
+        return items
+    if xdrs.x_op == XdrOp.DECODE:
+        return [elem_filter(xdrs, None) for _ in range(size)]
+    if value is not None:
+        for item in value:
+            elem_filter(xdrs, item)
+    return value
+
+
+def xdr_array(xdrs, value, maxsize, elem_filter):
+    """Counted (variable-length, bounded) array — the workhorse of the
+    paper's benchmark workload (arrays of 4-byte integers)."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        items = list(value)
+        if len(items) > maxsize:
+            raise XdrError(f"array too long: {len(items)} > {maxsize}")
+        xdr_u_long(xdrs, len(items))
+        for item in items:
+            elem_filter(xdrs, item)
+        return items
+    if xdrs.x_op == XdrOp.DECODE:
+        size = xdr_u_long(xdrs, None)
+        if size > maxsize:
+            raise XdrError(f"array too long on the wire: {size} > {maxsize}")
+        return [elem_filter(xdrs, None) for _ in range(size)]
+    if value is not None:
+        for item in value:
+            elem_filter(xdrs, item)
+    return value
+
+
+def xdr_optional(xdrs, value, filter_fn):
+    """XDR optional-data (``*`` in the language): a boolean then the
+    payload if present.  ``None`` models the NULL pointer."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        present = value is not None
+        xdr_bool(xdrs, present)
+        if present:
+            filter_fn(xdrs, value)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        present = xdr_bool(xdrs, None)
+        if present:
+            return filter_fn(xdrs, None)
+        return None
+    if value is not None:
+        filter_fn(xdrs, value)
+    return value
+
+
+def xdr_union(xdrs, discriminant, value, arms, default_filter=None):
+    """Discriminated union: the discriminant (signed 32-bit) then the
+    arm selected by it.  ``arms`` maps discriminant -> filter; a filter
+    of ``None`` means a void arm.
+
+    Returns ``(discriminant, value)``.
+    """
+    from repro.xdr.primitives import xdr_long
+
+    if xdrs.x_op == XdrOp.ENCODE:
+        disc = int(discriminant)
+        xdr_long(xdrs, disc)
+        if disc in arms:
+            chosen = arms[disc]
+        elif default_filter is not None:
+            chosen = default_filter
+        else:
+            raise XdrError(f"union: no arm for discriminant {disc}")
+        if chosen is not None:
+            chosen(xdrs, value)
+        return discriminant, value
+    if xdrs.x_op == XdrOp.DECODE:
+        tag = xdr_long(xdrs, None)
+        if tag in arms:
+            chosen = arms[tag]
+        elif default_filter is not None:
+            chosen = default_filter
+        else:
+            raise XdrError(f"union: bad discriminant on the wire: {tag}")
+        payload = chosen(xdrs, None) if chosen is not None else None
+        if chosen is xdr_void or chosen is None:
+            payload = None
+        return tag, payload
+    return discriminant, value

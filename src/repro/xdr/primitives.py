@@ -1,0 +1,181 @@
+"""XDR primitive filters.
+
+Each filter mirrors its Sun C counterpart: it dispatches on the stream's
+``x_op`` *on every call* (the interpretation overhead of the paper's
+Figure 2) and moves exactly one XDR item.
+
+Convention (Pythonized from the C in/out pointer style):
+
+* ``ENCODE`` — ``xdr_T(stream, value)`` writes and returns ``value``;
+* ``DECODE`` — ``xdr_T(stream, ignored)`` reads and returns the value;
+* ``FREE`` — returns ``value`` unchanged (no heap to free in Python).
+
+Failures raise :class:`repro.errors.XdrError`.
+"""
+
+import struct
+
+from repro.errors import XdrError
+from repro.xdr.xdr_ops import XdrOp
+
+_U32_MASK = 0xFFFFFFFF
+
+
+def _overflow():
+    raise XdrError("xdr stream overflow")
+
+
+def _underflow():
+    raise XdrError("xdr stream underflow")
+
+
+def xdr_u_long(xdrs, value):
+    """32-bit unsigned integer — the base item every scalar rides on."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        if not xdrs.putlong(int(value) & _U32_MASK):
+            _overflow()
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        raw = xdrs.getlong()
+        if raw is None:
+            _underflow()
+        return raw
+    if xdrs.x_op == XdrOp.FREE:
+        return value
+    raise XdrError(f"bad xdr operation {xdrs.x_op!r}")
+
+
+def xdr_long(xdrs, value):
+    """32-bit signed integer (``long`` on the paper's 32-bit platforms)."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        if not -0x8000_0000 <= int(value) <= 0x7FFF_FFFF:
+            raise XdrError(f"long out of range: {value}")
+        if not xdrs.putlong(int(value) & _U32_MASK):
+            _overflow()
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        raw = xdrs.getlong()
+        if raw is None:
+            _underflow()
+        return raw - 0x1_0000_0000 if raw > 0x7FFF_FFFF else raw
+    if xdrs.x_op == XdrOp.FREE:
+        return value
+    raise XdrError(f"bad xdr operation {xdrs.x_op!r}")
+
+
+def xdr_int(xdrs, value):
+    """``int``: the machine-dependent switch of the paper's Figure 1
+    resolves to the long filter on 32-bit platforms."""
+    return xdr_long(xdrs, value)
+
+
+def xdr_u_int(xdrs, value):
+    return xdr_u_long(xdrs, value)
+
+
+def xdr_short(xdrs, value):
+    """16-bit signed, carried in a full XDR unit (RFC 1014)."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        if not -0x8000 <= int(value) <= 0x7FFF:
+            raise XdrError(f"short out of range: {value}")
+        return xdr_long(xdrs, value)
+    result = xdr_long(xdrs, value)
+    if xdrs.x_op == XdrOp.DECODE and not -0x8000 <= result <= 0x7FFF:
+        raise XdrError(f"decoded short out of range: {result}")
+    return result
+
+
+def xdr_u_short(xdrs, value):
+    if xdrs.x_op == XdrOp.ENCODE and not 0 <= int(value) <= 0xFFFF:
+        raise XdrError(f"u_short out of range: {value}")
+    result = xdr_u_long(xdrs, value)
+    if xdrs.x_op == XdrOp.DECODE and result > 0xFFFF:
+        raise XdrError(f"decoded u_short out of range: {result}")
+    return result
+
+
+def xdr_bool(xdrs, value):
+    if xdrs.x_op == XdrOp.ENCODE:
+        xdr_long(xdrs, 1 if value else 0)
+        return bool(value)
+    if xdrs.x_op == XdrOp.DECODE:
+        raw = xdr_long(xdrs, None)
+        if raw not in (0, 1):
+            raise XdrError(f"bad boolean on the wire: {raw}")
+        return bool(raw)
+    return value
+
+
+def xdr_enum(xdrs, value, allowed=None):
+    """Enumerations ride the wire as signed 32-bit values; ``allowed``
+    optionally restricts the decoded range."""
+    result = xdr_long(xdrs, int(value) if value is not None else None)
+    if xdrs.x_op == XdrOp.DECODE and allowed is not None and (
+        result not in allowed
+    ):
+        raise XdrError(f"enum value {result} not in {sorted(allowed)}")
+    return result
+
+
+def xdr_hyper(xdrs, value):
+    """64-bit signed integer: two XDR units, most significant first."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        value = int(value)
+        if not -(1 << 63) <= value < 1 << 63:
+            raise XdrError(f"hyper out of range: {value}")
+        raw = value & 0xFFFF_FFFF_FFFF_FFFF
+        xdr_u_long(xdrs, raw >> 32)
+        xdr_u_long(xdrs, raw & _U32_MASK)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        high = xdr_u_long(xdrs, None)
+        low = xdr_u_long(xdrs, None)
+        raw = (high << 32) | low
+        return raw - (1 << 64) if raw >= 1 << 63 else raw
+    return value
+
+
+def xdr_u_hyper(xdrs, value):
+    if xdrs.x_op == XdrOp.ENCODE:
+        value = int(value)
+        if not 0 <= value < 1 << 64:
+            raise XdrError(f"u_hyper out of range: {value}")
+        xdr_u_long(xdrs, value >> 32)
+        xdr_u_long(xdrs, value & _U32_MASK)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        high = xdr_u_long(xdrs, None)
+        low = xdr_u_long(xdrs, None)
+        return (high << 32) | low
+    return value
+
+
+def xdr_float(xdrs, value):
+    """IEEE single precision (RFC 1014 §3.6)."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        raw = struct.unpack(">I", struct.pack(">f", float(value)))[0]
+        xdr_u_long(xdrs, raw)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        raw = xdr_u_long(xdrs, None)
+        return struct.unpack(">f", struct.pack(">I", raw))[0]
+    return value
+
+
+def xdr_double(xdrs, value):
+    """IEEE double precision: two XDR units, MSW first."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        raw = struct.unpack(">Q", struct.pack(">d", float(value)))[0]
+        xdr_u_long(xdrs, raw >> 32)
+        xdr_u_long(xdrs, raw & _U32_MASK)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        high = xdr_u_long(xdrs, None)
+        low = xdr_u_long(xdrs, None)
+        return struct.unpack(">d", struct.pack(">Q", (high << 32) | low))[0]
+    return value
+
+
+def xdr_void(xdrs, value=None):
+    """The empty filter: encodes/decodes nothing."""
+    return None

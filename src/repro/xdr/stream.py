@@ -1,0 +1,151 @@
+"""XDR memory streams — the ``xdrmem`` micro-layer.
+
+:class:`XdrMemStream` mirrors the original ``xdrmem_create`` /
+``xdrmem_putlong`` / ``xdrmem_getlong`` functions, including the
+``x_handy`` remaining-space accounting checked on every item (the
+paper's Figure 3).  :class:`XdrCountStream` implements the sizing pass
+used to compute ``expected_inlen`` (§6.2 of the paper): it encodes
+nothing but counts bytes.
+"""
+
+import struct
+
+from repro.errors import XdrError
+from repro.xdr.xdr_ops import BYTES_PER_XDR_UNIT, XdrOp, round_up
+
+
+class XdrMemStream:
+    """An XDR stream over a fixed memory buffer.
+
+    Attributes mirror the C struct: ``x_op`` (operation), ``x_handy``
+    (bytes remaining), ``pos`` (the cursor, i.e. ``x_private`` as an
+    offset from ``x_base``).
+    """
+
+    def __init__(self, buffer, op, offset=0):
+        if isinstance(buffer, (bytes, bytearray, memoryview)):
+            self.buffer = buffer if isinstance(buffer, bytearray) else (
+                bytearray(buffer)
+            )
+        else:
+            raise XdrError(f"bad buffer type {type(buffer).__name__}")
+        self.x_op = XdrOp(op)
+        self.pos = offset
+        self.x_handy = len(self.buffer) - offset
+
+    # -- micro-layer primitives (putlong/getlong of the paper) ---------
+
+    def putlong(self, value):
+        """Write one 4-byte unit; False on overflow (Figure 3)."""
+        self.x_handy -= BYTES_PER_XDR_UNIT
+        if self.x_handy < 0:
+            return False
+        struct.pack_into(">I", self.buffer, self.pos, value & 0xFFFFFFFF)
+        self.pos += BYTES_PER_XDR_UNIT
+        return True
+
+    def getlong(self):
+        """Read one 4-byte unit; None on underflow."""
+        self.x_handy -= BYTES_PER_XDR_UNIT
+        if self.x_handy < 0:
+            return None
+        value = struct.unpack_from(">I", self.buffer, self.pos)[0]
+        self.pos += BYTES_PER_XDR_UNIT
+        return value
+
+    def putbytes(self, data):
+        size = len(data)
+        self.x_handy -= size
+        if self.x_handy < 0:
+            return False
+        self.buffer[self.pos:self.pos + size] = data
+        self.pos += size
+        return True
+
+    def getbytes(self, size):
+        self.x_handy -= size
+        if self.x_handy < 0:
+            return None
+        data = bytes(self.buffer[self.pos:self.pos + size])
+        self.pos += size
+        return data
+
+    def put_padding(self, raw_size):
+        pad = round_up(raw_size) - raw_size
+        if pad:
+            return self.putbytes(b"\x00" * pad)
+        return True
+
+    def skip_padding(self, raw_size):
+        pad = round_up(raw_size) - raw_size
+        if pad:
+            return self.getbytes(pad) is not None
+        return True
+
+    # -- positioning -------------------------------------------------------
+
+    def getpos(self):
+        return self.pos
+
+    def setpos(self, pos):
+        if not 0 <= pos <= len(self.buffer):
+            raise XdrError(f"setpos({pos}) out of range")
+        delta = pos - self.pos
+        self.pos = pos
+        self.x_handy -= delta
+
+    def data(self):
+        """The encoded bytes so far (ENCODE streams)."""
+        return bytes(self.buffer[:self.pos])
+
+    def __repr__(self):
+        return (
+            f"XdrMemStream(op={self.x_op.name}, pos={self.pos},"
+            f" handy={self.x_handy})"
+        )
+
+
+class XdrCountStream:
+    """A write-only stream that just measures encoded size.
+
+    The paper computes ``expected_inlen`` "with a dummy encoding-call to
+    the generic encoding/decoding function"; this stream is that dummy
+    call's target.
+    """
+
+    def __init__(self):
+        self.x_op = XdrOp.ENCODE
+        self.pos = 0
+        self.x_handy = 1 << 30
+
+    def putlong(self, value):
+        self.pos += BYTES_PER_XDR_UNIT
+        return True
+
+    def getlong(self):
+        raise XdrError("XdrCountStream cannot decode")
+
+    def putbytes(self, data):
+        self.pos += len(data)
+        return True
+
+    def getbytes(self, size):
+        raise XdrError("XdrCountStream cannot decode")
+
+    def put_padding(self, raw_size):
+        self.pos += round_up(raw_size) - raw_size
+        return True
+
+    def skip_padding(self, raw_size):
+        raise XdrError("XdrCountStream cannot decode")
+
+    def getpos(self):
+        return self.pos
+
+
+def sizeof_xdr(filter_fn, value):
+    """Encoded size in bytes of ``value`` under ``filter_fn``."""
+    stream = XdrCountStream()
+    if filter_fn(stream, value) is False:
+        raise XdrError("sizing pass failed")
+    return stream.pos

@@ -1,0 +1,22 @@
+"""XDR stream operations (the ``x_op`` field of the paper's Figure 2)."""
+
+import enum
+
+
+class XdrOp(enum.IntEnum):
+    """What an XDR filter call should do with its stream."""
+
+    ENCODE = 0
+    DECODE = 1
+    FREE = 2
+
+
+#: XDR items are serialized in 4-byte basic units (RFC 1014 §2).
+BYTES_PER_XDR_UNIT = 4
+
+
+def round_up(size):
+    """Round a byte count up to the XDR 4-byte alignment."""
+    return (size + BYTES_PER_XDR_UNIT - 1) // BYTES_PER_XDR_UNIT * (
+        BYTES_PER_XDR_UNIT
+    )

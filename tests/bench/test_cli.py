@@ -1,0 +1,61 @@
+"""CLI tests for repro-bench and repro-rpcgen."""
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.rpcgen.cli import main as rpcgen_main
+
+SMALL_IDL = """
+const N = 4;
+struct msg { int vals<N>; };
+program P { version V { msg F(msg) = 1; } = 1; } = 0x20007777;
+"""
+
+
+def test_bench_table3_small(capsys):
+    assert bench_main(["table3", "--sizes", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "specialized" in out
+
+
+def test_bench_table1_small(capsys):
+    assert bench_main(["table1", "--sizes", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "paper" in out
+
+
+def test_bench_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        bench_main(["tableX"])
+
+
+def test_rpcgen_python_output(tmp_path, capsys):
+    source = tmp_path / "iface.x"
+    source.write_text(SMALL_IDL)
+    out = tmp_path / "stubs.py"
+    assert rpcgen_main([str(source), "--python", str(out)]) == 0
+    text = out.read_text()
+    assert "class msg" in text
+    compile(text, str(out), "exec")
+
+
+def test_rpcgen_minic_output(tmp_path):
+    source = tmp_path / "iface.x"
+    source.write_text(SMALL_IDL)
+    out = tmp_path / "stubs.c"
+    assert rpcgen_main([str(source), "--minic", str(out)]) == 0
+    from repro.minic.parser import parse_program
+    from repro.minic.typecheck import typecheck_program
+
+    program = parse_program(out.read_text())
+    typecheck_program(program)
+    assert program.has_func("f_marshal")
+
+
+def test_rpcgen_default_prints_python(tmp_path, capsys):
+    source = tmp_path / "iface.x"
+    source.write_text(SMALL_IDL)
+    assert rpcgen_main([str(source)]) == 0
+    assert "class msg" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Shape assertions for the table generators (small sizes for speed;
+the full-paper sweep is in benchmarks/)."""
+
+import pytest
+
+from repro.bench import ablation, codesize, marshaling, roundtrip
+from repro.bench.report import format_series, format_table
+
+SIZES = (20, 100)
+
+
+@pytest.fixture(scope="module")
+def workload(sunrpc_program):
+    return sunrpc_program
+
+
+def test_table1_speedups_positive(workload):
+    rows = marshaling.compute(workload, SIZES)
+    for row in rows:
+        assert row["ipx_speedup"] > 1.5
+        assert row["pc_speedup"] > 1.0
+    assert marshaling.render(rows)
+
+
+def test_table2_speedups_modest(workload):
+    rows = roundtrip.compute(workload, SIZES)
+    for row in rows:
+        assert 1.0 < row["ipx_speedup"] < 2.0
+        assert 1.0 < row["pc_speedup"] < 2.0
+        # Round trips dwarf marshaling times (network dominates).
+        assert row["ipx_original_ms"] > 1.0
+    assert roundtrip.render(rows)
+
+
+def test_table3_specialized_larger_and_growing(workload):
+    rows = codesize.compute(workload, SIZES)
+    assert rows[0]["specialized_bytes"] > rows[0]["generic_bytes"]
+    assert rows[1]["specialized_bytes"] > rows[0]["specialized_bytes"]
+    assert rows[0]["generic_bytes"] == rows[1]["generic_bytes"]
+    assert codesize.render(rows)
+
+
+def test_ablation_all_variants_run(workload):
+    rows = ablation.compute(workload, n=24)
+    names = [row["ablation"] for row in rows]
+    assert names[0] == "full"
+    full = rows[0]
+    by_name = {row["ablation"]: row for row in rows}
+    # Disabling unrolling or partially-static structures must cost
+    # instructions on the marshal path.
+    assert by_name["unroll"]["marshal_events"] > full["marshal_events"]
+    assert by_name["partially_static"]["marshal_events"] > (
+        full["marshal_events"]
+    )
+    # Losing flow sensitivity must cost on the decode path.
+    assert by_name["flow"]["recv_events"] > full["recv_events"]
+    assert ablation.render(rows)
+
+
+def test_report_formatting():
+    table = format_table(
+        "T", ("a", "bb"), [(1, 2.5), (10, 0.125)], note="n"
+    )
+    assert "T" in table and "bb" in table and "0.12" in table
+    series = format_series("S", "x", [1, 2], {"y": [0.5, 1.0]})
+    assert "#" in series

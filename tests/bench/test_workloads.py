@@ -1,0 +1,55 @@
+"""Workload harness correctness at small sizes."""
+
+import pytest
+
+from repro.bench.workloads import reply_bytes, request_bytes
+
+SMALL = 12
+
+
+@pytest.fixture(scope="module")
+def workload(sunrpc_program):
+    return sunrpc_program
+
+
+def test_message_size_formulas(workload):
+    outlen, request, _trace = workload.generic_marshal_trace(SMALL)
+    assert outlen == len(request) == request_bytes(SMALL)
+    reply, _trace = workload.generic_server_reply(SMALL, request)
+    assert len(reply) == reply_bytes(SMALL)
+
+
+def test_specialized_marshal_identical_wire(workload):
+    _l, generic, _t = workload.generic_marshal_trace(SMALL)
+    _l, special, _t = workload.specialized_marshal_trace(SMALL)
+    assert generic == special
+
+
+def test_specialized_server_identical_reply(workload):
+    _l, request, _t = workload.generic_marshal_trace(SMALL)
+    generic_reply, _t = workload.generic_server_reply(SMALL, request)
+    special_reply, _t = workload.specialized_server_reply(SMALL, request)
+    assert generic_reply == special_reply
+
+
+def test_roundtrip_traces_all_modes(workload):
+    for specialized in (False, True):
+        client, server, request, reply = workload.roundtrip_traces(
+            SMALL, specialized
+        )
+        assert len(client) > 0 and len(server) > 0
+        assert request == request_bytes(SMALL)
+        assert reply == reply_bytes(SMALL)
+
+
+def test_specialized_traces_are_smaller(workload):
+    _l, _r, generic = workload.generic_marshal_trace(SMALL)
+    _l, _r, special = workload.specialized_marshal_trace(SMALL)
+    assert len(special) < len(generic) / 2
+
+
+def test_rerolled_marshal_same_wire(workload):
+    rolled = workload.rerolled_marshal(SMALL, 4)
+    _l, rolled_wire, _t = workload.specialized_marshal_trace(SMALL, rolled)
+    _l, generic_wire, _t = workload.generic_marshal_trace(SMALL)
+    assert rolled_wire == generic_wire

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+
+
+@pytest.fixture(scope="session")
+def sunrpc_program():
+    """The full generated MiniC Sun RPC program for the benchmark
+    workload (shared; treat as read-only)."""
+    from repro.bench.workloads import IntArrayWorkload
+
+    return IntArrayWorkload()
+
+
+@pytest.fixture()
+def run_minic():
+    """Parse-and-call helper: run_minic(src, 'f', args...) -> value."""
+
+    def runner(source, entry, *args):
+        program = parse_program(source)
+        interp = Interpreter(program)
+        return interp.call(entry, list(args))
+
+    return runner
+
+
+XDR_EXCERPT = """
+#define XDR_ENCODE 0
+#define XDR_DECODE 1
+#define XDR_FREE 2
+#define TRUE 1
+#define FALSE 0
+
+struct XDR {
+    int x_op;
+    int x_handy;
+    caddr_t x_private;
+    caddr_t x_base;
+};
+
+struct pair {
+    int int1;
+    int int2;
+};
+
+bool_t xdrmem_putlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+bool_t xdrmem_getlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return FALSE;
+    *lp = (long)ntohl((u_long)(*(long *)(xdrs->x_private)));
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+bool_t xdr_long(struct XDR *xdrs, long *lp)
+{
+    if (xdrs->x_op == XDR_ENCODE)
+        return xdrmem_putlong(xdrs, lp);
+    if (xdrs->x_op == XDR_DECODE)
+        return xdrmem_getlong(xdrs, lp);
+    if (xdrs->x_op == XDR_FREE)
+        return TRUE;
+    return FALSE;
+}
+
+bool_t xdr_int(struct XDR *xdrs, int *ip)
+{
+    return xdr_long(xdrs, (long *)ip);
+}
+
+bool_t xdr_pair(struct XDR *xdrs, struct pair *objp)
+{
+    if (!xdr_int(xdrs, &objp->int1)) {
+        return FALSE;
+    }
+    if (!xdr_int(xdrs, &objp->int2)) {
+        return FALSE;
+    }
+    return TRUE;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def xdr_excerpt_source():
+    """The paper's Section 3 code excerpt (Figures 2–4)."""
+    return XDR_EXCERPT

@@ -1,0 +1,60 @@
+"""Cost trace and code layout tests."""
+
+from repro.minic import cost
+from repro.minic.cost import CodeLayout, Trace
+from repro.minic.parser import parse_program
+
+
+def test_trace_counts_and_len():
+    trace = Trace()
+    trace.emit(cost.IFETCH, 100)
+    trace.emit(cost.IFETCH, 104)
+    trace.emit(cost.LOAD, 104, 0x2000, 4)
+    assert len(trace) == 3
+    assert trace.counts() == {"ifetch": 2, "load": 1}
+
+
+def test_memory_traffic_sums_load_store():
+    trace = Trace()
+    trace.emit(cost.LOAD, 0, 0x1000, 8)
+    trace.emit(cost.STORE, 0, 0x1010, 4)
+    trace.emit(cost.ALU, 0)
+    assert trace.memory_traffic() == 12
+
+
+def test_trace_extend():
+    a, b = Trace(), Trace()
+    a.emit(cost.ALU, 0)
+    b.emit(cost.MUL, 0)
+    a.extend(b)
+    assert len(a) == 2
+
+
+def test_code_layout_distinct_addresses():
+    program = parse_program(
+        "int f(int a) { return a + 1; }"
+        "int g(int a) { return a * 2; }"
+    )
+    layout = CodeLayout(program)
+    addresses = set(layout.addr_of_uid.values())
+    assert len(addresses) == len(layout.addr_of_uid)
+
+
+def test_code_layout_size_scales_with_program():
+    small = CodeLayout(parse_program("int f(void) { return 1; }"))
+    big = CodeLayout(
+        parse_program(
+            "int f(void) { return 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8; }"
+        )
+    )
+    assert big.code_bytes > small.code_bytes
+
+
+def test_unknown_node_has_zero_address():
+    program = parse_program("int f(void) { return 1; }")
+    layout = CodeLayout(program)
+
+    class Fake:
+        uid = -1
+
+    assert layout.addr(Fake()) == 0

@@ -1,0 +1,148 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import CHARLIT, EOF, IDENT, INT, KEYWORD, PUNCT
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != EOF]
+
+
+def test_empty_input():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == EOF
+
+
+def test_identifiers_and_keywords():
+    assert kinds("foo int bar_2 _x") == [
+        (IDENT, "foo"),
+        (KEYWORD, "int"),
+        (IDENT, "bar_2"),
+        (IDENT, "_x"),
+    ]
+
+
+def test_decimal_literals():
+    assert kinds("0 7 123456") == [(INT, 0), (INT, 7), (INT, 123456)]
+
+
+def test_hex_literals():
+    assert kinds("0x10 0xFF 0xdeadBEEF") == [
+        (INT, 16),
+        (INT, 255),
+        (INT, 0xDEADBEEF),
+    ]
+
+
+def test_octal_literals():
+    assert kinds("0755 010") == [(INT, 0o755), (INT, 8)]
+
+
+def test_integer_suffixes_are_dropped():
+    assert kinds("4u 4U 4l 4L 4UL 0x10u") == [
+        (INT, 4)] * 5 + [(INT, 16)]
+
+
+def test_number_at_end_of_input():
+    # Regression: the suffix scan must stop at EOF.
+    assert kinds("42") == [(INT, 42)]
+    assert kinds("0") == [(INT, 0)]
+
+
+def test_char_literals():
+    assert kinds(r"'a' '\n' '\0' '\\'") == [
+        (CHARLIT, ord("a")),
+        (CHARLIT, 10),
+        (CHARLIT, 0),
+        (CHARLIT, ord("\\")),
+    ]
+
+
+def test_multi_char_punctuators_longest_match():
+    assert [v for _k, v in kinds("a <<= b >>= c -> d ++ e -= f")] == [
+        "a", "<<=", "b", ">>=", "c", "->", "d", "++", "e", "-=", "f",
+    ]
+
+
+def test_comparison_operators():
+    values = [v for _k, v in kinds("a <= b >= c == d != e")]
+    assert values == ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+
+def test_line_comments():
+    assert kinds("a // comment\nb") == [(IDENT, "a"), (IDENT, "b")]
+
+
+def test_block_comments():
+    assert kinds("a /* multi\nline */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* oops")
+
+
+def test_define_expansion():
+    assert kinds("#define N 42\nint x = N;") == [
+        (KEYWORD, "int"),
+        (IDENT, "x"),
+        (PUNCT, "="),
+        (INT, 42),
+        (PUNCT, ";"),
+    ]
+
+
+def test_define_expansion_multiple():
+    tokens = kinds("#define A 1\n#define B 2\nA B A")
+    assert tokens == [(INT, 1), (INT, 2), (INT, 1)]
+
+
+def test_define_of_expression():
+    assert kinds("#define TWO (1 + 1)\nTWO") == [
+        (PUNCT, "("), (INT, 1), (PUNCT, "+"), (INT, 1), (PUNCT, ")"),
+    ]
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(LexError):
+        tokenize("#include <stdio.h>")
+
+
+def test_malformed_define_rejected():
+    with pytest.raises(LexError):
+        tokenize("#define JUSTNAME")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("int @ x")
+
+
+def test_positions_tracked():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].col) == (1, 1)
+    assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+def test_string_literals():
+    tokens = tokenize('"hello world"')
+    assert tokens[0].value == "hello world"
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\nb\"c"')
+    assert tokens[0].value == 'a\nb"c'
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_unterminated_char():
+    with pytest.raises(LexError):
+        tokenize("'ab")

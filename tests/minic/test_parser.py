@@ -1,0 +1,259 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic import types as ct
+from repro.minic.parser import parse_expr, parse_program
+from repro.minic.pretty import pretty_expr
+
+
+def expr_text(source):
+    return pretty_expr(parse_expr(source))
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = parse_expr("1 + 2 * 3")
+        assert isinstance(node, ast.Binary) and node.op == "+"
+        assert isinstance(node.right, ast.Binary) and node.right.op == "*"
+
+    def test_precedence_comparison_over_logical(self):
+        node = parse_expr("a < b && c > d")
+        assert node.op == "&&"
+        assert node.left.op == "<"
+        assert node.right.op == ">"
+
+    def test_left_associativity(self):
+        node = parse_expr("a - b - c")
+        assert node.op == "-"
+        assert node.left.op == "-"
+        assert node.left.right.name == "b"
+
+    def test_parentheses_override(self):
+        assert expr_text("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_assignment_right_associative(self):
+        node = parse_expr("a = b = c")
+        assert isinstance(node.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        node = parse_expr("x -= 4")
+        assert isinstance(node, ast.Assign) and node.op == "-"
+
+    def test_all_compound_operators(self):
+        for op in ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"):
+            node = parse_expr(f"x {op}= 1")
+            assert node.op == op
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~", "*", "&"):
+            node = parse_expr(f"{op}x")
+            assert isinstance(node, ast.Unary) and node.op == op
+
+    def test_prefix_and_postfix_incdec(self):
+        pre = parse_expr("++x")
+        post = parse_expr("x++")
+        assert pre.prefix and not post.prefix
+
+    def test_member_chains(self):
+        node = parse_expr("a.b.c")
+        assert node.field == "c" and node.obj.field == "b"
+
+    def test_arrow(self):
+        node = parse_expr("p->x_handy")
+        assert node.arrow
+
+    def test_index(self):
+        node = parse_expr("a[i + 1]")
+        assert isinstance(node, ast.Index)
+
+    def test_call_with_args(self):
+        node = parse_expr("f(a, b + 1, g())")
+        assert node.name == "f" and len(node.args) == 3
+
+    def test_call_on_non_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("(f)(x)(y)")  # calling a call result
+
+    def test_conditional_expression(self):
+        node = parse_expr("a ? b : c")
+        assert isinstance(node, ast.Cond)
+
+    def test_cast(self):
+        node = parse_expr("(long *)p")
+        assert isinstance(node, ast.Cast)
+        assert isinstance(node.ctype, ct.PointerType)
+
+    def test_sizeof(self):
+        node = parse_expr("sizeof(long)")
+        assert isinstance(node, ast.SizeOf)
+        assert node.ctype == ct.LONG
+
+    def test_address_of_member(self):
+        node = parse_expr("&objp->int1")
+        assert node.op == "&" and node.operand.arrow
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a b")
+
+
+class TestDeclarations:
+    def test_struct_definition(self):
+        program = parse_program(
+            "struct point { int x; int y; };"
+        )
+        struct = program.struct("point")
+        assert [f.name for f in struct.fields] == ["x", "y"]
+
+    def test_struct_with_array_field(self):
+        program = parse_program("struct s { int vals[8]; };")
+        field = program.struct("s").fields[0]
+        assert isinstance(field.ctype, ct.ArrayType)
+        assert field.ctype.length == 8
+
+    def test_struct_with_pointer_field(self):
+        program = parse_program("struct s { caddr_t p; long *q; };")
+        fields = program.struct("s").fields
+        assert all(isinstance(f.ctype, ct.PointerType) for f in fields)
+
+    def test_multi_declarator_fields(self):
+        program = parse_program("struct s { int a, b, c; };")
+        assert len(program.struct("s").fields) == 3
+
+    def test_nested_struct_field(self):
+        program = parse_program(
+            "struct inner { int v; };"
+            "struct outer { struct inner i; };"
+        )
+        field = program.struct("outer").fields[0]
+        assert isinstance(field.ctype, ct.StructType)
+
+    def test_enum_definition(self):
+        program = parse_program("enum ops { ENC = 0, DEC, FREE };")
+        assert program.enums[0].members == [
+            ("ENC", 0), ("DEC", 1), ("FREE", 2),
+        ]
+
+    def test_enum_constants_usable(self):
+        program = parse_program(
+            "enum ops { ENC = 5 };"
+            "int f(void) { return ENC; }"
+        )
+        ret = program.func("f").body.stmts[0]
+        assert ret.value.value == 5
+
+    def test_typedef(self):
+        program = parse_program(
+            "typedef struct XDR xdr_t;"
+            "struct XDR { int x_op; };"
+            "int f(xdr_t *x) { return x->x_op; }"
+        )
+        param = program.func("f").params[0]
+        assert isinstance(param.ctype, ct.PointerType)
+
+    def test_function_void_params(self):
+        program = parse_program("int f(void) { return 1; }")
+        assert program.func("f").params == []
+
+    def test_global_declaration(self):
+        program = parse_program("int counter = 3;")
+        assert program.globals[0].name == "counter"
+
+    def test_define_constants(self):
+        program = parse_program(
+            "#define N 12\nint f(void) { return N; }"
+        )
+        assert program.func("f").body.stmts[0].value.value == 12
+
+    def test_array_length_must_be_positive(self):
+        with pytest.raises(ParseError):
+            parse_program("struct s { int a[0]; };")
+
+
+class TestStatements:
+    def source(self, body):
+        return f"int f(int n) {{ {body} }}"
+
+    def stmts(self, body):
+        return parse_program(self.source(body)).func("f").body.stmts
+
+    def test_if_else(self):
+        (node,) = self.stmts("if (n) return 1; else return 2;")
+        assert isinstance(node, ast.If) and node.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        (node,) = self.stmts(
+            "if (n) if (n > 1) return 1; else return 2; return 3;"
+        )[:1]
+        assert node.other is None
+        assert node.then.other is not None
+
+    def test_while(self):
+        (node, _ret) = self.stmts("while (n > 0) n--; return n;")
+        assert isinstance(node, ast.While)
+
+    def test_for_with_decl(self):
+        (node, _r) = self.stmts(
+            "for (int i = 0; i < n; i++) n--; return n;"
+        )
+        assert isinstance(node.init, ast.Decl)
+
+    def test_for_with_empty_clauses(self):
+        (node, _r) = self.stmts("for (;;) break; return 0;")
+        assert node.init is None and node.cond is None and node.step is None
+
+    def test_break_continue(self):
+        stmts = self.stmts(
+            "while (1) { if (n) break; continue; } return 0;"
+        )
+        inner = stmts[0].body.stmts
+        assert isinstance(inner[0].then, ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+    def test_local_declaration_with_init(self):
+        (decl, _r) = self.stmts("int x = n + 1; return x;")
+        assert isinstance(decl, ast.Decl) and decl.init is not None
+
+    def test_local_struct_declaration(self):
+        program = parse_program(
+            "struct s { int v; };"
+            "int f(void) { struct s x; x.v = 3; return x.v; }"
+        )
+        decl = program.func("f").body.stmts[0]
+        assert isinstance(decl.ctype, ct.StructType)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int f(void) { return 1 }")
+
+    def test_error_mentions_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("int f(void) {\n  return 1 2;\n}")
+        assert "2:" in str(info.value)
+
+
+class TestRoundTrip:
+    EXPRESSIONS = [
+        "a + b * c",
+        "(a + b) * c",
+        "a && b || c",
+        "!(a == b)",
+        "p->f + q.g",
+        "a[i]",
+        "*(long *)p",
+        "&x",
+        "x -= 4",
+        "f(a, b)",
+        "a ? b : c",
+        "sizeof(long)",
+        "-x + ~y",
+    ]
+
+    @pytest.mark.parametrize("source", EXPRESSIONS)
+    def test_pretty_reparse_fixpoint(self, source):
+        once = pretty_expr(parse_expr(source))
+        twice = pretty_expr(parse_expr(once))
+        assert once == twice

@@ -1,0 +1,89 @@
+"""Pretty printer tests: fixpoint, faithfulness, size metric."""
+
+from repro.minic.parser import parse_program
+from repro.minic.pretty import pretty_program, source_size
+
+
+FIXTURE = """
+#define TRUE 1
+
+struct XDR {
+    int x_op;
+    caddr_t x_private;
+};
+
+enum modes { ENC = 0, DEC = 1 };
+
+int helper(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_op -= sizeof(long)) < 0)
+        return 0;
+    *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return TRUE;
+}
+
+int looper(int n)
+{
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0)
+            continue;
+        s += i;
+    }
+    while (s > 100)
+        s = s - 7;
+    return s > 0 ? s : -s;
+}
+"""
+
+
+def test_pretty_parse_fixpoint():
+    once = pretty_program(parse_program(FIXTURE))
+    twice = pretty_program(parse_program(once))
+    assert once == twice
+
+
+def test_pretty_preserves_semantics():
+    from repro.minic.interp import Interpreter
+
+    original = parse_program(FIXTURE)
+    reparsed = parse_program(pretty_program(original))
+    for n in (0, 5, 50, 1000):
+        assert Interpreter(original).call("looper", [n]) == (
+            Interpreter(reparsed).call("looper", [n])
+        )
+
+
+def test_source_size_positive_and_stable():
+    program = parse_program(FIXTURE)
+    size = source_size(program)
+    assert size > 100
+    assert size == source_size(parse_program(pretty_program(program)))
+
+
+def test_source_size_grows_with_code():
+    small = parse_program("int f(void) { return 1; }")
+    big = parse_program(
+        "int f(void) { return 1; }"
+        "int g(int a) { return a * a + 2; }"
+    )
+    assert source_size(big) > source_size(small)
+
+
+def test_struct_and_enum_rendering():
+    text = pretty_program(parse_program(FIXTURE))
+    assert "struct XDR {" in text
+    assert "enum modes { ENC = 0, DEC = 1 };" in text
+
+
+def test_operator_precedence_preserved():
+    source = "int f(int a, int b, int c) { return (a + b) * c; }"
+    text = pretty_program(parse_program(source))
+    assert "(a + b) * c" in text
+
+
+def test_else_branch_rendered():
+    source = "int f(int a) { if (a) return 1; else return 2; }"
+    text = pretty_program(parse_program(source))
+    assert "else" in text

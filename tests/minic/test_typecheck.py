@@ -1,0 +1,150 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.minic import types as ct
+from repro.minic.parser import parse_program
+from repro.minic.typecheck import typecheck_program
+
+
+def check(source):
+    return typecheck_program(parse_program(source))
+
+
+def test_simple_function():
+    info = check("int f(int a, int b) { return a + b; }")
+    assert "f" in info.func_types
+
+
+def test_undeclared_variable():
+    with pytest.raises(TypeCheckError, match="undeclared"):
+        check("int f(void) { return nope; }")
+
+
+def test_redeclaration_same_scope():
+    with pytest.raises(TypeCheckError, match="redeclaration"):
+        check("int f(void) { int x; int x; return 0; }")
+
+
+def test_shadowing_in_inner_scope_allowed():
+    check("int f(void) { int x = 1; { int x = 2; } return x; }")
+
+
+def test_call_to_undeclared_function():
+    with pytest.raises(TypeCheckError, match="undeclared function"):
+        check("int f(void) { return g(); }")
+
+
+def test_wrong_arity():
+    with pytest.raises(TypeCheckError, match="expects"):
+        check(
+            "int g(int a) { return a; }"
+            "int f(void) { return g(1, 2); }"
+        )
+
+
+def test_builtins_usable():
+    check("u_long f(u_long x) { return htonl(x); }")
+
+
+def test_member_on_non_struct():
+    with pytest.raises(TypeCheckError):
+        check("int f(int x) { return x.field; }")
+
+
+def test_unknown_field():
+    with pytest.raises(TypeCheckError, match="no field"):
+        check(
+            "struct s { int a; };"
+            "int f(struct s *p) { return p->b; }"
+        )
+
+
+def test_arrow_requires_pointer():
+    with pytest.raises(TypeCheckError):
+        check(
+            "struct s { int a; };"
+            "int f(struct s v) { return v->a; }"
+        )
+
+
+def test_deref_requires_pointer():
+    with pytest.raises(TypeCheckError, match="dereference"):
+        check("int f(int x) { return *x; }")
+
+
+def test_address_of_literal_rejected():
+    with pytest.raises(TypeCheckError, match="non-lvalue"):
+        check("int f(void) { return *&3; }")
+
+
+def test_assignment_to_rvalue():
+    with pytest.raises(TypeCheckError, match="non-lvalue"):
+        check("int f(int a) { (a + 1) = 2; return a; }")
+
+
+def test_pointer_plus_pointer_rejected():
+    with pytest.raises(TypeCheckError):
+        check("int f(int *p, int *q) { return *(p + q); }")
+
+
+def test_pointer_difference_is_int():
+    info = check("int f(int *p, int *q) { return p - q; }")
+    func = next(
+        f for f in info.program.funcs if f.name == "f"
+    )
+    ret = func.body.stmts[0]
+    assert info.type_of(ret.value) == ct.INT
+
+
+def test_array_index_must_be_integer():
+    with pytest.raises(TypeCheckError, match="index"):
+        check(
+            "struct s { int a; };"
+            "int f(int *v, struct s *p) { return v[p]; }"
+        )
+
+
+def test_void_function_returning_value():
+    with pytest.raises(TypeCheckError):
+        check("void f(void) { return 3; }")
+
+
+def test_nonvoid_return_without_value():
+    with pytest.raises(TypeCheckError, match="missing return value"):
+        check("int f(void) { return; }")
+
+
+def test_redefinition_of_function():
+    with pytest.raises(TypeCheckError, match="redefinition"):
+        check("int f(void) { return 0; } int f(void) { return 1; }")
+
+
+def test_sizeof_typed_unsigned():
+    info = check("int f(void) { return sizeof(long); }")
+    func = info.program.funcs[0]
+    ret = func.body.stmts[0]
+    assert info.type_of(ret.value) == ct.U_INT
+
+
+def test_pointer_arithmetic_types():
+    info = check(
+        "struct s { caddr_t p; };"
+        "void f(struct s *x) { x->p = x->p + 4; }"
+    )
+    assert info is not None
+
+
+def test_usual_arithmetic_conversions():
+    assert ct.common_arith_type(ct.INT, ct.U_INT) == ct.UNSIGNED
+    assert ct.common_arith_type(ct.INT, ct.LONG) == ct.INT
+    with pytest.raises(TypeCheckError):
+        ct.common_arith_type(ct.VOID, ct.INT)
+
+
+def test_wrap_int_behaviour():
+    assert ct.wrap_int(0x1_0000_0000, ct.U_LONG) == 0
+    assert ct.wrap_int(0x8000_0000, ct.INT) == -0x8000_0000
+    assert ct.wrap_int(-1, ct.U_LONG) == 0xFFFFFFFF
+    assert ct.wrap_int(200, ct.CHAR) == -56

@@ -1,0 +1,55 @@
+"""Auth area tests."""
+
+import pytest
+
+from repro.errors import RpcProtocolError
+from repro.rpc.auth import (
+    AUTH_NONE,
+    AUTH_SYS,
+    AuthSysParams,
+    OpaqueAuth,
+    make_auth_none,
+    make_auth_sys,
+    parse_auth_sys,
+    xdr_opaque_auth,
+)
+from repro.xdr import XdrMemStream, XdrOp
+
+
+def test_null_auth():
+    auth = make_auth_none()
+    assert auth.flavor == AUTH_NONE and auth.body == b""
+
+
+def test_opaque_auth_roundtrip():
+    auth = OpaqueAuth(AUTH_SYS, b"abcd")
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    xdr_opaque_auth(stream, auth)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    assert xdr_opaque_auth(dec, None) == auth
+
+
+def test_body_length_capped():
+    with pytest.raises(RpcProtocolError, match="too long"):
+        OpaqueAuth(AUTH_SYS, b"\x00" * 401)
+
+
+def test_auth_sys_roundtrip():
+    auth = make_auth_sys(123, "hostname", 1000, 100, [10, 20])
+    params = parse_auth_sys(auth)
+    assert params == AuthSysParams(123, "hostname", 1000, 100, (10, 20))
+
+
+def test_auth_sys_machine_name_limit():
+    with pytest.raises(RpcProtocolError):
+        make_auth_sys(1, "x" * 256, 0, 0)
+
+
+def test_auth_sys_gid_limit():
+    with pytest.raises(RpcProtocolError):
+        make_auth_sys(1, "h", 0, 0, list(range(17)))
+
+
+def test_parse_rejects_wrong_flavor():
+    with pytest.raises(RpcProtocolError, match="not an AUTH_SYS"):
+        parse_auth_sys(make_auth_none())

@@ -1,0 +1,147 @@
+"""RPC message header tests (RFC 1057 §8)."""
+
+import pytest
+
+from repro.errors import RpcDeniedError, RpcProtocolError
+from repro.rpc.auth import NULL_AUTH, OpaqueAuth
+from repro.rpc.message import (
+    AcceptStat,
+    AcceptedReply,
+    AuthStat,
+    CallHeader,
+    DeniedReply,
+    RejectStat,
+    decode_call_header,
+    decode_reply_header,
+    encode_accepted_reply,
+    encode_call_header,
+    encode_denied_reply,
+    raise_for_reply,
+)
+from repro.xdr import XdrMemStream, XdrOp
+
+
+def encode_decode_call(header):
+    stream = XdrMemStream(bytearray(512), XdrOp.ENCODE)
+    encode_call_header(stream, header)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    return decode_call_header(dec), stream.data()
+
+
+def test_call_header_roundtrip():
+    header = CallHeader(0xDEADBEEF, 100003, 2, 17)
+    got, _wire = encode_decode_call(header)
+    assert got == header
+
+
+def test_call_header_layout():
+    """The paper's Figure 1: xid, CALL, RPCVERS=2, prog, vers, proc,
+    then two null auth areas — ten 4-byte units."""
+    header = CallHeader(1, 2, 3, 4)
+    _got, wire = encode_decode_call(header)
+    assert len(wire) == 40
+    words = [int.from_bytes(wire[i:i + 4], "big") for i in range(0, 40, 4)]
+    assert words == [1, 0, 2, 2, 3, 4, 0, 0, 0, 0]
+
+
+def test_call_header_with_credentials():
+    cred = OpaqueAuth(1, b"\x00" * 12)
+    header = CallHeader(9, 8, 7, 6, cred=cred)
+    got, _wire = encode_decode_call(header)
+    assert got.cred == cred
+
+
+def test_reply_message_rejected_as_call():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    encode_accepted_reply(stream, 5, AcceptStat.SUCCESS)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    with pytest.raises(RpcProtocolError, match="expected CALL"):
+        decode_call_header(dec)
+
+
+def test_bad_rpc_version():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    from repro.xdr import xdr_u_long
+
+    xdr_u_long(stream, 1)  # xid
+    xdr_u_long(stream, 0)  # CALL
+    xdr_u_long(stream, 3)  # bad version
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    with pytest.raises(RpcProtocolError, match="version"):
+        decode_call_header(dec)
+
+
+def test_accepted_success_roundtrip():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    encode_accepted_reply(stream, 77, AcceptStat.SUCCESS)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    reply = decode_reply_header(dec)
+    assert isinstance(reply, AcceptedReply)
+    assert reply.xid == 77 and reply.stat == AcceptStat.SUCCESS
+
+
+def test_prog_mismatch_carries_range():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    encode_accepted_reply(
+        stream, 1, AcceptStat.PROG_MISMATCH, NULL_AUTH, mismatch=(2, 5)
+    )
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    reply = decode_reply_header(dec)
+    assert reply.mismatch == (2, 5)
+
+
+def test_denied_rpc_mismatch():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    encode_denied_reply(stream, 3, RejectStat.RPC_MISMATCH, (2, 2))
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    reply = decode_reply_header(dec)
+    assert isinstance(reply, DeniedReply)
+    assert reply.detail == (2, 2)
+
+
+def test_denied_auth_error():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    encode_denied_reply(
+        stream, 3, RejectStat.AUTH_ERROR, AuthStat.AUTH_TOOWEAK
+    )
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    reply = decode_reply_header(dec)
+    assert reply.detail == AuthStat.AUTH_TOOWEAK
+
+
+def test_raise_for_reply_success_passes():
+    reply = AcceptedReply(1, NULL_AUTH, AcceptStat.SUCCESS)
+    assert raise_for_reply(reply) is reply
+
+
+@pytest.mark.parametrize(
+    "stat",
+    [
+        AcceptStat.PROG_UNAVAIL,
+        AcceptStat.PROC_UNAVAIL,
+        AcceptStat.GARBAGE_ARGS,
+        AcceptStat.SYSTEM_ERR,
+    ],
+)
+def test_raise_for_reply_failures(stat):
+    reply = AcceptedReply(1, NULL_AUTH, stat)
+    with pytest.raises(RpcDeniedError, match=stat.name):
+        raise_for_reply(reply)
+
+
+def test_raise_for_denied():
+    reply = DeniedReply(1, RejectStat.AUTH_ERROR, AuthStat.AUTH_BADCRED)
+    with pytest.raises(RpcDeniedError, match="AUTH_ERROR"):
+        raise_for_reply(reply)
+
+
+def test_garbage_reply_stat():
+    stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+    from repro.xdr import xdr_u_long
+
+    xdr_u_long(stream, 1)   # xid
+    xdr_u_long(stream, 1)   # REPLY
+    xdr_u_long(stream, 99)  # bad reply_stat
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    with pytest.raises(RpcProtocolError, match="reply_stat"):
+        decode_reply_header(dec)

@@ -1,0 +1,86 @@
+"""TCP record marking tests."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import RpcProtocolError
+from repro.rpc.record import read_record, write_record
+
+
+def pipe():
+    server, client = socket.socketpair()
+    return server, client
+
+
+def transfer(payload, fragment_size=8192):
+    left, right = pipe()
+    try:
+        writer = threading.Thread(
+            target=write_record, args=(left, payload, fragment_size)
+        )
+        writer.start()
+        got = read_record(right)
+        writer.join()
+        return got
+    finally:
+        left.close()
+        right.close()
+
+
+def test_small_record():
+    assert transfer(b"hello") == b"hello"
+
+
+def test_empty_record():
+    assert transfer(b"") == b""
+
+
+def test_multi_fragment_record():
+    payload = bytes(range(256)) * 64  # 16 KiB
+    assert transfer(payload, fragment_size=1024) == payload
+
+
+def test_fragment_boundary_exact():
+    payload = b"x" * 2048
+    assert transfer(payload, fragment_size=1024) == payload
+
+
+def test_record_too_large_rejected():
+    left, right = pipe()
+    try:
+        writer = threading.Thread(
+            target=write_record, args=(left, b"y" * 4096, 512)
+        )
+        writer.start()
+        with pytest.raises(RpcProtocolError, match="too large"):
+            read_record(right, max_size=1024)
+        writer.join()
+    finally:
+        left.close()
+        right.close()
+
+
+def test_connection_closed_mid_record():
+    left, right = pipe()
+    try:
+        left.sendall((100).to_bytes(4, "big"))  # promises 100 bytes
+        left.sendall(b"short")
+        left.close()
+        with pytest.raises(RpcProtocolError, match="closed"):
+            read_record(right)
+    finally:
+        right.close()
+
+
+def test_back_to_back_records():
+    left, right = pipe()
+    try:
+        write_record(left, b"first")
+        write_record(left, b"second")
+        assert read_record(right) == b"first"
+        assert read_record(right) == b"second"
+    finally:
+        left.close()
+        right.close()

@@ -1,0 +1,154 @@
+"""Python stub generation tests."""
+
+import pytest
+
+from repro.rpc import SvcRegistry, UdpClient, UdpServer
+from repro.rpcgen.codegen_py import generate_python, load_python
+from repro.rpcgen.idl_parser import parse_idl
+from repro.xdr import XdrMemStream, XdrOp
+
+IDL = """
+const LIMIT = 16;
+
+enum kind { ALPHA = 0, BETA = 1 };
+
+typedef int row<LIMIT>;
+
+struct inner { int a; double b; };
+
+struct record {
+    kind tag;
+    string name<32>;
+    inner nested;
+    int fixed[3];
+    int bounded<LIMIT>;
+    opaque digest[4];
+    record *next;
+};
+
+union outcome switch (int status) {
+case 0:
+    int value;
+default:
+    void;
+};
+
+program DEMO_PROG {
+    version DEMO_VERS {
+        record ECHO(record) = 1;
+        outcome CHECK(int) = 2;
+        int PING(void) = 3;
+    } = 1;
+} = 0x20003333;
+"""
+
+
+@pytest.fixture(scope="module")
+def stubs():
+    return load_python(parse_idl(IDL), "demo_stubs")
+
+
+def roundtrip(stubs, filter_name, value):
+    filt = getattr(stubs, filter_name)
+    stream = XdrMemStream(bytearray(4096), XdrOp.ENCODE)
+    filt(stream, value)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    return filt(dec, None)
+
+
+def test_source_is_valid_python():
+    source = generate_python(parse_idl(IDL))
+    compile(source, "<stubs>", "exec")
+
+
+def test_constants(stubs):
+    assert stubs.LIMIT == 16
+    assert stubs.DEMO_PROG == 0x20003333
+
+
+def test_enum_namespace(stubs):
+    assert stubs.kind.BETA == 1
+
+
+def test_struct_defaults(stubs):
+    record = stubs.record()
+    assert record.tag == 0
+    assert record.name == ""
+    assert record.next is None
+    assert isinstance(record.nested, stubs.inner)
+
+
+def test_struct_equality_and_repr(stubs):
+    a = stubs.inner(a=1, b=2.0)
+    b = stubs.inner(a=1, b=2.0)
+    assert a == b
+    assert "inner(" in repr(a)
+
+
+def test_unknown_field_rejected(stubs):
+    with pytest.raises(TypeError, match="unexpected"):
+        stubs.inner(zzz=1)
+
+
+def test_nested_struct_roundtrip(stubs):
+    value = stubs.record(
+        tag=stubs.kind.BETA,
+        name="node",
+        nested=stubs.inner(a=7, b=1.5),
+        fixed=[1, 2, 3],
+        bounded=[10, 20],
+        digest=b"\x01\x02\x03\x04",
+        next=stubs.record(name="tail", fixed=[4, 5, 6],
+                          digest=b"\x00" * 4),
+    )
+    got = roundtrip(stubs, "xdr_record", value)
+    assert got == value
+    assert got.next.name == "tail"
+    assert got.next.next is None
+
+
+def test_typedef_filter(stubs):
+    assert roundtrip(stubs, "xdr_row", [3, 1, 4]) == [3, 1, 4]
+
+
+def test_union_filter(stubs):
+    assert roundtrip(stubs, "xdr_outcome", (0, 55)) == (0, 55)
+    assert roundtrip(stubs, "xdr_outcome", (9, None)) == (9, None)
+
+
+def test_enum_filter_validates(stubs):
+    from repro.errors import XdrError
+
+    stream = XdrMemStream(bytearray(8), XdrOp.ENCODE)
+    from repro.xdr.primitives import xdr_long
+
+    xdr_long(stream, 77)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    with pytest.raises(XdrError):
+        stubs.xdr_kind(dec, None)
+
+
+def test_client_and_server_stubs_end_to_end(stubs):
+    class Impl:
+        def ECHO(self, record):
+            record.name = record.name + "!"
+            return record
+
+        def CHECK(self, value):
+            return (0, value) if value > 0 else (1, None)
+
+        def PING(self):
+            return 99
+
+    registry = SvcRegistry()
+    stubs.register_DEMO_PROG_1(registry, Impl())
+    with UdpServer(registry) as server:
+        with UdpClient("127.0.0.1", server.port, stubs.DEMO_PROG,
+                       1) as transport:
+            client = stubs.DEMO_PROG_1_client(transport)
+            record = stubs.record(name="hi", fixed=[0, 0, 0],
+                                  digest=b"\x00" * 4)
+            assert client.ECHO(record).name == "hi!"
+            assert client.CHECK(5) == (0, 5)
+            assert client.CHECK(-5) == (1, None)
+            assert client.PING() == 99

@@ -1,0 +1,148 @@
+"""IDL (.x) parser tests."""
+
+import pytest
+
+from repro.errors import IdlError
+from repro.rpcgen import idl_ast as idl
+from repro.rpcgen.idl_parser import parse_idl
+
+
+def test_const():
+    iface = parse_idl("const MAX = 512;")
+    assert iface.consts[0].name == "MAX"
+    assert iface.consts[0].value == 512
+
+
+def test_const_hex_and_negative():
+    iface = parse_idl("const A = 0x10; const B = -3;")
+    assert [c.value for c in iface.consts] == [16, -3]
+
+
+def test_const_usable_in_bounds():
+    iface = parse_idl(
+        "const MAX = 8;\nstruct s { int v<MAX>; };"
+    )
+    field = iface.struct("s").fields[0]
+    assert isinstance(field.type, idl.VarArray)
+    assert field.type.bound == 8
+
+
+def test_enum():
+    iface = parse_idl("enum color { RED = 1, GREEN, BLUE = 9 };")
+    assert iface.enums[0].members == [
+        ("RED", 1), ("GREEN", 2), ("BLUE", 9),
+    ]
+
+
+def test_struct_scalar_fields():
+    iface = parse_idl(
+        "struct s { int a; unsigned int b; bool c; double d; };"
+    )
+    types = [f.type for f in iface.struct("s").fields]
+    assert types == [
+        idl.Prim("int"), idl.Prim("u_int"), idl.Prim("bool"),
+        idl.Prim("double"),
+    ]
+
+
+def test_struct_array_forms():
+    iface = parse_idl(
+        "struct s { int fixed[4]; int bounded<16>; int open<>; };"
+    )
+    fixed, bounded, opened = [f.type for f in iface.struct("s").fields]
+    assert fixed == idl.FixedArray(idl.Prim("int"), 4)
+    assert bounded == idl.VarArray(idl.Prim("int"), 16)
+    assert opened.bound == 0xFFFFFFFF
+
+
+def test_string_and_opaque():
+    iface = parse_idl(
+        "struct s { string name<32>; opaque digest[16]; opaque blob<64>; };"
+    )
+    name, digest, blob = [f.type for f in iface.struct("s").fields]
+    assert name == idl.StringT(32)
+    assert digest == idl.OpaqueFixed(16)
+    assert blob == idl.OpaqueVar(64)
+
+
+def test_optional_pointer():
+    iface = parse_idl(
+        "struct node { int value; node *next; };"
+    )
+    next_field = iface.struct("node").fields[1]
+    assert isinstance(next_field.type, idl.Optional)
+
+
+def test_typedef():
+    iface = parse_idl("typedef int row<8>;")
+    assert iface.typedefs[0].name == "row"
+    assert isinstance(iface.typedefs[0].type, idl.VarArray)
+
+
+def test_typedef_resolution():
+    iface = parse_idl(
+        "typedef int row<8>;\ntypedef row grid;\n"
+    )
+    resolved = iface.resolve(idl.Named("grid"))
+    assert isinstance(resolved, idl.VarArray)
+
+
+def test_union():
+    iface = parse_idl(
+        """
+        union result switch (int status) {
+        case 0:
+            int value;
+        case 1:
+        case 2:
+            string message<64>;
+        default:
+            void;
+        };
+        """
+    )
+    union = iface.unions[0]
+    assert union.disc_name == "status"
+    assert union.arms[0].values == [0]
+    assert union.arms[1].values == [1, 2]
+    assert union.default is not None
+
+
+def test_program_declaration():
+    iface = parse_idl(
+        """
+        program P {
+            version V1 {
+                int PING(void) = 0;
+                int ADD(int) = 1;
+            } = 1;
+            version V2 {
+                int ADD(int) = 1;
+            } = 2;
+        } = 0x20000001;
+        """
+    )
+    program = iface.programs[0]
+    assert program.number == 0x20000001
+    assert [v.number for v in program.versions] == [1, 2]
+    assert program.versions[0].procs[1].name == "ADD"
+
+
+def test_comments_allowed():
+    iface = parse_idl(
+        """
+        /* block comment */
+        const A = 1; // line comment
+        """
+    )
+    assert iface.consts[0].value == 1
+
+
+def test_error_reports_location():
+    with pytest.raises(IdlError, match="at "):
+        parse_idl("struct s { int; };")
+
+
+def test_unknown_toplevel():
+    with pytest.raises(IdlError, match="top-level"):
+        parse_idl("banana;")

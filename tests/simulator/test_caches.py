@@ -1,0 +1,75 @@
+"""Cache model tests."""
+
+import pytest
+
+from repro.errors import SimulatorError
+from repro.simulator.caches import DirectMappedCache
+
+
+def test_cold_miss_then_hit():
+    cache = DirectMappedCache(1024, line_size=32, miss_penalty=10)
+    assert cache.access(0x100) == 10
+    assert cache.access(0x100) == 0
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_same_line_shares():
+    cache = DirectMappedCache(1024, line_size=32, miss_penalty=10)
+    cache.access(0x100)
+    assert cache.access(0x104) == 0  # same 32-byte line
+
+
+def test_conflict_eviction():
+    cache = DirectMappedCache(64, line_size=32, miss_penalty=5)  # 2 lines
+    cache.access(0x00)
+    cache.access(0x40)  # maps to the same index, evicts
+    assert cache.access(0x00) == 5  # miss again
+
+
+def test_capacity_streaming():
+    cache = DirectMappedCache(128, line_size=32, miss_penalty=1)
+    for address in range(0, 1024, 32):
+        cache.access(address)
+    # Second pass over a working set 8x the cache: all misses.
+    misses_before = cache.misses
+    for address in range(0, 1024, 32):
+        cache.access(address)
+    assert cache.misses == misses_before + 32
+
+
+def test_bulk_access_touches_every_line():
+    cache = DirectMappedCache(4096, line_size=32, miss_penalty=2)
+    cycles = cache.access(0, size=320)  # 10 lines
+    assert cycles == 20
+    assert cache.misses == 10
+
+
+def test_next_level_chain():
+    l2 = DirectMappedCache(4096, line_size=32, miss_penalty=20, name="l2")
+    l1 = DirectMappedCache(
+        128, line_size=32, miss_penalty=3, next_level=l2, name="l1"
+    )
+    assert l1.access(0x100) == 23  # L1 miss + L2 miss
+    assert l1.access(0x100) == 0   # L1 hit
+    l1.access(0x1000)  # evict 0x100 from tiny L1 (same index eventually)
+    for addr in range(0, 4096, 32):
+        l1.access(addr)
+    # 0x100 should now be L1-miss but L2-hit.
+    cycles = l1.access(0x100)
+    assert cycles == 3
+
+
+def test_reset_and_stats():
+    l2 = DirectMappedCache(4096, miss_penalty=20, name="l2")
+    l1 = DirectMappedCache(128, miss_penalty=3, next_level=l2, name="l1")
+    l1.access(0)
+    stats = l1.stats()
+    assert stats["l1_misses"] == 1 and stats["l2_misses"] == 1
+    l1.reset()
+    assert l1.stats()["l1_misses"] == 0
+    assert l1.access(0) == 23
+
+
+def test_bad_geometry():
+    with pytest.raises(SimulatorError):
+        DirectMappedCache(100, line_size=32)

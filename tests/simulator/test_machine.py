@@ -1,0 +1,132 @@
+"""Machine replay tests."""
+
+import pytest
+
+from repro.minic import cost
+from repro.minic.cost import Trace
+from repro.simulator.caches import DirectMappedCache
+from repro.simulator.cost_model import base_costs
+from repro.simulator.machine import Machine
+from repro.simulator.network import Link
+from repro.simulator.roundtrip import RoundTripModel, with_bzero_prologue
+
+
+def machine(**kwargs):
+    unified = DirectMappedCache(4096, line_size=32, miss_penalty=10)
+    defaults = dict(
+        name="test",
+        clock_hz=1e6,
+        costs=base_costs(ifetch=1.0),
+        icache=unified,
+        dcache=unified,
+    )
+    defaults.update(kwargs)
+    return Machine(**defaults)
+
+
+def test_instruction_cycles_accumulate():
+    trace = Trace()
+    for _ in range(10):
+        trace.emit(cost.ALU, 0)
+    result = machine().replay(trace)
+    # ALU costs 0 in the default table; IFETCH drives cycles.
+    trace2 = Trace()
+    for index in range(10):
+        trace2.emit(cost.IFETCH, 0)  # code addr 0: no icache access
+    result2 = machine().replay(trace2)
+    assert result2.cycles == 10
+    assert result.cycles == 0
+
+
+def test_icache_charged_for_code_addresses():
+    trace = Trace()
+    for index in range(8):
+        trace.emit(cost.IFETCH, 0x1000 + index * 64)
+    result = machine().replay(trace)
+    assert result.icache_cycles == 80  # 8 cold misses
+
+
+def test_steady_state_warms_caches():
+    trace = Trace()
+    for index in range(8):
+        trace.emit(cost.IFETCH, 0x1000 + index * 64)
+    m = machine()
+    steady = m.steady_state_time(trace)
+    assert steady.icache_cycles == 0  # everything warm
+
+
+def test_steady_state_capacity_misses_remain():
+    trace = Trace()
+    for index in range(0, 16384, 32):  # 4x the cache
+        trace.emit(cost.IFETCH, 0x1000 + index)
+    m = machine()
+    steady = m.steady_state_time(trace)
+    assert steady.icache_cycles > 0
+
+
+def test_write_buffer_stalls_dense_stores():
+    dense = Trace()
+    for index in range(16):
+        dense.emit(cost.STORE, 0, 0x2000 + index * 4, 4)
+    sparse = Trace()
+    for index in range(16):
+        sparse.emit(cost.STORE, 0, 0x2000 + index * 4, 4)
+        for _ in range(20):
+            sparse.emit(cost.IFETCH, 0)
+    drain_machine = machine(write_drain_cycles=8)
+    dense_time = drain_machine.steady_state_time(dense)
+    drain_machine2 = machine(write_drain_cycles=8)
+    sparse_time = drain_machine2.steady_state_time(sparse)
+    assert dense_time.store_through_cycles > 0
+    assert sparse_time.store_through_cycles == 0
+
+
+def test_bulk_store_charged_per_word():
+    trace = Trace()
+    trace.emit(cost.STORE, 0, 0x3000, 400)
+    result = machine().steady_state_time(trace)
+    assert result.instr_cycles >= 100  # 100 words
+
+
+def test_net_events_tallied():
+    trace = Trace()
+    trace.emit(cost.NET_SEND, 0, 0, 120)
+    trace.emit(cost.NET_RECV, 0, 0x4000, 80)
+    result = machine().replay(trace)
+    assert result.net_send_bytes == 120
+    assert result.net_recv_bytes == 80
+
+
+def test_fixed_overhead_added():
+    empty = Trace()
+    m = machine(fixed_overhead_s=1e-3)
+    assert m.steady_state_time(empty).seconds == 1e-3
+
+
+def test_link_transfer_time():
+    link = Link("x", latency_s=1e-3, bandwidth_bps=1e6)
+    assert link.transfer_time(0) == 1e-3
+    assert abs(link.transfer_time(125) - (1e-3 + 1e-3)) < 1e-9
+
+
+def test_roundtrip_composition():
+    client, server = Trace(), Trace()
+    client.emit(cost.IFETCH, 0)
+    server.emit(cost.IFETCH, 0)
+    link = Link("x", latency_s=1e-3, bandwidth_bps=1e9)
+    model = RoundTripModel(machine(), machine(), link)
+    breakdown = model.breakdown(client, server, 100, 100)
+    assert breakdown["total_s"] == pytest.approx(
+        breakdown["client_s"] + breakdown["server_s"]
+        + breakdown["request_wire_s"] + breakdown["reply_wire_s"]
+    )
+    assert breakdown["total_s"] > 2e-3
+
+
+def test_bzero_prologue_prepends_store():
+    trace = Trace()
+    trace.emit(cost.IFETCH, 0)
+    combined = with_bzero_prologue(trace, 8800)
+    assert combined.events[0][0] == cost.STORE
+    assert combined.events[0][3] == 8800
+    assert len(combined) == 2

@@ -1,0 +1,188 @@
+"""Offline binding-time analysis tests, including cross-validation
+against the online specializer."""
+
+from repro.minic import ast
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+from repro.tempo.bta import D, S, analyze
+
+
+def marks_of(source, entry, assumptions):
+    program = parse_program(source)
+    return program, analyze(program, entry, assumptions)
+
+
+def test_static_only_function():
+    program, result = marks_of(
+        "int f(int a) { return a * 2 + 1; }", "f", {"a": Known(3)}
+    )
+    func = program.func("f")
+    assert result.dynamic_fraction(func) == 0.0
+
+
+def test_dynamic_parameter_propagates():
+    program, result = marks_of(
+        "int f(int a, int b) { return a + b; }", "f",
+        {"a": Known(1), "b": Dyn()},
+    )
+    func = program.func("f")
+    ret = func.body.stmts[0]
+    assert result.is_dynamic(ret.value)
+
+
+def test_static_condition_still_joins_branches():
+    """Offline congruence: unlike the online engine, BTA analyzes both
+    branches of even a static conditional, so a variable assigned
+    differently in the two branches is static only if both sides are."""
+    source = """
+    int f(int mode, int d) {
+        int x;
+        if (mode)
+            x = 1;
+        else
+            x = d;
+        return x;
+    }
+    """
+    program, result = marks_of(
+        source, "f", {"mode": Known(1), "d": Dyn()}
+    )
+    ret = [s for s in ast.walk(program.func("f")) if isinstance(s, ast.Return)]
+    assert result.is_dynamic(ret[0].value)
+
+
+def test_partially_static_struct_fields():
+    source = """
+    struct XDR { int x_op; int x_handy; caddr_t x_private; };
+    int f(struct XDR *xdrs) {
+        if (xdrs->x_op == 0)
+            return xdrs->x_handy;
+        return 0;
+    }
+    """
+    program, result = marks_of(
+        source, "f",
+        {"xdrs": PtrTo(StructOf(x_op=Known(0), x_handy=Known(4),
+                                x_private=Dyn()))},
+    )
+    func = program.func("f")
+    member_reads = [
+        node for node in ast.walk(func) if isinstance(node, ast.Member)
+    ]
+    assert all(not result.is_dynamic(node) for node in member_reads)
+
+
+def test_dynamic_field_is_dynamic():
+    source = """
+    struct XDR { int x_op; caddr_t x_private; };
+    caddr_t f(struct XDR *xdrs) { return xdrs->x_private; }
+    """
+    program, result = marks_of(
+        source, "f", {"xdrs": PtrTo(StructOf(x_op=Known(0)))}
+    )
+    ret = [s for s in ast.walk(program.func("f"))
+           if isinstance(s, ast.Return)][0]
+    assert result.is_dynamic(ret.value)
+
+
+def test_loop_fixpoint_demotes_accumulator():
+    source = """
+    int f(int n, int d) {
+        int s = 0;
+        for (int i = 0; i < n; i++)
+            s = s + d;
+        return s;
+    }
+    """
+    program, result = marks_of(
+        source, "f", {"n": Known(4), "d": Dyn()}
+    )
+    ret = [s for s in ast.walk(program.func("f"))
+           if isinstance(s, ast.Return)][0]
+    assert result.is_dynamic(ret.value)
+
+
+def test_static_loop_stays_static():
+    source = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++)
+            s = s + i;
+        return s;
+    }
+    """
+    program, result = marks_of(source, "f", {"n": Known(4)})
+    assert result.dynamic_fraction(program.func("f")) == 0.0
+
+
+def test_static_returns_refinement():
+    """A function returning a constant under dynamic control still has
+    a static return binding time (the paper's §4 'static returns')."""
+    source = """
+    int check(int d) {
+        if (d > 0)
+            return 1;
+        return 1;
+    }
+    int f(int d) { return check(d); }
+    """
+    program, result = marks_of(source, "f", {"d": Dyn()})
+    ret = [s for s in ast.walk(program.func("f"))
+           if isinstance(s, ast.Return)][0]
+    assert not result.is_dynamic(ret.value)
+
+
+def test_polyvariant_summaries():
+    source = """
+    int scale(int k, int x) { return k * x; }
+    int f(int s, int d) { return scale(2, s) + scale(3, d); }
+    """
+    program, result = marks_of(
+        source, "f", {"s": Known(5), "d": Dyn()}
+    )
+    summaries = {
+        key: bt for key, bt in result.summaries.items()
+        if key[0] == "scale"
+    }
+    assert sorted(summaries.values()) == [D, S]
+
+
+def test_paper_excerpt_binding_times(xdr_excerpt_source):
+    """On the paper's own code: x_op/x_handy computations static, the
+    buffer stores dynamic."""
+    program = parse_program(xdr_excerpt_source)
+    result = analyze(
+        program, "xdr_pair",
+        {
+            "xdrs": PtrTo(StructOf(x_op=Known(0), x_handy=Known(400),
+                                   x_private=Dyn(), x_base=Dyn())),
+            "objp": PtrTo(StructOf()),
+        },
+    )
+    putlong = program.func("xdrmem_putlong")
+    # The overflow test is static; the store through x_private is not.
+    fraction = result.dynamic_fraction(putlong)
+    assert 0.0 < fraction < 1.0
+    for node in ast.walk(putlong):
+        if isinstance(node, ast.Assign) and isinstance(
+            node.target, ast.Unary
+        ):
+            assert result.is_dynamic(node)
+
+
+def test_bta_sound_wrt_online_specializer(xdr_excerpt_source):
+    """Soundness cross-check: anything the offline BTA calls static,
+    the (more precise) online engine also computed statically — i.e.
+    online-dynamic implies BTA-dynamic."""
+    program = parse_program(xdr_excerpt_source)
+    assumptions = {
+        "xdrs": PtrTo(StructOf(x_op=Known(0), x_handy=Known(400),
+                               x_private=Dyn(), x_base=Dyn())),
+        "objp": PtrTo(StructOf()),
+    }
+    offline = analyze(program, "xdr_pair", assumptions)
+    online = specialize(program, "xdr_pair", assumptions).specializer
+    for uid, marks in online.bt_marks.items():
+        if marks == {"D"}:
+            bta_marks = offline.marks.get(uid, set())
+            assert "D" in bta_marks, f"node {uid}: online D, BTA {bta_marks}"

@@ -1,0 +1,101 @@
+"""Driver-level tests: assumption validation, result surface."""
+
+import pytest
+
+from repro.errors import SpecializationError
+from repro.minic import values as rv
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, DynPtr, Known, PtrTo, StructOf, specialize
+from repro.tempo.assumptions import ArrayOf
+
+
+def test_unknown_parameter_rejected():
+    program = parse_program("int f(int a) { return a; }")
+    with pytest.raises(SpecializationError, match="unknown parameter"):
+        specialize(program, "f", {"nope": Known(1)})
+
+
+def test_unknown_entry_rejected():
+    program = parse_program("int f(int a) { return a; }")
+    with pytest.raises(KeyError):
+        specialize(program, "nope", {})
+
+
+def test_struct_assumption_needs_struct_pointer():
+    program = parse_program("int f(int a) { return a; }")
+    with pytest.raises(SpecializationError, match="struct pointer"):
+        specialize(program, "f", {"a": PtrTo(StructOf())})
+
+
+def test_omitted_params_default_dynamic():
+    program = parse_program("int f(int a, int b) { return a + b; }")
+    result = specialize(program, "f", {"a": Known(1)})
+    assert [name for _t, name in result.residual_params] == ["b"]
+
+
+def test_custom_residual_name():
+    program = parse_program("int f(int a) { return a; }")
+    result = specialize(program, "f", {}, residual_name="fancy")
+    assert result.entry_name == "fancy"
+    assert result.program.has_func("fancy")
+
+
+def test_ptr_to_known_scalar_folds():
+    source = "int f(int *p) { return *p + 1; }"
+    result = specialize(parse_program(source), "f",
+                        {"p": PtrTo(Known(41))})
+    assert "return 42;" in result.pretty()
+    assert result.residual_params == []
+
+
+def test_ptr_to_dyn_scalar_stays():
+    source = "int f(int *p) { return *p + 1; }"
+    result = specialize(parse_program(source), "f", {"p": PtrTo(Dyn())})
+    interp = Interpreter(result.program)
+    cell = rv.Cell(9)
+    assert interp.call(result.entry_name, [rv.CellPtr(cell)]) == 10
+
+
+def test_array_of_known_contents():
+    source = """
+    int f(int *a, int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++)
+            s += a[i];
+        return s;
+    }
+    """
+    result = specialize(
+        parse_program(source), "f",
+        {"a": PtrTo(ArrayOf(4, elem=Known(7))), "n": Known(4)},
+    )
+    assert "return 28;" in result.pretty()
+
+
+def test_report_shape():
+    program = parse_program("int f(int a) { return a * 2; }")
+    result = specialize(program, "f", {"a": Dyn()})
+    report = result.report()
+    assert report["entry"] == "f_spec"
+    assert report["residual_functions"] == ["f_spec"]
+    assert report["original_size_bytes"] > 0
+    assert report["residual_size_bytes"] > 0
+
+
+def test_typeinfo_reuse():
+    from repro.minic.typecheck import typecheck_program
+
+    program = parse_program("int f(int a) { return a; }")
+    info = typecheck_program(program)
+    result = specialize(program, "f", {"a": Known(5)}, typeinfo=info)
+    assert Interpreter(result.program).call("f_spec", []) == 5
+
+
+def test_dynptr_passthrough():
+    source = "caddr_t f(caddr_t p) { return p + 8; }"
+    result = specialize(parse_program(source), "f", {"p": DynPtr()})
+    interp = Interpreter(result.program)
+    buf = interp.make_buffer(16)
+    out = interp.call(result.entry_name, [rv.BufPtr(buf, 0, 1)])
+    assert out.offset == 8

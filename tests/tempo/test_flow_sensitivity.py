@@ -1,0 +1,195 @@
+"""Flow sensitivity: per-program-point binding times.
+
+The key pattern is the paper's §6.2 rewrite: a dynamic variable compared
+against a static expected value becomes static inside the matching
+branch, enabling specialization there while the general branch stays
+generic.
+"""
+
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+from repro.tempo.assumptions import ArrayOf
+from repro.tempo.specializer import Options
+
+
+def spec(source, entry, assumptions, **kwargs):
+    return specialize(parse_program(source), entry, assumptions, **kwargs)
+
+
+def run(program, entry, *args):
+    return Interpreter(program).call(entry, list(args))
+
+
+EXPECTED_INLEN_PATTERN = """
+int process(int inlen, int expected_inlen) {
+    int units;
+    if (inlen == expected_inlen) {
+        inlen = expected_inlen;
+        units = inlen / 4;
+        return units * 10;
+    }
+    units = inlen / 4;
+    return units;
+}
+"""
+
+
+def test_expected_inlen_branch_specializes():
+    result = spec(
+        EXPECTED_INLEN_PATTERN, "process",
+        {"inlen": Dyn(), "expected_inlen": Known(40)},
+    )
+    text = result.pretty()
+    # The matching branch computed 40/4*10 = 100 statically.
+    assert "100" in text
+    # The general branch still divides at run time.
+    assert "/" in text or "inlen" in text
+    assert run(result.program, "process_spec", 40) == 100
+    assert run(result.program, "process_spec", 12) == 3
+
+
+def test_flow_insensitive_ablation_loses_it():
+    result = spec(
+        EXPECTED_INLEN_PATTERN, "process",
+        {"inlen": Dyn(), "expected_inlen": Known(40)},
+        options=Options(flow_sensitive=False),
+    )
+    assert "100" not in result.pretty()
+    # Semantics must be preserved regardless.
+    assert run(result.program, "process_spec", 40) == 100
+    assert run(result.program, "process_spec", 12) == 3
+
+
+def test_branch_merge_lifts_conflicting_statics():
+    source = """
+    int f(int cond) {
+        int x = 1;
+        if (cond)
+            x = 2;
+        else
+            x = 3;
+        return x * 10;
+    }
+    """
+    result = spec(source, "f", {"cond": Dyn()})
+    assert run(result.program, "f_spec", 1) == 20
+    assert run(result.program, "f_spec", 0) == 30
+
+
+def test_agreeing_statics_stay_static():
+    source = """
+    int f(int cond) {
+        int x = 1;
+        if (cond)
+            x = 5;
+        else
+            x = 5;
+        return x;
+    }
+    """
+    result = spec(source, "f", {"cond": Dyn()})
+    text = result.pretty()
+    # x is 5 on both paths: the residual returns the constant.
+    assert "return 5;" in text
+
+
+def test_terminated_branch_preserves_fallthrough_statics():
+    """If one branch returns, statics assigned in the other branch
+    survive the join — the core of the §6.2 pattern."""
+    source = """
+    int f(int status) {
+        int size = 0;
+        if (status != 0)
+            return -1;
+        size = 16;
+        return size * 2;
+    }
+    """
+    result = spec(source, "f", {"status": Dyn()})
+    assert "return 32;" in result.pretty()
+    assert run(result.program, "f_spec", 0) == 32
+    assert run(result.program, "f_spec", 7) == -1
+
+
+def test_static_then_dynamic_then_static_again():
+    source = """
+    int f(int d) {
+        int x = 3;
+        x = d;
+        x = 8;
+        return x + 1;
+    }
+    """
+    result = spec(source, "f", {"d": Dyn()})
+    assert "return 9;" in result.pretty()
+
+
+def test_guarded_unroll_inside_branch():
+    """A dynamic length guarded against a known value unrolls the loop
+    inside the matching branch only."""
+    source = """
+    int f(int *a, int len, int expected) {
+        int s = 0;
+        if (len == expected) {
+            len = expected;
+            for (int i = 0; i < len; i++)
+                s += a[i];
+            return s;
+        }
+        for (int i = 0; i < len; i++)
+            s += a[i];
+        return s;
+    }
+    """
+    result = spec(
+        source, "f",
+        {"a": PtrTo(ArrayOf(8)), "len": Dyn(), "expected": Known(4)},
+    )
+    text = result.pretty()
+    assert "a[3]" in text     # unrolled fast path
+    assert "while" in text    # generic fallback loop survives
+    from repro.minic import values as rv
+
+    interp = Interpreter(result.program)
+    arr = interp.make_array("int", 8)
+    arr.set_values([1, 2, 3, 4, 5, 6, 7, 8])
+    pointer = rv.CellPtr(arr.elem(0), arr, 0)
+    assert interp.call("f_spec", [pointer, 4]) == 10
+    assert interp.call("f_spec", [pointer, 6]) == 21
+
+
+def test_merge_through_struct_fields():
+    source = """
+    struct st { int v; };
+    int f(struct st *s, int cond) {
+        s->v = 1;
+        if (cond)
+            s->v = 2;
+        return s->v;
+    }
+    """
+    result = spec(
+        source, "f", {"s": PtrTo(StructOf()), "cond": Dyn()}
+    )
+    interp = Interpreter(result.program)
+    st = interp.make_struct("st")
+    assert interp.call("f_spec", [interp.ptr_to(st), 1]) == 2
+    st2 = Interpreter(result.program)
+    st2_s = st2.make_struct("st")
+    assert st2.call("f_spec", [st2.ptr_to(st2_s), 0]) == 1
+
+
+def test_uninitialized_read_in_dead_branch_ok():
+    source = """
+    int f(int cond) {
+        int x;
+        if (cond == 3)
+            x = 7;
+        else
+            x = 9;
+        return x;
+    }
+    """
+    result = spec(source, "f", {"cond": Known(3)})
+    assert "return 7;" in result.pretty()

@@ -1,0 +1,156 @@
+"""Specializer option/ablation behaviour tests."""
+
+from repro.minic import values as rv
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+from repro.tempo.specializer import Options
+
+
+def spec(source, entry, assumptions, **kwargs):
+    return specialize(parse_program(source), entry, assumptions, **kwargs)
+
+
+PAIR_SOURCE = """
+struct XDR { int x_op; int x_handy; caddr_t x_private; };
+bool_t putlong(struct XDR *xdrs, long *lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0)
+        return 0;
+    *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+    xdrs->x_private = xdrs->x_private + sizeof(long);
+    return 1;
+}
+bool_t encode2(struct XDR *xdrs, long *a, long *b)
+{
+    if (!putlong(xdrs, a))
+        return 0;
+    if (!putlong(xdrs, b))
+        return 0;
+    return 1;
+}
+"""
+
+ASSUMPTIONS = {
+    "xdrs": PtrTo(StructOf(x_op=Known(0), x_handy=Known(64),
+                           x_private=Dyn())),
+    "a": PtrTo(Dyn()),
+    "b": PtrTo(Dyn()),
+}
+
+
+def run_encode2(program, entry):
+    interp = Interpreter(program)
+    xdrs = interp.make_struct("XDR")
+    buf = interp.make_buffer(64)
+    xdrs.field("x_op").value = 0
+    xdrs.field("x_handy").value = 64
+    xdrs.field("x_private").value = rv.BufPtr(buf, 0, 1)
+    a_cell, b_cell = rv.Cell(0x11), rv.Cell(-9)
+    status = interp.call(
+        entry,
+        [interp.ptr_to(xdrs), rv.CellPtr(a_cell), rv.CellPtr(b_cell)],
+    )
+    return status, buf.bytes()[:8]
+
+
+def test_inline_disabled_still_correct():
+    result = spec(
+        PAIR_SOURCE, "encode2", ASSUMPTIONS,
+        options=Options(inline=False),
+    )
+    # Everything is outlined: multiple residual functions remain.
+    assert len(result.program.funcs) > 1
+    assert run_encode2(result.program, result.entry_name) == run_encode2(
+        parse_program(PAIR_SOURCE), "encode2"
+    )
+
+
+def test_inline_enabled_collapses_to_entry():
+    result = spec(PAIR_SOURCE, "encode2", ASSUMPTIONS)
+    assert len(result.program.funcs) == 1
+    assert run_encode2(result.program, result.entry_name) == run_encode2(
+        parse_program(PAIR_SOURCE), "encode2"
+    )
+
+
+def test_every_ablation_preserves_semantics():
+    variants = {
+        "flow": Options(flow_sensitive=False),
+        "context": Options(context_sensitive=False),
+        "partial": Options(partially_static=False),
+        "returns": Options(static_returns=False),
+        "nounroll": Options(max_unroll=0),
+        "noinline": Options(inline=False),
+    }
+    expected = run_encode2(parse_program(PAIR_SOURCE), "encode2")
+    for name, options in variants.items():
+        result = spec(PAIR_SOURCE, "encode2", ASSUMPTIONS, options=options)
+        got = run_encode2(result.program, result.entry_name)
+        assert got == expected, name
+
+
+def test_context_insensitive_loses_constant_bake():
+    source = """
+    struct XDR { int x_handy; caddr_t x_private; };
+    bool_t put(struct XDR *xdrs, long v)
+    {
+        if ((xdrs->x_handy -= 4) < 0)
+            return 0;
+        *(long *)(xdrs->x_private) = v;
+        xdrs->x_private = xdrs->x_private + 4;
+        return 1;
+    }
+    int f(struct XDR *xdrs)
+    {
+        if (!put(xdrs, 17))
+            return 0;
+        if (!put(xdrs, 42))
+            return 0;
+        return 1;
+    }
+    """
+    assumptions = {
+        "xdrs": PtrTo(StructOf(x_handy=Known(64), x_private=Dyn())),
+    }
+    sensitive = spec(source, "f", assumptions)
+    assert "= 17" in sensitive.pretty()
+    insensitive = spec(
+        source, "f", assumptions,
+        options=Options(context_sensitive=False),
+    )
+    # The widened value still appears as a literal argument, but the
+    # residual now carries real calls/stores of a runtime value.
+    text = insensitive.pretty()
+    assert "put" in text or "v" in text
+
+    def run(result_or_program, entry):
+        program = getattr(result_or_program, "program", result_or_program)
+        interp = Interpreter(program)
+        xdrs = interp.make_struct("XDR")
+        buf = interp.make_buffer(64)
+        xdrs.field("x_handy").value = 64
+        xdrs.field("x_private").value = rv.BufPtr(buf, 0, 1)
+        status = interp.call(entry, [interp.ptr_to(xdrs)])
+        return status, buf.bytes()[:8]
+
+    assert run(sensitive, sensitive.entry_name) == run(
+        insensitive, insensitive.entry_name
+    ) == run(parse_program(source), "f")
+
+
+def test_max_unroll_boundary_exact():
+    source = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++)
+            s += i;
+        return s;
+    }
+    """
+    at_limit = spec(source, "f", {"n": Known(8)},
+                    options=Options(max_unroll=8))
+    assert "while" not in at_limit.pretty()
+    over_limit = spec(source, "f", {"n": Known(9)},
+                      options=Options(max_unroll=8))
+    assert "while" in over_limit.pretty()

@@ -1,0 +1,200 @@
+"""Outlining: calls whose residual bodies exit under dynamic control
+become named residual functions; static returns void-ify them (§3.3)."""
+
+from repro.minic import ast
+from repro.minic import values as rv
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, DynPtr, Known, PtrTo, StructOf, specialize
+from repro.tempo.specializer import Options
+
+
+def spec(source, entry, assumptions, **kwargs):
+    return specialize(parse_program(source), entry, assumptions, **kwargs)
+
+
+GETTER = """
+struct stream { int left; caddr_t pos; };
+
+bool_t getword(struct stream *s, long *out)
+{
+    if ((s->left -= 4) < 0)
+        return 0;
+    *out = *(long *)(s->pos);
+    s->pos = s->pos + 4;
+    return 1;
+}
+
+int read_two(struct stream *s, long *a, long *b)
+{
+    if (!getword(s, a))
+        return 0;
+    if (!getword(s, b))
+        return 0;
+    return 1;
+}
+"""
+
+
+def _run_read_two(program, entry, left, words):
+    interp = Interpreter(program)
+    stream = interp.make_struct("stream")
+    buf = interp.make_buffer(64)
+    for index, word in enumerate(words):
+        buf.store_u32(index * 4, word)
+    stream.field("left").value = left
+    stream.field("pos").value = rv.BufPtr(buf, 0, 1)
+    a_cell = rv.Cell(0)
+    b_cell = rv.Cell(0)
+    status = interp.call(
+        entry,
+        [interp.ptr_to(stream), rv.CellPtr(a_cell), rv.CellPtr(b_cell)],
+    )
+    return status, a_cell.value, b_cell.value
+
+
+def test_dynamic_left_outlines_getword():
+    result = spec(
+        GETTER, "read_two",
+        {"s": PtrTo(StructOf(left=Dyn(), pos=Dyn())), "a": PtrTo(Dyn()),
+         "b": PtrTo(Dyn())},
+    )
+    names = [func.name for func in result.program.funcs]
+    assert len(names) > 1, "expected an outlined getword specialization"
+    # Identical per-word specializations were merged.
+    getword_specs = [n for n in names if n.startswith("getword")]
+    assert len(getword_specs) == 1
+    for left, expect in ((64, 1), (8, 1), (4, 0), (0, 0)):
+        got = _run_read_two(result.program, result.entry_name, left,
+                            [11, 22])
+        want = _run_read_two(parse_program(GETTER), "read_two", left,
+                             [11, 22])
+        assert got == want
+        assert got[0] == expect
+
+
+def test_static_left_inlines_everything():
+    result = spec(
+        GETTER, "read_two",
+        {"s": PtrTo(StructOf(left=Known(64), pos=Dyn())),
+         "a": PtrTo(Dyn()), "b": PtrTo(Dyn())},
+    )
+    assert [func.name for func in result.program.funcs] == [
+        "read_two_spec"
+    ]
+    # The overflow checks folded away.
+    assert "left" not in result.pretty().split("};")[-1]
+
+
+VOIDIFY = """
+struct sink { caddr_t pos; int budget; };
+
+bool_t emit(struct sink *s, long v)
+{
+    if (s->budget < 0)
+        return 0;
+    if (v < 0) {
+        *(long *)(s->pos) = 0 - v;
+        s->pos = s->pos + 4;
+        return 1;
+    }
+    *(long *)(s->pos) = v;
+    s->pos = s->pos + 4;
+    return 1;
+}
+
+int f(struct sink *s, long x)
+{
+    if (!emit(s, x))
+        return 0;
+    if (!emit(s, x))
+        return 0;
+    return 1;
+}
+"""
+
+
+def test_static_returns_voidify_outlined_function():
+    """emit() has a dynamic branch on v but returns 1 on every live
+    path (budget static and non-negative kills the failure return), so
+    the outlined residual becomes void and callers fold the test."""
+    result = spec(
+        VOIDIFY, "f",
+        {"s": PtrTo(StructOf(budget=Known(10), pos=Dyn())), "x": Dyn()},
+    )
+    outlined = [
+        func for func in result.program.funcs if func.name != "f_spec"
+    ]
+    assert outlined, "expected emit to be outlined (dynamic branch)"
+    assert all(func.ret_type.is_void for func in outlined)
+    entry = result.program.func("f_spec")
+    if_nodes = [
+        node for node in ast.walk(entry.body) if isinstance(node, ast.If)
+    ]
+    assert not if_nodes, "status tests should have been folded"
+
+
+def test_static_returns_ablation_keeps_status():
+    result = spec(
+        VOIDIFY, "f",
+        {"s": PtrTo(StructOf(budget=Known(10), pos=Dyn())), "x": Dyn()},
+        options=Options(static_returns=False),
+    )
+    outlined = [
+        func for func in result.program.funcs if func.name != "f_spec"
+    ]
+    assert outlined
+    assert all(not func.ret_type.is_void for func in outlined)
+
+
+def test_voidified_call_still_correct():
+    result = spec(
+        VOIDIFY, "f",
+        {"s": PtrTo(StructOf(budget=Known(10), pos=Dyn())), "x": Dyn()},
+    )
+
+    def run(program, entry, value):
+        interp = Interpreter(program)
+        sink = interp.make_struct("sink")
+        buf = interp.make_buffer(16)
+        sink.field("budget").value = 10
+        sink.field("pos").value = rv.BufPtr(buf, 0, 1)
+        status = interp.call(entry, [interp.ptr_to(sink), value])
+        return status, buf.bytes()[:8]
+
+    for value in (5, -5, 0, -1):
+        assert run(result.program, "f_spec", value) == run(
+            parse_program(VOIDIFY), "f", value
+        )
+
+
+def test_outlined_functions_cached_across_sites():
+    source = """
+    struct stream { int left; caddr_t pos; };
+    bool_t getword(struct stream *s, long *out)
+    {
+        if ((s->left -= 4) < 0)
+            return 0;
+        *out = *(long *)(s->pos);
+        s->pos = s->pos + 4;
+        return 1;
+    }
+    int read_four(struct stream *s, long *a)
+    {
+        if (!getword(s, a)) return 0;
+        if (!getword(s, a)) return 0;
+        if (!getword(s, a)) return 0;
+        if (!getword(s, a)) return 0;
+        return 1;
+    }
+    """
+    result = spec(
+        source, "read_four",
+        {"s": PtrTo(StructOf(left=Dyn(), pos=Dyn())), "a": PtrTo(Dyn())},
+    )
+    getword_specs = [
+        func.name
+        for func in result.program.funcs
+        if func.name.startswith("getword")
+    ]
+    assert len(getword_specs) == 1

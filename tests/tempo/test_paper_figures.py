@@ -1,0 +1,147 @@
+"""The paper's Section 3 examples, as executable assertions.
+
+Figure 2: the ``xdr_long`` encode/decode dispatch is eliminated.
+Figure 3: the ``x_handy`` buffer-overflow checking is precomputed.
+Figure 5: the residual ``xdr_pair`` is two stores and two cursor bumps.
+§3.3:     exit-status propagation folds the status tests away.
+"""
+
+from repro.minic import ast
+from repro.minic import values as rv
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+
+
+def specialize_pair_encode(source, handy=400):
+    program = parse_program(source)
+    result = specialize(
+        program,
+        "xdr_pair",
+        {
+            "xdrs": PtrTo(
+                StructOf(
+                    x_op=Known(0),
+                    x_handy=Known(handy),
+                    x_private=Dyn(),
+                    x_base=Dyn(),
+                )
+            ),
+            "objp": PtrTo(StructOf()),
+        },
+    )
+    return program, result
+
+
+def test_residual_is_single_function(xdr_excerpt_source):
+    _program, result = specialize_pair_encode(xdr_excerpt_source)
+    assert [f.name for f in result.program.funcs] == ["xdr_pair_spec"]
+
+
+def test_dispatch_eliminated(xdr_excerpt_source):
+    """Figure 2: no residual reference to x_op remains."""
+    _program, result = specialize_pair_encode(xdr_excerpt_source)
+    assert "x_op" not in result.pretty().split("};")[-1]
+
+
+def test_overflow_checking_eliminated(xdr_excerpt_source):
+    """Figure 3: no residual reference to x_handy, no comparisons."""
+    _program, result = specialize_pair_encode(xdr_excerpt_source)
+    body = result.pretty().split("};")[-1]
+    assert "x_handy" not in body
+    assert "<" not in body.replace("<<", "")
+
+
+def test_exit_status_folded(xdr_excerpt_source):
+    """§3.3: the residual body contains no if statements at all; the
+    entry returns the statically known TRUE."""
+    _program, result = specialize_pair_encode(xdr_excerpt_source)
+    entry = result.program.func("xdr_pair_spec")
+    kinds = {type(node).__name__ for node in ast.walk(entry.body)}
+    assert "If" not in kinds
+    returns = [
+        node for node in ast.walk(entry.body) if isinstance(node, ast.Return)
+    ]
+    assert len(returns) == 1
+    assert isinstance(returns[0].value, ast.IntLit)
+    assert returns[0].value.value == 1
+
+
+def test_figure5_shape(xdr_excerpt_source):
+    """The residual statement sequence is store/bump/store/bump."""
+    _program, result = specialize_pair_encode(xdr_excerpt_source)
+    entry = result.program.func("xdr_pair_spec")
+    stmts = [
+        stmt for stmt in entry.body.stmts if not isinstance(stmt, ast.Decl)
+    ]
+    # store, bump, store, bump, return
+    assert len(stmts) == 5
+    store1, bump1, store2, bump2, _ret = stmts
+    for store, field in ((store1, "int1"), (store2, "int2")):
+        assign = store.expr
+        assert isinstance(assign.target, ast.Unary)  # *(long *)cursor
+        assert field in _render(assign.value)
+    for bump in (bump1, bump2):
+        assert "x_private" in _render(bump.expr.target)
+
+
+def _render(node):
+    from repro.minic.pretty import pretty_expr
+
+    return pretty_expr(node)
+
+
+def test_residual_preserves_wire_bytes(xdr_excerpt_source):
+    """Running original and residual code produces identical buffers."""
+    program, result = specialize_pair_encode(xdr_excerpt_source)
+
+    def encode(prog, entry, values):
+        interp = Interpreter(prog)
+        xdrs = interp.make_struct("XDR")
+        buf = interp.make_buffer(64)
+        xdrs.field("x_op").value = 0
+        xdrs.field("x_handy").value = 400
+        xdrs.field("x_private").value = rv.BufPtr(buf, 0, 1)
+        xdrs.field("x_base").value = rv.BufPtr(buf, 0, 1)
+        pair = interp.make_struct("pair")
+        pair.field("int1").value = values[0]
+        pair.field("int2").value = values[1]
+        status = interp.call(
+            entry, [interp.ptr_to(xdrs), interp.ptr_to(pair)]
+        )
+        return status, buf.bytes()[:8]
+
+    for values in ((1, 2), (-1, 0x7FFFFFFF), (0, -0x80000000)):
+        original = encode(program, "xdr_pair", values)
+        residual = encode(result.program, "xdr_pair_spec", values)
+        assert original == residual
+
+
+def test_decode_keeps_validity_checks(xdr_excerpt_source):
+    """§3.4: decoding with *dynamic* x_handy keeps the buffer checks
+    (the dynamic tests that must remain)."""
+    program = parse_program(xdr_excerpt_source)
+    result = specialize(
+        program,
+        "xdr_pair",
+        {
+            "xdrs": PtrTo(
+                StructOf(
+                    x_op=Known(1),  # XDR_DECODE
+                    x_handy=Dyn(),
+                    x_private=Dyn(),
+                    x_base=Dyn(),
+                )
+            ),
+            "objp": PtrTo(StructOf()),
+        },
+    )
+    text = result.pretty()
+    assert "x_handy" in text  # accounting survives
+    assert "if" in text       # the overflow checks survive
+
+
+def test_specialization_shrinks_code(xdr_excerpt_source):
+    _program, result = specialize_pair_encode(xdr_excerpt_source)
+    report = result.report()
+    assert report["residual_size_bytes"] < report["original_size_bytes"]

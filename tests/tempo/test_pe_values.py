@@ -1,0 +1,192 @@
+"""Unit tests for the PE value domain: COW store, signatures, roots."""
+
+from repro.minic import ast
+from repro.minic import types as ct
+from repro.minic.pretty import pretty_expr
+from repro.tempo import pe_values as pv
+
+XDR_TYPE = ct.StructType(
+    "XDR",
+    (
+        ("x_op", ct.INT),
+        ("x_handy", ct.INT),
+        ("x_private", ct.CADDR_T),
+    ),
+)
+
+
+class TestStoreCow:
+    def test_clone_shares_until_mutation(self):
+        store = pv.Store()
+        struct = store.add(pv.PEStruct(XDR_TYPE))
+        struct.fields["x_op"] = pv.Static(0)
+        snap = store.clone()
+        assert snap.objects[struct.oid] is store.objects[struct.oid]
+        live = store.mutable(struct.oid)
+        assert live is not snap.objects[struct.oid]
+        live.fields["x_op"] = pv.Static(1)
+        assert snap.objects[struct.oid].fields["x_op"] == pv.Static(0)
+
+    def test_mutable_is_idempotent(self):
+        store = pv.Store()
+        struct = store.add(pv.PEStruct(XDR_TYPE))
+        store.clone()
+        first = store.mutable(struct.oid)
+        second = store.mutable(struct.oid)
+        assert first is second
+
+    def test_new_objects_not_shared(self):
+        store = pv.Store()
+        store.clone()
+        fresh = store.add(pv.PEStruct(XDR_TYPE))
+        assert store.mutable(fresh.oid) is fresh
+
+    def test_assign_from_restores(self):
+        store = pv.Store()
+        struct = store.add(pv.PEStruct(XDR_TYPE))
+        struct.fields["x_handy"] = pv.Static(400)
+        snap = store.clone()
+        store.mutable(struct.oid).fields["x_handy"] = pv.Static(0)
+        store.assign_from(snap)
+        assert store.get(struct.oid).fields["x_handy"] == pv.Static(400)
+
+    def test_double_restore_safe(self):
+        store = pv.Store()
+        struct = store.add(pv.PEStruct(XDR_TYPE))
+        struct.fields["x_handy"] = pv.Static(8)
+        snap = store.clone()
+        for _ in range(2):
+            store.mutable(struct.oid).fields["x_handy"] = pv.Static(0)
+            store.assign_from(snap)
+            assert store.get(struct.oid).fields["x_handy"] == pv.Static(8)
+
+    def test_array_clone_keeps_static_count(self):
+        store = pv.Store()
+        array = store.add(
+            pv.PEArray(ct.ArrayType(ct.INT, 8))
+        )
+        array.set_elem(0, pv.Static(1))
+        array.set_elem(1, pv.Dynamic(ast.IntLit(0)))
+        assert array.static_count == 1
+        clone = array.clone()
+        assert clone.static_count == 1
+        clone.set_elem(0, pv.Dynamic(ast.IntLit(0)))
+        assert clone.static_count == 0
+        assert array.static_count == 1
+
+
+class TestRoots:
+    def test_param_root_paths(self):
+        store = pv.Store()
+        struct = store.add(
+            pv.PEStruct(XDR_TYPE, pv.ParamPtrRoot("xdrs"))
+        )
+        assert pretty_expr(store.member_expr(struct.oid, "x_op")) == (
+            "xdrs->x_op"
+        )
+        assert pretty_expr(store.pointer_expr(struct.oid)) == "xdrs"
+
+    def test_local_root_paths(self):
+        store = pv.Store()
+        struct = store.add(pv.PEStruct(XDR_TYPE, pv.LocalRoot("t1")))
+        assert pretty_expr(store.member_expr(struct.oid, "x_op")) == (
+            "t1.x_op"
+        )
+        assert pretty_expr(store.pointer_expr(struct.oid)) == "&t1"
+
+    def test_subroot_resolves_through_parent(self):
+        outer_type = ct.StructType(
+            "outer", (("inner", XDR_TYPE),)
+        )
+        store = pv.Store()
+        outer = store.add(
+            pv.PEStruct(outer_type, pv.ParamPtrRoot("p"))
+        )
+        inner = store.add(
+            pv.PEStruct(XDR_TYPE, pv.SubRoot(outer.oid, field="inner"))
+        )
+        assert pretty_expr(store.member_expr(inner.oid, "x_op")) == (
+            "p->inner.x_op"
+        )
+
+    def test_rerooting_parent_moves_children(self):
+        outer_type = ct.StructType("outer", (("inner", XDR_TYPE),))
+        store = pv.Store()
+        outer = store.add(pv.PEStruct(outer_type, pv.LocalRoot("o")))
+        inner = store.add(
+            pv.PEStruct(XDR_TYPE, pv.SubRoot(outer.oid, field="inner"))
+        )
+        outer.root = pv.ParamPtrRoot("q")
+        assert pretty_expr(store.member_expr(inner.oid, "x_op")) == (
+            "q->inner.x_op"
+        )
+
+    def test_array_through_pointer_param_uses_index_syntax(self):
+        store = pv.Store()
+        array = store.add(
+            pv.PEArray(ct.ArrayType(ct.INT, 4), pv.ParamPtrRoot("a"))
+        )
+        assert pretty_expr(
+            store.elem_expr(array.oid, ast.IntLit(2))
+        ) == "a[2]"
+
+
+class TestSignatures:
+    def make(self):
+        store = pv.Store()
+        struct = store.add(pv.PEStruct(XDR_TYPE, pv.ParamPtrRoot("x")))
+        struct.fields["x_op"] = pv.Static(0)
+        struct.fields["x_handy"] = pv.Static(400)
+        return store, struct
+
+    def test_static_values_in_signature(self):
+        store, struct = self.make()
+        sig_a = pv.value_signature(
+            pv.Static(pv.StructPtr(struct.oid)), store
+        )
+        struct.fields["x_op"] = pv.Static(1)
+        sig_b = pv.value_signature(
+            pv.Static(pv.StructPtr(struct.oid)), store
+        )
+        assert sig_a != sig_b
+
+    def test_unset_rooted_fields_are_dynamic(self):
+        store, struct = self.make()
+        sig = pv.value_signature(
+            pv.Static(pv.StructPtr(struct.oid)), store
+        )
+        fields = dict(sig[2])
+        assert fields["x_private"] == ("D",)
+
+    def test_all_dynamic_array_summary_is_constant_size(self):
+        store = pv.Store()
+        array = store.add(
+            pv.PEArray(ct.ArrayType(ct.INT, 2000), pv.ParamPtrRoot("a"))
+        )
+        sig = pv.value_signature(pv.Static(pv.ElemPtr(array.oid, 5)),
+                                 store)
+        assert sig == ("a", 2000, 5, ("alldyn",))
+
+    def test_dynamic_value_signature(self):
+        store = pv.Store()
+        assert pv.value_signature(pv.Dynamic(ast.Var("x")), store) == ("D",)
+
+
+class TestCloneExpr:
+    def test_clone_gives_fresh_uids(self):
+        node = ast.Binary("+", ast.Var("a"), ast.IntLit(1))
+        copy = pv.clone_expr(node)
+        assert pretty_expr(copy) == pretty_expr(node)
+        original_uids = {n.uid for n in ast.walk(node)}
+        copy_uids = {n.uid for n in ast.walk(copy)}
+        assert not original_uids & copy_uids
+
+    def test_clone_covers_all_expression_kinds(self):
+        from repro.minic.parser import parse_expr
+
+        for source in (
+            "a + b", "-x", "p->f", "a[i]", "f(1, g(2))", "(long *)p",
+            "a ? b : c", "sizeof(int)", "x += 2", "i++", "&v",
+        ):
+            node = parse_expr(source)
+            assert pretty_expr(pv.clone_expr(node)) == pretty_expr(node)

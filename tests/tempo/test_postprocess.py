@@ -1,0 +1,135 @@
+"""Residual clean-up pass tests."""
+
+from repro.minic import ast
+from repro.minic.parser import parse_program
+from repro.minic.pretty import pretty_program
+from repro.tempo.postprocess import (
+    merge_identical_functions,
+    postprocess_program,
+    prune_unreachable_functions,
+)
+
+
+def program_of(source):
+    return parse_program(source)
+
+
+def test_pure_expression_statements_dropped():
+    program = program_of(
+        "int f(int a) { a + 1; a; return a; }"
+    )
+    postprocess_program(program, "f")
+    stmts = program.func("f").body.stmts
+    assert len(stmts) == 1
+    assert isinstance(stmts[0], ast.Return)
+
+
+def test_effectful_statements_kept():
+    program = program_of(
+        "int g(void) { return 1; }"
+        "int f(int a) { g(); a = a + 1; return a; }"
+    )
+    postprocess_program(program, "f")
+    stmts = program.func("f").body.stmts
+    assert len(stmts) == 3
+
+
+def test_empty_if_dropped():
+    program = program_of(
+        "int f(int a) { if (a > 0) { } return a; }"
+    )
+    postprocess_program(program, "f")
+    assert not any(
+        isinstance(node, ast.If) for node in ast.walk(program.func("f"))
+    )
+
+
+def test_empty_then_flips_to_negated_else():
+    program = program_of(
+        "int f(int a) { if (a > 0) { } else { a = 1; } return a; }"
+    )
+    postprocess_program(program, "f")
+    ifs = [
+        node for node in ast.walk(program.func("f"))
+        if isinstance(node, ast.If)
+    ]
+    assert len(ifs) == 1
+    assert ifs[0].other is None
+    assert isinstance(ifs[0].cond, ast.Unary) and ifs[0].cond.op == "!"
+
+
+def test_unused_uninitialized_decls_dropped():
+    program = program_of(
+        "int f(int a) { int unused; int used; used = a; return used; }"
+    )
+    postprocess_program(program, "f")
+    names = [
+        node.name for node in ast.walk(program.func("f"))
+        if isinstance(node, ast.Decl)
+    ]
+    assert names == ["used"]
+
+
+def test_unreachable_functions_pruned():
+    program = program_of(
+        "int helper(void) { return 1; }"
+        "int orphan(void) { return 2; }"
+        "int entry(void) { return helper(); }"
+    )
+    prune_unreachable_functions(program, "entry")
+    assert sorted(f.name for f in program.funcs) == ["entry", "helper"]
+
+
+def test_transitive_reachability():
+    program = program_of(
+        "int c(void) { return 3; }"
+        "int b(void) { return c(); }"
+        "int a(void) { return b(); }"
+    )
+    prune_unreachable_functions(program, "a")
+    assert len(program.funcs) == 3
+
+
+def test_identical_functions_merged():
+    program = program_of(
+        "int f1(int x) { return x + 1; }"
+        "int f2(int x) { return x + 1; }"
+        "int f3(int x) { return x + 2; }"
+        "int entry(int x) { return f1(x) + f2(x) + f3(x); }"
+    )
+    merge_identical_functions(program, "entry")
+    names = sorted(f.name for f in program.funcs)
+    assert len(names) == 3  # entry, one of f1/f2, f3
+    text = pretty_program(program)
+    # Both call sites now name the surviving copy.
+    assert text.count("f1(x)") == 2 or text.count("f2(x)") == 2
+
+
+def test_merge_respects_signatures():
+    program = program_of(
+        "int f1(int x) { return x; }"
+        "long f2(long x) { return x; }"
+        "int entry(int x) { return f1(x) + (int)f2((long)x); }"
+    )
+    merge_identical_functions(program, "entry")
+    # f2 renders with a `long` header, so it does not merge into f1.
+    names = sorted(f.name for f in program.funcs)
+    assert names == ["entry", "f1", "f2"]
+
+
+def test_semantics_preserved_by_cleanup():
+    from repro.minic.interp import Interpreter
+
+    source = (
+        "int f(int a) {"
+        " int t; a + 0;"
+        " if (a < 0) { } else { a = a * 2; }"
+        " return a; }"
+    )
+    before = program_of(source)
+    after = program_of(source)
+    postprocess_program(after, "f")
+    for value in (-3, 0, 7):
+        assert Interpreter(before).call("f", [value]) == (
+            Interpreter(after).call("f", [value])
+        )

@@ -1,0 +1,342 @@
+"""Core specializer behaviours on small programs."""
+
+import pytest
+
+from repro.errors import SpecializationError
+from repro.minic import ast
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, DynPtr, Known, PtrTo, StructOf, specialize
+from repro.tempo.specializer import Options
+
+
+def spec(source, entry, assumptions, **kwargs):
+    return specialize(parse_program(source), entry, assumptions, **kwargs)
+
+
+def run(program, entry, *args):
+    return Interpreter(program).call(entry, list(args))
+
+
+def residual_text(result):
+    return result.pretty()
+
+
+class TestConstantFolding:
+    def test_fully_static_computation(self):
+        result = spec(
+            "int f(int a, int b) { return a * b + a; }",
+            "f",
+            {"a": Known(6), "b": Known(7)},
+        )
+        assert run(result.program, "f_spec") == 48
+        body = result.program.func("f_spec").body
+        (ret,) = body.stmts
+        assert isinstance(ret.value, ast.IntLit)
+
+    def test_mixed_static_dynamic(self):
+        result = spec(
+            "int f(int a, int b) { return a * 10 + b; }",
+            "f",
+            {"a": Known(4), "b": Dyn()},
+        )
+        assert result.residual_params == [(result.program.funcs[0].params[0].ctype, "b")]
+        assert run(result.program, "f_spec", 2) == 42
+
+    def test_static_branch_selected(self):
+        source = """
+        int f(int mode, int x) {
+            if (mode == 1)
+                return x + 1;
+            if (mode == 2)
+                return x + 2;
+            return 0;
+        }
+        """
+        result = spec(source, "f", {"mode": Known(2), "x": Dyn()})
+        body_text = residual_text(result)
+        assert "x + 2" in body_text
+        assert "x + 1" not in body_text
+        assert run(result.program, "f_spec", 10) == 12
+
+    def test_dead_static_branch_errors_do_not_fire(self):
+        source = """
+        int f(int mode, int x) {
+            if (mode)
+                return x / 0;
+            return x;
+        }
+        """
+        result = spec(source, "f", {"mode": Known(0), "x": Dyn()})
+        assert run(result.program, "f_spec", 5) == 5
+
+    def test_sizeof_and_defines_fold(self):
+        source = """
+        #define K 3
+        int f(int x) { return x + sizeof(long) * K; }
+        """
+        result = spec(source, "f", {"x": Dyn()})
+        assert "12" in residual_text(result)
+
+
+class TestLoops:
+    def test_static_loop_unrolls(self):
+        source = """
+        int f(int n, int *a) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s += a[i];
+            return s;
+        }
+        """
+        from repro.tempo.assumptions import ArrayOf
+
+        result = spec(
+            source, "f", {"n": Known(4), "a": PtrTo(ArrayOf(4))}
+        )
+        text = residual_text(result)
+        assert "a[3]" in text
+        assert "for" not in text
+
+    def test_unrolled_loop_correct(self):
+        source = """
+        int f(int n, int *a) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s += a[i] * (i + 1);
+            return s;
+        }
+        """
+        from repro.minic import values as rv
+        from repro.tempo.assumptions import ArrayOf
+
+        program = parse_program(source)
+        result = specialize(
+            program, "f", {"n": Known(3), "a": PtrTo(ArrayOf(3))}
+        )
+        interp = Interpreter(result.program)
+        arr = interp.make_array("int", 3)
+        arr.set_values([5, 6, 7])
+        got = interp.call("f_spec", [rv.CellPtr(arr.elem(0), arr, 0)])
+        assert got == 5 * 1 + 6 * 2 + 7 * 3
+
+    def test_dynamic_loop_residualized(self):
+        source = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s += i;
+            return s;
+        }
+        """
+        result = spec(source, "f", {"n": Dyn()})
+        text = residual_text(result)
+        assert "while" in text or "for" in text
+        assert run(result.program, "f_spec", 10) == 45
+
+    def test_max_unroll_residualizes_large_loops(self):
+        source = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s += i;
+            return s;
+        }
+        """
+        result = spec(
+            source, "f", {"n": Known(100)},
+            options=Options(max_unroll=10),
+        )
+        text = residual_text(result)
+        assert "while" in text
+        assert run(result.program, "f_spec") == 4950
+
+    def test_static_while_with_break(self):
+        source = """
+        int f(void) {
+            int i = 0;
+            while (1) {
+                i++;
+                if (i == 5)
+                    break;
+            }
+            return i;
+        }
+        """
+        result = spec(source, "f", {})
+        assert run(result.program, "f_spec") == 5
+        assert "while" not in residual_text(result)
+
+    def test_dynamic_break_inside_static_loop_demotes(self):
+        source = """
+        int f(int limit) {
+            int i = 0;
+            while (i < 10) {
+                if (i == limit)
+                    break;
+                i++;
+            }
+            return i;
+        }
+        """
+        result = spec(source, "f", {"limit": Dyn()})
+        for limit in (0, 3, 10, 99):
+            expected = run(parse_program(source), "f", limit)
+            assert run(result.program, "f_spec", limit) == expected
+
+    def test_nested_static_loops(self):
+        source = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j <= i; j++)
+                    s += 1;
+            return s;
+        }
+        """
+        result = spec(source, "f", {"n": Known(4)})
+        assert run(result.program, "f_spec") == 10
+
+
+class TestCalls:
+    def test_static_call_fully_evaluated(self):
+        source = """
+        int square(int x) { return x * x; }
+        int f(int a) { return square(a) + 1; }
+        """
+        result = spec(source, "f", {"a": Known(9)})
+        assert run(result.program, "f_spec") == 82
+
+    def test_polyvariant_specialization(self):
+        """The same function called with different static arguments
+        produces different residual constants (context sensitivity)."""
+        source = """
+        int scale(int k, int x) { return k * x; }
+        int f(int x) { return scale(2, x) + scale(5, x); }
+        """
+        result = spec(source, "f", {"x": Dyn()})
+        text = residual_text(result)
+        assert "2 * x" in text and "5 * x" in text
+        assert run(result.program, "f_spec", 3) == 21
+
+    def test_recursion_rejected(self):
+        source = """
+        int f(int n) {
+            if (n)
+                return f(n - 1);
+            return 0;
+        }
+        """
+        with pytest.raises(SpecializationError, match="recursive"):
+            spec(source, "f", {"n": Dyn()})
+
+    def test_void_function_call(self):
+        source = """
+        struct box { int v; };
+        void bump(struct box *b) { b->v = b->v + 1; }
+        int f(struct box *b) { bump(b); bump(b); return b->v; }
+        """
+        result = spec(source, "f", {"b": PtrTo(StructOf(v=Known(5)))})
+        interp = Interpreter(result.program)
+        box = interp.make_struct("box")
+        assert interp.call("f_spec", [interp.ptr_to(box)]) == 7
+
+    def test_call_chain_through_layers(self):
+        source = """
+        int l3(int x) { return x + 1; }
+        int l2(int x) { return l3(x) * 2; }
+        int l1(int x) { return l2(x) + 3; }
+        int f(int x) { return l1(x); }
+        """
+        result = spec(source, "f", {"x": Known(10)})
+        assert run(result.program, "f_spec") == 25
+
+
+class TestPartiallyStaticStructs:
+    SOURCE = """
+    struct config { int mode; int limit; caddr_t buffer; };
+    int f(struct config *c, int x) {
+        if (c->mode == 0)
+            return x;
+        if (x > c->limit)
+            return c->limit;
+        return x;
+    }
+    """
+
+    def test_static_fields_fold(self):
+        result = spec(
+            self.SOURCE, "f",
+            {
+                "c": PtrTo(StructOf(mode=Known(1), limit=Known(100),
+                                    buffer=Dyn())),
+                "x": Dyn(),
+            },
+        )
+        text = residual_text(result)
+        assert "mode" not in text.split("};")[-1]
+
+        def call(x):
+            interp = Interpreter(result.program)
+            struct = interp.make_struct("config")
+            return interp.call("f_spec", [interp.ptr_to(struct), x])
+
+        assert call(150) == 100
+        assert call(50) == 50
+
+    def test_dynamic_field_stays(self):
+        result = spec(
+            self.SOURCE, "f",
+            {
+                "c": PtrTo(StructOf(mode=Known(1), limit=Dyn())),
+                "x": Dyn(),
+            },
+        )
+        body = residual_text(result).split("};")[-1]
+        assert "limit" in body
+
+    def test_ablation_partially_static_off(self):
+        result = spec(
+            self.SOURCE, "f",
+            {
+                "c": PtrTo(StructOf(mode=Known(1), limit=Known(100))),
+                "x": Dyn(),
+            },
+            options=Options(partially_static=False),
+        )
+        # Semantics must still hold even with the refinement disabled.
+        interp = Interpreter(result.program)
+        struct = interp.make_struct("config")
+        struct.field("mode").value = 1
+        struct.field("limit").value = 100
+        got = interp.call("f_spec", [interp.ptr_to(struct), 150])
+        assert got == 100
+
+
+class TestStructMutation:
+    def test_static_field_updates_tracked(self):
+        source = """
+        struct acc { int total; };
+        void add(struct acc *a, int v) { a->total = a->total + v; }
+        int f(struct acc *a) {
+            add(a, 10);
+            add(a, 20);
+            return a->total;
+        }
+        """
+        result = spec(source, "f", {"a": PtrTo(StructOf(total=Known(1)))})
+        interp = Interpreter(result.program)
+        acc = interp.make_struct("acc")
+        assert interp.call("f_spec", [interp.ptr_to(acc)]) == 31
+
+    def test_address_taken_locals(self):
+        source = """
+        void put(long *p, long v) { *p = v; }
+        int f(void) {
+            long tmp;
+            put(&tmp, 5);
+            return (int)tmp;
+        }
+        """
+        result = spec(source, "f", {})
+        assert run(result.program, "f_spec") == 5

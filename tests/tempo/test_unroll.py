@@ -1,0 +1,164 @@
+"""Re-roll post-pass tests (the paper's Table 4 transformation)."""
+
+from repro.minic import ast
+from repro.minic import values as rv
+from repro.minic.interp import Interpreter
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+from repro.tempo.assumptions import ArrayOf
+from repro.tempo.unroll import find_runs, reroll_function, reroll_program
+
+
+def _unrolled_store_program(n):
+    """A residual-like program with n unrolled store pairs."""
+    lines = [
+        "struct XDR { caddr_t x_private; };",
+        "void f(struct XDR *xdrs, int *a)",
+        "{",
+    ]
+    for index in range(n):
+        lines.append(
+            f"    *(long *)xdrs->x_private = (long)htonl((u_long)a[{index}]);"
+        )
+        lines.append("    xdrs->x_private = xdrs->x_private + 4;")
+    lines.append("}")
+    return parse_program("\n".join(lines))
+
+
+def test_find_runs_detects_progression():
+    program = _unrolled_store_program(12)
+    runs = find_runs(program.func("f").body.stmts)
+    assert len(runs) == 1
+    assert runs[0].count >= 11  # phase may shift by one pair
+
+
+def test_find_runs_ignores_irregular_code():
+    source = """
+    int f(int *a) {
+        a[0] = 1;
+        a[1] = 2;
+        a[5] = 3;
+        a[2] = 9;
+        return 0;
+    }
+    """
+    program = parse_program(source)
+    runs = find_runs(program.func("f").body.stmts)
+    assert runs == []
+
+
+def test_reroll_reduces_node_count():
+    program = _unrolled_store_program(64)
+    before = ast.count_nodes(program.func("f"))
+    rewritten = reroll_function(program.func("f"), 8)
+    assert rewritten == 1
+    after = ast.count_nodes(program.func("f"))
+    assert after < before / 3
+
+
+def test_reroll_preserves_semantics():
+    def run(program):
+        interp = Interpreter(program)
+        xdrs = interp.make_struct("XDR")
+        buf = interp.make_buffer(400)
+        xdrs.field("x_private").value = rv.BufPtr(buf, 0, 1)
+        arr = interp.make_array("int", 64)
+        arr.set_values([(i * 13 + 5) & 0x7FFFFFFF for i in range(64)])
+        interp.call(
+            "f", [interp.ptr_to(xdrs), rv.CellPtr(arr.elem(0), arr, 0)]
+        )
+        return buf.bytes()
+
+    original = _unrolled_store_program(64)
+    rolled = _unrolled_store_program(64)
+    reroll_function(rolled.func("f"), 8)
+    assert run(original) == run(rolled)
+
+
+def test_reroll_with_remainder():
+    original = _unrolled_store_program(30)
+    rolled = _unrolled_store_program(30)
+    rewritten = reroll_function(rolled.func("f"), 8)
+    assert rewritten == 1
+
+    def run(program):
+        interp = Interpreter(program)
+        xdrs = interp.make_struct("XDR")
+        buf = interp.make_buffer(200)
+        xdrs.field("x_private").value = rv.BufPtr(buf, 0, 1)
+        arr = interp.make_array("int", 30)
+        arr.set_values(list(range(100, 130)))
+        interp.call(
+            "f", [interp.ptr_to(xdrs), rv.CellPtr(arr.elem(0), arr, 0)]
+        )
+        return buf.bytes()
+
+    assert run(original) == run(rolled)
+
+
+def test_reroll_specialized_marshal_end_to_end():
+    source = """
+    struct XDR { int x_op; int x_handy; caddr_t x_private; caddr_t x_base; };
+    struct arr { int len; int vals[48]; };
+
+    bool_t putlong(struct XDR *xdrs, long *lp)
+    {
+        if ((xdrs->x_handy -= sizeof(long)) < 0)
+            return 0;
+        *(long *)(xdrs->x_private) = (long)htonl((u_long)*lp);
+        xdrs->x_private = xdrs->x_private + sizeof(long);
+        return 1;
+    }
+
+    bool_t encode(struct XDR *xdrs, struct arr *a)
+    {
+        for (int i = 0; i < a->len; i++) {
+            if (!putlong(xdrs, (long *)&a->vals[i]))
+                return 0;
+        }
+        return 1;
+    }
+    """
+    program = parse_program(source)
+    result = specialize(
+        program, "encode",
+        {
+            "xdrs": PtrTo(StructOf(x_op=Known(0), x_handy=Known(400),
+                                   x_private=Dyn(), x_base=Dyn())),
+            "a": PtrTo(StructOf(len=Known(48))),
+        },
+    )
+    rewritten = reroll_program(result.program, 12, entry=result.entry_name)
+    assert rewritten == 1
+
+    def run(prog, entry):
+        interp = Interpreter(prog)
+        xdrs = interp.make_struct("XDR")
+        buf = interp.make_buffer(400)
+        xdrs.field("x_op").value = 0
+        xdrs.field("x_handy").value = 400
+        xdrs.field("x_private").value = rv.BufPtr(buf, 0, 1)
+        xdrs.field("x_base").value = rv.BufPtr(buf, 0, 1)
+        arr = interp.make_struct("arr")
+        arr.field("len").value = 48
+        arr.field("vals").value.set_values(list(range(48)))
+        status = interp.call(
+            entry, [interp.ptr_to(xdrs), interp.ptr_to(arr)]
+        )
+        return status, buf.bytes()[:48 * 4]
+
+    assert run(program, "encode") == run(result.program, result.entry_name)
+
+
+def test_reroll_code_footprint_shrinks(sunrpc_program):
+    """The whole point: a re-rolled residual has a far smaller code
+    footprint (instruction-cache pressure) at the same wire output."""
+    from repro.minic.cost import CodeLayout
+
+    workload = sunrpc_program
+    full = workload.specialized_marshal(250)
+    rolled = workload.rerolled_marshal(250, 50)
+    assert (
+        CodeLayout(rolled.program).code_bytes
+        < CodeLayout(full.program).code_bytes / 2
+    )

@@ -1,0 +1,79 @@
+"""Binding-time visualization tests."""
+
+from repro.minic.parser import parse_program
+from repro.tempo import Dyn, Known, PtrTo, StructOf, specialize
+from repro.tempo.visualize import (
+    ansi_listing,
+    binding_time_summary,
+    gutter_listing,
+)
+
+SOURCE = """
+struct cfg { int mode; int data; };
+int f(struct cfg *c)
+{
+    int r;
+    if (c->mode == 1)
+        r = c->data + 1;
+    else
+        r = c->data - 1;
+    return r;
+}
+"""
+
+
+def _specialized():
+    program = parse_program(SOURCE)
+    result = specialize(
+        program, "f",
+        {"c": PtrTo(StructOf(mode=Known(1), data=Dyn()))},
+    )
+    return program, result
+
+
+def test_marks_cover_static_and_dynamic():
+    program, result = _specialized()
+    summary = binding_time_summary(program, result.specializer.bt_marks)
+    stats = summary["f"]
+    assert stats["static"] > 0
+    assert stats["dynamic"] > 0
+
+
+def test_gutter_listing_tags_lines():
+    program, result = _specialized()
+    listing = gutter_listing(
+        program.func("f"), result.specializer.bt_marks, SOURCE.splitlines()
+    )
+    assert " S |" in listing or "S |" in listing
+    assert "D |" in listing
+
+
+def test_dynamic_data_line_marked_dynamic():
+    program, result = _specialized()
+    listing = gutter_listing(
+        program.func("f"), result.specializer.bt_marks, SOURCE.splitlines()
+    )
+    for line in listing.splitlines():
+        if "c->data + 1" in line:
+            assert line.strip().startswith("D") or line.strip().startswith(
+                "SD"
+            )
+            break
+    else:
+        raise AssertionError("expected the taken branch in the listing")
+
+
+def test_ansi_listing_contains_escapes():
+    program, result = _specialized()
+    listing = ansi_listing(
+        program.func("f"), result.specializer.bt_marks, SOURCE.splitlines()
+    )
+    assert "\x1b[" in listing
+
+
+def test_untouched_function_is_empty():
+    program, result = _specialized()
+    extra = parse_program("int g(void) { return 0; }").func("g")
+    assert gutter_listing(
+        extra, result.specializer.bt_marks, ["int g(void) { return 0; }"]
+    ) == ""

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "specialize_xdr_pair.py",
+    "parallel_matrix.py",
+    "remote_stats.py",
+    "nfs_lite.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_quickstart_shows_residual_code():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert "x_private" in completed.stdout
+
+
+def test_figure5_example_matches_paper_shape():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "specialize_xdr_pair.py")],
+        capture_output=True, text=True, timeout=180,
+    )
+    out = completed.stdout
+    assert "objp->int1" in out and "objp->int2" in out
+    assert "x_handy" not in out.split("Tempo-for-MiniC residual code")[1].split(
+        "binding-time view"
+    )[0]

@@ -1,0 +1,196 @@
+"""XDR composite filter tests."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XdrError
+from repro.xdr import (
+    XdrMemStream,
+    XdrOp,
+    xdr_array,
+    xdr_bytes,
+    xdr_int,
+    xdr_opaque,
+    xdr_optional,
+    xdr_string,
+    xdr_union,
+    xdr_vector,
+)
+from repro.xdr.primitives import xdr_double
+
+
+def roundtrip(encode, decode, size=4096):
+    stream = XdrMemStream(bytearray(size), XdrOp.ENCODE)
+    encode(stream)
+    dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+    return decode(dec), stream.data()
+
+
+class TestOpaque:
+    def test_fixed_roundtrip(self):
+        got, wire = roundtrip(
+            lambda s: xdr_opaque(s, b"abc", 3),
+            lambda s: xdr_opaque(s, None, 3),
+        )
+        assert got == b"abc"
+        assert len(wire) == 4  # padded to the unit
+
+    def test_padding_is_zero(self):
+        _got, wire = roundtrip(
+            lambda s: xdr_opaque(s, b"abcde", 5),
+            lambda s: xdr_opaque(s, None, 5),
+        )
+        assert wire[5:8] == b"\x00\x00\x00"
+
+    def test_size_mismatch(self):
+        stream = XdrMemStream(bytearray(16), XdrOp.ENCODE)
+        with pytest.raises(XdrError, match="mismatch"):
+            xdr_opaque(stream, b"ab", 3)
+
+    def test_bytes_counted(self):
+        got, wire = roundtrip(
+            lambda s: xdr_bytes(s, b"hello", 64),
+            lambda s: xdr_bytes(s, None, 64),
+        )
+        assert got == b"hello"
+        assert wire[:4] == struct.pack(">I", 5)
+
+    def test_bytes_bound_enforced_on_decode(self):
+        stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+        xdr_bytes(stream, b"x" * 10, 64)
+        dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+        with pytest.raises(XdrError, match="too long"):
+            xdr_bytes(dec, None, 4)
+
+
+class TestString:
+    def test_roundtrip(self):
+        got, _wire = roundtrip(
+            lambda s: xdr_string(s, "remote procedure call", 64),
+            lambda s: xdr_string(s, None, 64),
+        )
+        assert got == "remote procedure call"
+
+    def test_empty_string(self):
+        got, wire = roundtrip(
+            lambda s: xdr_string(s, "", 8),
+            lambda s: xdr_string(s, None, 8),
+        )
+        assert got == "" and len(wire) == 4
+
+    def test_utf8_payload(self):
+        got, _wire = roundtrip(
+            lambda s: xdr_string(s, "héllo", 64),
+            lambda s: xdr_string(s, None, 64),
+        )
+        assert got == "héllo"
+
+    def test_bound_enforced_on_encode(self):
+        stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+        with pytest.raises(XdrError, match="too long"):
+            xdr_string(stream, "abcdef", 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(text=st.text(max_size=40))
+    def test_property_roundtrip(self, text):
+        got, _wire = roundtrip(
+            lambda s: xdr_string(s, text, 1024),
+            lambda s: xdr_string(s, None, 1024),
+        )
+        assert got == text
+
+
+class TestArrays:
+    def test_vector_fixed_length(self):
+        got, wire = roundtrip(
+            lambda s: xdr_vector(s, [1, 2, 3], 3, xdr_int),
+            lambda s: xdr_vector(s, None, 3, xdr_int),
+        )
+        assert got == [1, 2, 3]
+        assert len(wire) == 12  # no length on the wire
+
+    def test_vector_size_mismatch(self):
+        stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+        with pytest.raises(XdrError, match="mismatch"):
+            xdr_vector(stream, [1, 2], 3, xdr_int)
+
+    def test_counted_array(self):
+        got, wire = roundtrip(
+            lambda s: xdr_array(s, [7, 8, 9], 16, xdr_int),
+            lambda s: xdr_array(s, None, 16, xdr_int),
+        )
+        assert got == [7, 8, 9]
+        assert wire[:4] == struct.pack(">I", 3)
+
+    def test_counted_array_bound(self):
+        stream = XdrMemStream(bytearray(256), XdrOp.ENCODE)
+        with pytest.raises(XdrError, match="too long"):
+            xdr_array(stream, list(range(10)), 4, xdr_int)
+
+    def test_array_of_doubles(self):
+        values = [0.5, -2.25, 1e10]
+        got, _wire = roundtrip(
+            lambda s: xdr_array(s, values, 8, xdr_double),
+            lambda s: xdr_array(s, None, 8, xdr_double),
+        )
+        assert got == values
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(-(2**31), 2**31 - 1), max_size=50))
+    def test_property_array_roundtrip(self, values):
+        got, _wire = roundtrip(
+            lambda s: xdr_array(s, values, 64, xdr_int),
+            lambda s: xdr_array(s, None, 64, xdr_int),
+        )
+        assert got == values
+
+
+class TestOptionalUnion:
+    def test_optional_present(self):
+        got, wire = roundtrip(
+            lambda s: xdr_optional(s, 42, xdr_int),
+            lambda s: xdr_optional(s, None, xdr_int),
+        )
+        assert got == 42
+        assert len(wire) == 8
+
+    def test_optional_absent(self):
+        stream = XdrMemStream(bytearray(8), XdrOp.ENCODE)
+        xdr_optional(stream, None, xdr_int)
+        dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+        assert xdr_optional(dec, None, xdr_int) is None
+
+    ARMS = {0: xdr_int, 1: None}
+
+    def test_union_value_arm(self):
+        got, _wire = roundtrip(
+            lambda s: xdr_union(s, 0, 33, self.ARMS),
+            lambda s: xdr_union(s, None, None, self.ARMS),
+        )
+        assert got == (0, 33)
+
+    def test_union_void_arm(self):
+        got, _wire = roundtrip(
+            lambda s: xdr_union(s, 1, None, self.ARMS),
+            lambda s: xdr_union(s, None, None, self.ARMS),
+        )
+        assert got == (1, None)
+
+    def test_union_bad_discriminant(self):
+        stream = XdrMemStream(bytearray(16), XdrOp.ENCODE)
+        from repro.xdr.primitives import xdr_long
+
+        xdr_long(stream, 9)
+        dec = XdrMemStream(bytearray(stream.data()), XdrOp.DECODE)
+        with pytest.raises(XdrError, match="discriminant"):
+            xdr_union(dec, None, None, self.ARMS)
+
+    def test_union_default_arm(self):
+        got, _wire = roundtrip(
+            lambda s: xdr_union(s, 9, 5, self.ARMS, xdr_int),
+            lambda s: xdr_union(s, None, None, self.ARMS, xdr_int),
+        )
+        assert got == (9, 5)

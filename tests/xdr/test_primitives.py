@@ -1,0 +1,156 @@
+"""XDR primitive filter tests (RFC 1014)."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XdrError
+from repro.xdr import (
+    XdrMemStream,
+    XdrOp,
+    xdr_bool,
+    xdr_double,
+    xdr_enum,
+    xdr_float,
+    xdr_hyper,
+    xdr_int,
+    xdr_long,
+    xdr_short,
+    xdr_u_hyper,
+    xdr_u_int,
+    xdr_u_long,
+    xdr_u_short,
+    xdr_void,
+)
+
+
+def roundtrip(filter_fn, value, size=64):
+    enc = XdrMemStream(bytearray(size), XdrOp.ENCODE)
+    filter_fn(enc, value)
+    dec = XdrMemStream(bytearray(enc.data()), XdrOp.DECODE)
+    return filter_fn(dec, None), enc.data()
+
+
+class TestIntegers:
+    def test_int_roundtrip(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31)):
+            got, _wire = roundtrip(xdr_int, value)
+            assert got == value
+
+    def test_int_wire_format_is_bigendian(self):
+        _got, wire = roundtrip(xdr_int, -2)
+        assert wire == struct.pack(">i", -2)
+
+    def test_long_out_of_range(self):
+        with pytest.raises(XdrError, match="range"):
+            roundtrip(xdr_long, 2**31)
+
+    def test_u_long_masks(self):
+        got, wire = roundtrip(xdr_u_long, 0xDEADBEEF)
+        assert got == 0xDEADBEEF
+        assert wire == struct.pack(">I", 0xDEADBEEF)
+
+    def test_short_range(self):
+        assert roundtrip(xdr_short, -0x8000)[0] == -0x8000
+        with pytest.raises(XdrError):
+            roundtrip(xdr_short, 0x8000)
+
+    def test_u_short_range(self):
+        assert roundtrip(xdr_u_short, 0xFFFF)[0] == 0xFFFF
+        with pytest.raises(XdrError):
+            roundtrip(xdr_u_short, -1)
+
+    def test_short_still_occupies_full_unit(self):
+        _got, wire = roundtrip(xdr_short, 5)
+        assert len(wire) == 4
+
+    def test_hyper_roundtrip(self):
+        for value in (0, -1, 2**63 - 1, -(2**63), 0x0123456789ABCDEF):
+            assert roundtrip(xdr_hyper, value)[0] == value
+
+    def test_u_hyper_roundtrip(self):
+        assert roundtrip(xdr_u_hyper, 2**64 - 1)[0] == 2**64 - 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.integers(-(2**31), 2**31 - 1))
+    def test_property_int_roundtrip(self, value):
+        assert roundtrip(xdr_int, value)[0] == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.integers(0, 2**32 - 1))
+    def test_property_u_long_roundtrip(self, value):
+        assert roundtrip(xdr_u_long, value)[0] == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(-(2**63), 2**63 - 1))
+    def test_property_hyper_roundtrip(self, value):
+        assert roundtrip(xdr_hyper, value)[0] == value
+
+
+class TestBoolEnum:
+    def test_bool_roundtrip(self):
+        assert roundtrip(xdr_bool, True)[0] is True
+        assert roundtrip(xdr_bool, False)[0] is False
+
+    def test_bool_rejects_bad_wire_value(self):
+        dec = XdrMemStream(bytearray(struct.pack(">I", 5)), XdrOp.DECODE)
+        with pytest.raises(XdrError, match="boolean"):
+            xdr_bool(dec, None)
+
+    def test_enum_roundtrip(self):
+        assert roundtrip(xdr_enum, 3)[0] == 3
+
+    def test_enum_restricted(self):
+        enc = XdrMemStream(bytearray(8), XdrOp.ENCODE)
+        xdr_enum(enc, 9)
+        dec = XdrMemStream(bytearray(enc.data()), XdrOp.DECODE)
+        with pytest.raises(XdrError, match="enum"):
+            xdr_enum(dec, None, allowed={0, 1, 2})
+
+
+class TestFloats:
+    def test_float_roundtrip(self):
+        got, wire = roundtrip(xdr_float, 1.5)
+        assert got == 1.5
+        assert wire == struct.pack(">f", 1.5)
+
+    def test_float_precision_loss_is_ieee(self):
+        got, _wire = roundtrip(xdr_float, 0.1)
+        assert got == struct.unpack(">f", struct.pack(">f", 0.1))[0]
+
+    def test_double_roundtrip(self):
+        got, wire = roundtrip(xdr_double, 3.141592653589793)
+        assert got == 3.141592653589793
+        assert wire == struct.pack(">d", 3.141592653589793)
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.floats(allow_nan=False, allow_infinity=False,
+                           width=64))
+    def test_property_double_roundtrip(self, value):
+        assert roundtrip(xdr_double, value)[0] == value
+
+
+class TestOpsAndErrors:
+    def test_void_moves_nothing(self):
+        stream = XdrMemStream(bytearray(4), XdrOp.ENCODE)
+        assert xdr_void(stream) is None
+        assert stream.pos == 0
+
+    def test_free_is_identity(self):
+        stream = XdrMemStream(bytearray(4), XdrOp.FREE)
+        assert xdr_int(stream, 9) == 9
+        assert stream.pos == 0
+
+    def test_encode_overflow(self):
+        stream = XdrMemStream(bytearray(4), XdrOp.ENCODE)
+        xdr_int(stream, 1)
+        with pytest.raises(XdrError, match="overflow"):
+            xdr_int(stream, 2)
+
+    def test_decode_underflow(self):
+        stream = XdrMemStream(bytearray(struct.pack(">i", 7)), XdrOp.DECODE)
+        assert xdr_int(stream, None) == 7
+        with pytest.raises(XdrError, match="underflow"):
+            xdr_int(stream, None)

@@ -1,0 +1,90 @@
+"""XDR stream tests: x_handy accounting, positioning, sizing pass."""
+
+import pytest
+
+from repro.errors import XdrError
+from repro.xdr import XdrCountStream, XdrMemStream, XdrOp
+from repro.xdr.stream import sizeof_xdr
+from repro.xdr import xdr_array, xdr_int, xdr_string
+
+
+def test_putlong_decrements_handy():
+    stream = XdrMemStream(bytearray(12), XdrOp.ENCODE)
+    assert stream.x_handy == 12
+    assert stream.putlong(1)
+    assert stream.x_handy == 8
+
+
+def test_putlong_overflow_returns_false():
+    stream = XdrMemStream(bytearray(4), XdrOp.ENCODE)
+    assert stream.putlong(1)
+    assert not stream.putlong(2)
+
+
+def test_getlong_underflow_returns_none():
+    stream = XdrMemStream(bytearray(4), XdrOp.DECODE)
+    assert stream.getlong() == 0
+    assert stream.getlong() is None
+
+
+def test_putbytes_and_padding():
+    stream = XdrMemStream(bytearray(8), XdrOp.ENCODE)
+    assert stream.putbytes(b"abc")
+    assert stream.put_padding(3)
+    assert stream.pos == 4
+
+
+def test_getpos_setpos():
+    stream = XdrMemStream(bytearray(16), XdrOp.ENCODE)
+    stream.putlong(1)
+    mark = stream.getpos()
+    stream.putlong(2)
+    stream.setpos(mark)
+    assert stream.getpos() == mark
+    assert stream.x_handy == 12
+
+
+def test_setpos_out_of_range():
+    stream = XdrMemStream(bytearray(8), XdrOp.ENCODE)
+    with pytest.raises(XdrError):
+        stream.setpos(99)
+
+
+def test_stream_offset_start():
+    stream = XdrMemStream(bytearray(16), XdrOp.ENCODE, offset=8)
+    assert stream.x_handy == 8
+    stream.putlong(0xAA)
+    assert stream.buffer[8:12] == b"\x00\x00\x00\xaa"
+
+
+def test_bad_buffer_type():
+    with pytest.raises(XdrError):
+        XdrMemStream(12345, XdrOp.ENCODE)
+
+
+def test_count_stream_measures():
+    stream = XdrCountStream()
+    xdr_int(stream, 1)
+    xdr_string(stream, "abcde", 64)
+    # 4 (int) + 4 (length) + 8 (5 bytes padded)
+    assert stream.pos == 16
+
+
+def test_count_stream_cannot_decode():
+    stream = XdrCountStream()
+    with pytest.raises(XdrError):
+        stream.getlong()
+
+
+def test_sizeof_xdr_helper():
+    size = sizeof_xdr(lambda s, v: xdr_array(s, v, 64, xdr_int),
+                      list(range(10)))
+    assert size == 4 + 40
+
+
+def test_sizeof_matches_encoding():
+    value = list(range(7))
+    size = sizeof_xdr(lambda s, v: xdr_array(s, v, 64, xdr_int), value)
+    stream = XdrMemStream(bytearray(256), XdrOp.ENCODE)
+    xdr_array(stream, value, 64, xdr_int)
+    assert stream.getpos() == size
