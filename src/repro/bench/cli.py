@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, codesize, figure6, marshaling, roundtrip, unrolling
+from repro.bench import ablation, codesize, figure6, live, marshaling, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -15,6 +15,7 @@ EXPERIMENTS = {
     "table4": ("Table 4 — 250-element partial unroll", unrolling.run),
     "figure6": ("Figure 6 — cross-platform panels", figure6.run),
     "ablation": ("Ablations of specializer refinements", ablation.run),
+    "live": ("Live fast path — generic vs staged runtime", live.run),
 }
 
 

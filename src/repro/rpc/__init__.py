@@ -18,6 +18,7 @@ compiled from Tempo residual programs (:mod:`repro.specialized`).
 from repro.rpc.auth import AUTH_NONE, AUTH_SYS, OpaqueAuth, make_auth_none, make_auth_sys
 from repro.rpc.clnt_tcp import TcpClient
 from repro.rpc.clnt_udp import UdpClient
+from repro.rpc.fastpath import BufferPool, CallHeaderTemplate, ReplyHeaderTemplate
 from repro.rpc.message import RPC_VERSION
 from repro.rpc.server import SvcRegistry, rpc_service
 from repro.rpc.svc_tcp import TcpServer
@@ -26,9 +27,12 @@ from repro.rpc.svc_udp import UdpServer
 __all__ = [
     "AUTH_NONE",
     "AUTH_SYS",
+    "BufferPool",
+    "CallHeaderTemplate",
     "OpaqueAuth",
     "make_auth_none",
     "make_auth_sys",
+    "ReplyHeaderTemplate",
     "RPC_VERSION",
     "SvcRegistry",
     "rpc_service",

@@ -11,17 +11,29 @@ class TcpClient(RpcClient):
     """An RPC client over a persistent TCP connection."""
 
     def __init__(self, host, port, prog, vers, timeout=25.0, bufsize=1 << 16,
-                 **kwargs):
+                 fastpath=False, **kwargs):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
         self.timeout = timeout
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.settimeout(timeout)
+        if fastpath:
+            self.enable_fastpath()
 
     def call(self, proc, args=None, xdr_args=None, xdr_res=None):
         xid = self.next_xid()
-        request = self.build_call(xid, proc, args, xdr_args)
+        send_buffer = None
+        if self.fastpath_enabled and proc not in self._codecs:
+            send_buffer, length = self.build_call_pooled(
+                xid, proc, args, xdr_args
+            )
+            request = memoryview(send_buffer)[:length]
+        else:
+            request = self.build_call(xid, proc, args, xdr_args)
         try:
             write_record(self.sock, request)
+            if send_buffer is not None:
+                self.release_send_buffer(send_buffer)
+                send_buffer = None
             while True:
                 data = read_record(self.sock)
                 matched, value = self.parse_reply(data, xid, proc, xdr_res)
@@ -33,6 +45,9 @@ class TcpClient(RpcClient):
             ) from exc
         except (BrokenPipeError, ConnectionResetError) as exc:
             raise RpcProtocolError(f"connection failed: {exc}") from exc
+        finally:
+            if send_buffer is not None:
+                self.release_send_buffer(send_buffer)
 
     def close(self):
         try:

@@ -4,6 +4,13 @@ Implements the classic Sun retransmission discipline: send the
 datagram, wait ``wait`` seconds for a matching reply, retransmit on
 timeout, and give up when the total ``timeout`` budget is exhausted.
 Stale replies (xid mismatch) are discarded without consuming a retry.
+
+With the fast path on (``fastpath=True`` or
+:meth:`~repro.rpc.client.RpcClient.enable_fastpath`), the request is
+serialized into a pooled buffer from a pre-built header template,
+replies land in a pooled receive buffer via ``recvfrom_into``, and
+decoding reads a ``memoryview`` of that buffer — one complete call
+performs no per-call buffer allocation.
 """
 
 import select
@@ -26,6 +33,7 @@ class UdpClient(RpcClient):
         timeout=5.0,
         wait=0.5,
         bufsize=UDPMSGSIZE,
+        fastpath=False,
         **kwargs,
     ):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
@@ -36,10 +44,26 @@ class UdpClient(RpcClient):
         self.sock.setblocking(False)
         #: retransmissions performed over the client's lifetime
         self.retransmissions = 0
+        if fastpath:
+            self.enable_fastpath()
 
     def call(self, proc, args=None, xdr_args=None, xdr_res=None):
         xid = self.next_xid()
-        request = self.build_call(xid, proc, args, xdr_args)
+        send_buffer = None
+        if self.fastpath_enabled and proc not in self._codecs:
+            send_buffer, length = self.build_call_pooled(
+                xid, proc, args, xdr_args
+            )
+            request = memoryview(send_buffer)[:length]
+        else:
+            request = self.build_call(xid, proc, args, xdr_args)
+        try:
+            return self._call_loop(request, xid, proc, xdr_res)
+        finally:
+            if send_buffer is not None:
+                self.release_send_buffer(send_buffer)
+
+    def _call_loop(self, request, xid, proc, xdr_res):
         deadline = time.monotonic() + self.timeout
         first = True
         while True:
@@ -68,8 +92,18 @@ class UdpClient(RpcClient):
             readable, _, _ = select.select([self.sock], [], [], remaining)
             if not readable:
                 return None
-            data, _addr = self.sock.recvfrom(self.bufsize)
-            matched, value = self.parse_reply(data, xid, proc, xdr_res)
+            if self.fastpath_enabled:
+                recv_buffer = self.acquire_recv_buffer()
+                try:
+                    nbytes = self.sock.recv_into(recv_buffer)
+                    data = memoryview(recv_buffer)[:nbytes]
+                    matched, value = self.parse_reply(data, xid, proc,
+                                                      xdr_res)
+                finally:
+                    self.release_recv_buffer(recv_buffer)
+            else:
+                data, _addr = self.sock.recvfrom(self.bufsize)
+                matched, value = self.parse_reply(data, xid, proc, xdr_res)
             if matched:
                 return (value,)
             # Stale xid: keep listening within the same try window.

@@ -10,12 +10,15 @@ Tempo-specialized server stubs can replace the generic micro-layers.
 """
 
 import logging
+import struct
 from dataclasses import dataclass
 
 from repro.errors import RpcProtocolError, XdrError
 from repro.rpc.auth import NULL_AUTH
+from repro.rpc.fastpath import BufferPool, ReplyHeaderTemplate
 from repro.rpc.message import (
     AcceptStat,
+    CallHeader,
     RejectStat,
     decode_call_header,
     encode_accepted_reply,
@@ -27,6 +30,14 @@ logger = logging.getLogger(__name__)
 
 #: procedure 0 of every program/version is the NULL ping.
 NULLPROC = 0
+
+#: the static words of a v2 call header (msg_type CALL=0, rpcvers=2)
+#: and the 16 zero bytes of two NULL auth areas — the common header
+#: shape the fast path recognizes with slice compares instead of the
+#: micro-layer decode.
+_CALL_V2 = struct.pack(">II", 0, 2)
+_NULL_AUTHS = bytes(16)
+_FAST_HEADER_SIZE = 10 * 4
 
 
 @dataclass
@@ -44,10 +55,34 @@ class Procedure:
 class SvcRegistry:
     """Dispatch table for any number of programs/versions."""
 
-    def __init__(self, bufsize=8800):
+    def __init__(self, bufsize=8800, fastpath=False):
         #: (prog, vers) -> {proc: Procedure}
         self._programs = {}
         self.bufsize = bufsize
+        #: fast-path state: pre-built SUCCESS reply header + reply
+        #: buffer pool (see :mod:`repro.rpc.fastpath`).
+        self._reply_template = None
+        self._out_pool = None
+        if fastpath:
+            self.enable_fastpath()
+
+    def enable_fastpath(self, pool_limit=4):
+        """Pre-build the SUCCESS reply header and pool reply buffers.
+
+        The dispatcher then answers the hot path (accepted, SUCCESS,
+        null verifier) by copying the template and patching the xid
+        instead of re-encoding six XDR units per reply, and reuses its
+        scratch reply buffers instead of allocating ``bytearray
+        (bufsize)`` per call.
+        """
+        self._reply_template = ReplyHeaderTemplate()
+        self._out_pool = BufferPool(self.bufsize, limit=pool_limit,
+                                    prefill=1)
+        return self
+
+    @property
+    def fastpath_enabled(self):
+        return self._reply_template is not None
 
     def register(self, prog, vers, proc, handler, xdr_args=None,
                  xdr_res=None):
@@ -70,9 +105,42 @@ class SvcRegistry:
     def dispatch_bytes(self, data):
         """Process one call message; returns the reply message bytes, or
         None when the request is unparseable garbage (dropped, like the
-        C svc code drops undecodable datagrams)."""
-        stream = XdrMemStream(bytearray(data), XdrOp.DECODE)
-        reply = bytearray(self.bufsize)
+        C svc code drops undecodable datagrams).
+
+        ``data`` may be ``bytes``, ``bytearray``, or a ``memoryview``
+        over the transport's receive buffer — it is decoded in place,
+        never copied.
+        """
+        if self._out_pool is not None:
+            reply = self._out_pool.acquire()
+            try:
+                return self._dispatch_into(data, reply)
+            finally:
+                self._out_pool.release(reply)
+        return self._dispatch_into(data, bytearray(self.bufsize))
+
+    def _fast_parse_header(self, data):
+        """A :class:`CallHeader` for the common shape — RPC v2 with two
+        NULL auth areas — without the field-by-field decode; None sends
+        the request to the generic decoder (which also owns every
+        malformed/mismatch path, so those replies stay byte-identical).
+        """
+        if (len(data) < _FAST_HEADER_SIZE
+                or data[4:12] != _CALL_V2
+                or data[24:40] != _NULL_AUTHS):
+            return None
+        xid, _, _, prog, vers, proc = struct.unpack_from(">6I", data, 0)
+        return CallHeader(xid, prog, vers, proc, NULL_AUTH, NULL_AUTH)
+
+    def _dispatch_into(self, data, reply):
+        if self._reply_template is not None:
+            header = self._fast_parse_header(data)
+            if header is not None:
+                stream = XdrMemStream(data, XdrOp.DECODE,
+                                      offset=_FAST_HEADER_SIZE)
+                out = XdrMemStream(reply, XdrOp.ENCODE)
+                return self._dispatch_call(header, stream, out)
+        stream = XdrMemStream(data, XdrOp.DECODE)
         out = XdrMemStream(reply, XdrOp.ENCODE)
         try:
             header = decode_call_header(stream)
@@ -137,7 +205,13 @@ class SvcRegistry:
             encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
                                   NULL_AUTH)
             return out.data()
-        encode_accepted_reply(out, header.xid, AcceptStat.SUCCESS, NULL_AUTH)
+        if self._reply_template is not None and out.pos == 0:
+            # Fast path: copy the pre-built SUCCESS header, patch xid.
+            out.setpos(self._reply_template.write_into(out.buffer,
+                                                       header.xid))
+        else:
+            encode_accepted_reply(out, header.xid, AcceptStat.SUCCESS,
+                                  NULL_AUTH)
         try:
             if proc.encode_res is not None:
                 proc.encode_res(out, result)

@@ -14,8 +14,13 @@ class TcpServer:
     record-marked calls until the peer disconnects.
     """
 
-    def __init__(self, registry, host="127.0.0.1", port=0, backlog=16):
+    def __init__(self, registry, host="127.0.0.1", port=0, backlog=16,
+                 fastpath=False):
         self.registry = registry
+        #: fast path: template/pooled replies live in the registry (the
+        #: reply pool is thread-safe, so connection threads share it).
+        if fastpath and hasattr(registry, "enable_fastpath"):
+            registry.enable_fastpath()
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self.sock.bind((host, port))

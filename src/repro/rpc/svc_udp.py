@@ -15,7 +15,7 @@ class UdpServer:
     """
 
     def __init__(self, registry, host="127.0.0.1", port=0,
-                 bufsize=UDPMSGSIZE):
+                 bufsize=UDPMSGSIZE, fastpath=False):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -26,6 +26,15 @@ class UdpServer:
         self._stop = threading.Event()
         #: datagrams processed (for tests)
         self.requests_handled = 0
+        #: fast path: one reusable receive buffer (handle_once is not
+        #: reentrant) + template/pooled replies in the registry.
+        self._recv_buffer = bytearray(bufsize) if fastpath else None
+        if fastpath and hasattr(registry, "enable_fastpath"):
+            registry.enable_fastpath()
+
+    @property
+    def fastpath_enabled(self):
+        return self._recv_buffer is not None
 
     def handle_once(self, timeout=None):
         """Receive and answer one datagram; returns True if one was
@@ -33,7 +42,11 @@ class UdpServer:
         if timeout is not None:
             self.sock.settimeout(timeout)
         try:
-            data, addr = self.sock.recvfrom(self.bufsize)
+            if self._recv_buffer is not None:
+                nbytes, addr = self.sock.recvfrom_into(self._recv_buffer)
+                data = memoryview(self._recv_buffer)[:nbytes]
+            else:
+                data, addr = self.sock.recvfrom(self.bufsize)
         except socket.timeout:
             return False
         reply = self.registry.dispatch_bytes(data)

@@ -9,14 +9,19 @@ The resulting marshalers plug into the live RPC stack
 (:mod:`repro.rpc`), replacing the generic XDR micro-layers.
 """
 
+from repro.specialized.cache import SpecializationCache, content_key
 from repro.specialized.pipeline import (
     ClientSpecialization,
+    ResidualCodec,
     ServerSpecialization,
     SpecializationPipeline,
 )
 
 __all__ = [
     "ClientSpecialization",
+    "content_key",
+    "ResidualCodec",
     "ServerSpecialization",
+    "SpecializationCache",
     "SpecializationPipeline",
 ]

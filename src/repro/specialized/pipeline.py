@@ -17,6 +17,8 @@ error status) fall back to the generic decode path, mirroring the
 residual ``else`` branches of the paper's §6.2 rewrite.
 """
 
+import os
+
 from repro.errors import IdlError, XdrError
 from repro.minic.compile_py import compile_program
 from repro.minic.parser import parse_program
@@ -26,9 +28,31 @@ from repro.rpcgen import idl_ast as idl
 from repro.rpcgen.codegen_minic import MiniCGenerator, generate_minic
 from repro.rpcgen.codegen_py import load_python
 from repro.specialized import runtime as sr
-from repro.specialized.sizes import reply_size, request_size
+from repro.specialized.cache import SpecializationCache, content_key
+from repro.specialized.sizes import message_sizes, reply_size, request_size
 from repro.tempo import Dyn, DynPtr, Known, PtrTo, StructOf, specialize
 from repro.xdr import XdrMemStream, XdrOp
+
+
+class ResidualCodec:
+    """Slim, picklable stand-in for a
+    :class:`~repro.tempo.driver.SpecializationResult` — just the pieces
+    the runtime wrappers consume.  This is what the disk tier of the
+    specialization cache stores."""
+
+    __slots__ = ("program", "entry_name", "residual_params")
+
+    def __init__(self, program, entry_name, residual_params):
+        self.program = program
+        self.entry_name = entry_name
+        self.residual_params = residual_params
+
+    @classmethod
+    def from_result(cls, result):
+        if isinstance(result, cls):
+            return result
+        return cls(result.program, result.entry_name,
+                   result.residual_params)
 
 
 class ClientSpecialization:
@@ -41,11 +65,8 @@ class ClientSpecialization:
         self.arg_struct = arg_struct
         self.ret_struct = ret_struct
         self.bufsize = bufsize
-        self.expected_reply = reply_size(
-            pipeline.interface, ret_struct, res_lens
-        )
-        self.expected_request = request_size(
-            pipeline.interface, arg_struct, arg_lens
+        self.expected_request, self.expected_reply = message_sizes(
+            pipeline.interface, arg_struct, ret_struct, arg_lens, res_lens
         )
         self.marshal_result = marshal_result
         self.recv_result = recv_result
@@ -120,7 +141,7 @@ class ClientSpecialization:
                     factory=self._stub_ret_class,
                 )
         # Generic fallback: classify stale xids and protocol errors.
-        stream = XdrMemStream(bytearray(data), XdrOp.DECODE)
+        stream = XdrMemStream(data, XdrOp.DECODE)
         reply = decode_reply_header(stream)
         if reply.xid != (xid & 0xFFFFFFFF):
             return False, None
@@ -128,10 +149,17 @@ class ClientSpecialization:
         return True, self._generic_ret_filter(stream, None)
 
     def install(self, client):
-        """Attach these codecs to an RpcClient for this procedure."""
+        """Attach these codecs to an RpcClient for this procedure.
+
+        On a fast-path client this also narrows the buffer pools to the
+        exact expected request/reply sizes (the paper's §6 exact-size
+        buffers) instead of the 8800-byte default."""
         client.install_codec(
             self.proc.number, self.build_request, self.parse_reply
         )
+        configure = getattr(client, "configure_buffers", None)
+        if configure is not None:
+            configure(self.expected_request, self.expected_reply)
         return client
 
 
@@ -148,24 +176,28 @@ class ServerSpecialization:
         self._module = compile_program(handle_result.program)
         self._params = [n for _t, n in handle_result.residual_params]
         self._entry = handle_result.entry_name
+        self._out_buffers = sr.ScratchBuffers(bufsize)
         self.fast_path_hits = 0
         self.fallback_hits = 0
 
     def dispatch_bytes(self, data):
         in_buffer = sr.fresh_buffer(data)
-        out_buffer = sr.fresh_buffer(self.bufsize)
-        values = {
-            "inbuf": sr.buffer_cursor(in_buffer),
-            "inlen": len(data),
-            "outbuf": sr.buffer_cursor(out_buffer),
-            "outsize": self.bufsize,
-        }
-        outlen = self._module.call(
-            self._entry, *[values[name] for name in self._params]
-        )
-        if outlen:
-            self.fast_path_hits += 1
-            return bytes(out_buffer.data[:outlen])
+        out_buffer = self._out_buffers.acquire()
+        try:
+            values = {
+                "inbuf": sr.buffer_cursor(in_buffer),
+                "inlen": len(data),
+                "outbuf": sr.buffer_cursor(out_buffer),
+                "outsize": self.bufsize,
+            }
+            outlen = self._module.call(
+                self._entry, *[values[name] for name in self._params]
+            )
+            if outlen:
+                self.fast_path_hits += 1
+                return bytes(out_buffer.data[:outlen])
+        finally:
+            self._out_buffers.release(out_buffer)
         if self.fallback is not None:
             self.fallback_hits += 1
             return self.fallback.dispatch_bytes(data)
@@ -176,7 +208,7 @@ class SpecializationPipeline:
     """Front door: one pipeline per interface (and program version)."""
 
     def __init__(self, idl_source, impl_sources=None, options=None,
-                 program=None, version=None):
+                 program=None, version=None, cache=None, cache_dir=None):
         from repro.rpcgen.idl_parser import parse_idl
 
         self.interface = parse_idl(idl_source)
@@ -189,6 +221,21 @@ class SpecializationPipeline:
         self.idl_program = self._select_program(program)
         self.idl_version = self._select_version(version)
         self._gen = MiniCGenerator(self.interface)
+        #: memoized specializations.  The fingerprint covers everything
+        #: the residual code is derived from, so editing the IDL (or the
+        #: impls, or the specializer options) invalidates by keying.
+        if cache is None:
+            if cache_dir is None:
+                cache_dir = os.environ.get("REPRO_SPEC_CACHE_DIR")
+            cache = SpecializationCache(cache_dir=cache_dir)
+        self.cache = cache
+        self._fingerprint = content_key(
+            idl=idl_source,
+            impls=list(impl_sources or []),
+            options=repr(options),
+            program=program,
+            version=version,
+        )
 
     def _select_program(self, name):
         programs = self.interface.programs
@@ -252,12 +299,42 @@ class SpecializationPipeline:
         """Specialize the marshal and receive paths of one procedure.
 
         ``arg_lens``/``res_lens`` map bounded-array field names to the
-        assumed element counts (the invariants of the workload)."""
+        assumed element counts (the invariants of the workload).
+
+        Results are memoized: a repeat call with identical invariants
+        is served from the in-memory cache in O(1), and — when a disk
+        tier is configured — a fresh process revives the residual
+        programs from disk instead of re-running Tempo."""
         proc = self.find_proc(proc_name)
         arg_struct = self._struct_for(proc.arg, proc.name)
         ret_struct = self._struct_for(proc.ret, proc.name)
         arg_lens = self._length_assumptions(arg_struct, arg_lens)
         res_lens = self._length_assumptions(ret_struct, res_lens)
+        key = content_key(
+            kind="client",
+            fingerprint=self._fingerprint,
+            proc=proc_name,
+            arg_lens=sorted(arg_lens.items()),
+            res_lens=sorted(res_lens.items()),
+            bufsize=bufsize,
+        )
+        return self.cache.get(
+            key,
+            build=lambda: self._specialize_client_uncached(
+                proc, arg_struct, ret_struct, arg_lens, res_lens, bufsize
+            ),
+            dump=lambda spec: (
+                ResidualCodec.from_result(spec.marshal_result),
+                ResidualCodec.from_result(spec.recv_result),
+            ),
+            load=lambda payload: ClientSpecialization(
+                self, proc, arg_struct, ret_struct, arg_lens, res_lens,
+                bufsize, payload[0], payload[1],
+            ),
+        )
+
+    def _specialize_client_uncached(self, proc, arg_struct, ret_struct,
+                                    arg_lens, res_lens, bufsize):
         lname = proc.name.lower()
         marshal_assumptions = {
             "clnt": PtrTo(
@@ -323,6 +400,29 @@ class SpecializationPipeline:
         ret_struct = self._struct_for(proc.ret, proc.name)
         arg_lens = self._length_assumptions(arg_struct, arg_lens)
         res_lens = self._length_assumptions(ret_struct, res_lens)
+        key = content_key(
+            kind="server",
+            fingerprint=self._fingerprint,
+            proc=hot_proc,
+            arg_lens=sorted(arg_lens.items()),
+            res_lens=sorted(res_lens.items()),
+            bufsize=bufsize,
+        )
+        # The residual program is cached; the wrapper is rebuilt per
+        # call because it carries per-instance state (dispatch counters,
+        # the live ``fallback`` registry).
+        handle_result = self.cache.get(
+            key,
+            build=lambda: self._specialize_server_uncached(
+                proc, arg_lens, res_lens, bufsize
+            ),
+            dump=ResidualCodec.from_result,
+            load=lambda payload: payload,
+        )
+        return ServerSpecialization(self, handle_result, bufsize, fallback)
+
+    def _specialize_server_uncached(self, proc, arg_lens, res_lens, bufsize):
+        arg_struct = self._struct_for(proc.arg, proc.name)
         expected_request = request_size(self.interface, arg_struct, arg_lens)
         suffix = f"{self.idl_program.name.lower()}_{self.vers_number}"
         assumptions = {
@@ -344,11 +444,10 @@ class SpecializationPipeline:
                 assumptions[f"{vp_name}_expected_{field}_len_res"] = Known(
                     length
                 )
-        handle_result = specialize(
+        return specialize(
             self.program_ast,
             f"svc_handle_{suffix}",
             assumptions,
             options=self.options,
             typeinfo=self.typeinfo,
         )
-        return ServerSpecialization(self, handle_result, bufsize, fallback)

@@ -7,6 +7,8 @@ These converters move data between those and the Python stub structs
 (or dict/attribute-style values) the application uses.
 """
 
+import threading
+
 from repro.errors import IdlError
 from repro.minic import pyruntime as rt
 from repro.rpcgen import idl_ast as idl
@@ -80,8 +82,46 @@ def from_compiled(interface, struct_def, obj, factory=None):
 
 
 def fresh_buffer(size):
+    """A new :class:`~repro.minic.pyruntime.PyBuffer`.
+
+    ``size`` may also be bytes-like (including a ``memoryview`` over a
+    transport receive buffer): the content is copied in, since compiled
+    residual code needs the mutable byte-addressed PyBuffer view.
+    """
     return rt.PyBuffer(size)
 
 
 def buffer_cursor(buffer, offset=0):
     return rt.BufPtr(buffer, offset, 1, True)
+
+
+class ScratchBuffers:
+    """A bounded free-list of equal-size PyBuffer scratch buffers.
+
+    The specialized server otherwise allocates a ``bufsize`` output
+    buffer per dispatched datagram; steady-state traffic through this
+    pool reuses the same one or two.  Residual marshalers write
+    sequentially from offset 0 and report an output length, so buffers
+    are reused without re-zeroing.
+    """
+
+    __slots__ = ("size", "limit", "_free", "_lock")
+
+    def __init__(self, size, limit=4):
+        self.size = size
+        self.limit = limit
+        self._free = []
+        self._lock = threading.Lock()
+
+    def acquire(self):
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+        return rt.PyBuffer(self.size)
+
+    def release(self, buffer):
+        if buffer is None or len(buffer) != self.size:
+            return
+        with self._lock:
+            if len(self._free) < self.limit:
+                self._free.append(buffer)

@@ -63,3 +63,16 @@ def reply_size(interface, ret_struct, lens):
     """Total success-reply size for a result struct."""
     return REPLY_HEADER_BYTES + struct_encoded_size(interface, ret_struct,
                                                     lens)
+
+
+def message_sizes(interface, arg_struct, ret_struct, arg_lens, res_lens):
+    """``(request_size, reply_size)`` for one procedure's invariants.
+
+    This pair is what the runtime fast path installs as its exact-fit
+    pooled-buffer sizes (in place of the 8800-byte default) when a
+    specialization is attached to a client.
+    """
+    return (
+        request_size(interface, arg_struct, arg_lens),
+        reply_size(interface, ret_struct, res_lens),
+    )

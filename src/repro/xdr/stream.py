@@ -23,13 +23,23 @@ class XdrMemStream:
     """
 
     def __init__(self, buffer, op, offset=0):
-        if isinstance(buffer, (bytes, bytearray, memoryview)):
-            self.buffer = buffer if isinstance(buffer, bytearray) else (
-                bytearray(buffer)
-            )
+        if type(op) is not XdrOp:
+            op = XdrOp(op)
+        if isinstance(buffer, bytearray):
+            self.buffer = buffer
+        elif isinstance(buffer, memoryview):
+            # Zero-copy: decode straight out of the caller's view (the
+            # received datagram); encoding needs it writable.
+            if op != XdrOp.DECODE and buffer.readonly:
+                raise XdrError("ENCODE stream needs a writable buffer")
+            self.buffer = buffer
+        elif isinstance(buffer, bytes):
+            # DECODE reads the immutable bytes in place (zero-copy);
+            # ENCODE keeps the historical copy-to-bytearray behavior.
+            self.buffer = buffer if op == XdrOp.DECODE else bytearray(buffer)
         else:
             raise XdrError(f"bad buffer type {type(buffer).__name__}")
-        self.x_op = XdrOp(op)
+        self.x_op = op
         self.pos = offset
         self.x_handy = len(self.buffer) - offset
 

@@ -59,3 +59,31 @@ def test_rpcgen_default_prints_python(tmp_path, capsys):
     source.write_text(SMALL_IDL)
     assert rpcgen_main([str(source)]) == 0
     assert "class msg" in capsys.readouterr().out
+
+
+def test_bench_live_report(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert bench_main(["live", "--sizes", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "Live marshal" in out
+    assert "round trip" in out
+    assert (tmp_path / "BENCH_live.json").exists()
+
+
+def test_live_run_emits_json(tmp_path):
+    import json
+
+    from repro.bench import live
+
+    json_path = tmp_path / "live.json"
+    results = live.run(sizes=(20,), repeats=2, number=30,
+                       json_path=str(json_path))
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["marshal"]["20"]["speedup"] == pytest.approx(
+        results["marshal"]["20"]["speedup"]
+    )
+    roundtrip = on_disk["roundtrip"]["20"]
+    assert roundtrip["generic_us"] > 0
+    assert roundtrip["fastpath_us"] > 0
+    # Steady-state fast-path calls never allocate a buffer.
+    assert roundtrip["fastpath_pool_allocations"] == 0

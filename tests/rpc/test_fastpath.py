@@ -1,0 +1,321 @@
+"""Runtime fast path: template equivalence, buffer-pool invariants,
+and end-to-end loopback behavior (repro.rpc.fastpath)."""
+
+import pytest
+
+from repro.errors import XdrError
+from repro.rpc import (
+    BufferPool,
+    CallHeaderTemplate,
+    ReplyHeaderTemplate,
+    SvcRegistry,
+    TcpClient,
+    TcpServer,
+    UdpClient,
+    UdpServer,
+    make_auth_sys,
+)
+from repro.rpc.auth import NULL_AUTH, OpaqueAuth
+from repro.rpc.client import MIN_FASTPATH_BUFSIZE, RpcClient
+from repro.rpc.message import (
+    AcceptStat,
+    CallHeader,
+    encode_accepted_reply,
+    encode_call_header,
+)
+from repro.xdr import XdrMemStream, XdrOp, xdr_array, xdr_int, xdr_string
+
+PROG, VERS = 0x20003333, 2
+
+AUTH_FLAVORS = [
+    (NULL_AUTH, NULL_AUTH),
+    (make_auth_sys(7, "testhost", 1000, 100, (1, 2, 3)), NULL_AUTH),
+    (make_auth_sys(1, "h", 0, 0), OpaqueAuth(2, b"shorthand")),
+]
+
+
+def xdr_iarr(xdrs, value):
+    return xdr_array(xdrs, value, 4096, xdr_int)
+
+
+def generic_call_bytes(client, xid, proc, args, xdr_args):
+    """The seed generic path, rebuilt inline as the reference."""
+    buffer = bytearray(client.bufsize)
+    stream = XdrMemStream(buffer, XdrOp.ENCODE)
+    encode_call_header(stream, CallHeader(
+        xid, client.prog, client.vers, proc, client.cred, client.verf
+    ))
+    if xdr_args is not None:
+        xdr_args(stream, args)
+    return stream.data()
+
+
+class TestTemplateEquivalence:
+    @pytest.mark.parametrize("cred,verf", AUTH_FLAVORS)
+    @pytest.mark.parametrize("proc", [0, 1, 2, 77])
+    def test_call_bytes_identical(self, cred, verf, proc):
+        generic = RpcClient(PROG, VERS, cred=cred, verf=verf)
+        fast = RpcClient(PROG, VERS, cred=cred, verf=verf)
+        fast.enable_fastpath()
+        for xid in (0, 1, 0x7FFFFFFF, 0xFFFFFFFF):
+            want = generic.build_call(xid, proc, [1, 2, 3], xdr_iarr)
+            assert fast.build_call(xid, proc, [1, 2, 3], xdr_iarr) == want
+            assert want == generic_call_bytes(
+                generic, xid, proc, [1, 2, 3], xdr_iarr
+            )
+
+    @pytest.mark.parametrize("cred,verf", AUTH_FLAVORS)
+    def test_template_render_matches_encoder(self, cred, verf):
+        template = CallHeaderTemplate(PROG, VERS, 5, cred, verf)
+        stream = XdrMemStream(bytearray(2048), XdrOp.ENCODE)
+        encode_call_header(stream, CallHeader(0xABCD, PROG, VERS, 5, cred,
+                                              verf))
+        assert bytes(template.render(0xABCD)) == stream.data()
+
+    def test_write_into_returns_body_offset(self):
+        template = CallHeaderTemplate(PROG, VERS, 1)
+        buffer = bytearray(256)
+        offset = template.write_into(buffer, 42)
+        assert offset == template.size == 10 * 4
+        assert buffer[:4] == (42).to_bytes(4, "big")
+
+    def test_reply_template_matches_encoder(self):
+        template = ReplyHeaderTemplate()
+        buffer = bytearray(64)
+        size = template.write_into(buffer, 0xDEAD)
+        stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+        encode_accepted_reply(stream, 0xDEAD, AcceptStat.SUCCESS, NULL_AUTH)
+        assert bytes(buffer[:size]) == stream.data()
+
+    def test_marshaler_override_rides_fast_header(self):
+        generic = RpcClient(PROG, VERS)
+        fast = RpcClient(PROG, VERS).enable_fastpath()
+        for client in (generic, fast):
+            client.install_marshaler(
+                3, encode_fn=lambda s, v: xdr_string(s, v, 64)
+            )
+        assert (fast.build_call(9, 3, "hello", None)
+                == generic.build_call(9, 3, "hello", None))
+
+
+class TestFastReplyCheck:
+    """The client-side reply check: one slice compare against the
+    accepted-SUCCESS template; everything else decodes generically."""
+
+    def test_matches_accepted_success(self):
+        template = ReplyHeaderTemplate()
+        buffer = bytearray(64)
+        template.write_into(buffer, 0x1234)
+        assert template.matches(buffer)
+        assert template.matches(memoryview(buffer))
+
+    def test_rejects_error_reply(self):
+        template = ReplyHeaderTemplate()
+        stream = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+        encode_accepted_reply(stream, 9, AcceptStat.PROC_UNAVAIL, NULL_AUTH)
+        assert not template.matches(stream.data())
+        assert not template.matches(b"")
+
+    def test_stale_xid_is_unmatched_not_an_error(self):
+        fast = RpcClient(PROG, VERS).enable_fastpath()
+        reply = _registry(fastpath=True).dispatch_bytes(
+            fast.build_call(41, 1, [1, 2], xdr_iarr)
+        )
+        matched, _ = fast.parse_reply(reply, 42, 1, xdr_iarr)
+        assert matched is False
+        matched, value = fast.parse_reply(reply, 41, 1, xdr_iarr)
+        assert matched and value == [2, 4]
+
+    def test_error_reply_falls_back_and_raises(self):
+        from repro.errors import RpcDeniedError
+        fast = RpcClient(PROG, VERS).enable_fastpath()
+        reply = _registry(fastpath=True).dispatch_bytes(
+            fast.build_call(7, 99, None, None)
+        )
+        with pytest.raises(RpcDeniedError, match="PROC_UNAVAIL"):
+            fast.parse_reply(reply, 7, 99, None)
+
+
+class TestServerFastHeaderParse:
+    def test_null_auth_header_parses_fast(self):
+        registry = _registry(fastpath=True)
+        request = RpcClient(PROG, VERS).build_call(3, 1, [5], xdr_iarr)
+        header = registry._fast_parse_header(request)
+        assert header is not None
+        assert (header.xid, header.prog, header.vers, header.proc) == (
+            3, PROG, VERS, 1
+        )
+
+    def test_auth_sys_header_declines_fast_parse(self):
+        registry = _registry(fastpath=True)
+        client = RpcClient(PROG, VERS,
+                           cred=make_auth_sys(1, "h", 0, 0))
+        request = client.build_call(3, 1, [5], xdr_iarr)
+        assert registry._fast_parse_header(request) is None
+        # ...but the generic decoder still serves it identically.
+        assert registry.dispatch_bytes(request) == _registry(
+            fastpath=False
+        ).dispatch_bytes(request)
+
+    def test_truncated_header_declines_fast_parse(self):
+        registry = _registry(fastpath=True)
+        request = RpcClient(PROG, VERS).build_call(3, 1, [5], xdr_iarr)
+        assert registry._fast_parse_header(request[:39]) is None
+
+
+class TestBufferPool:
+    def test_concurrent_checkouts_are_distinct(self):
+        pool = BufferPool(64, limit=4, prefill=2)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert first is not second
+        pool.release(first)
+        pool.release(second)
+
+    def test_release_then_acquire_reuses(self):
+        pool = BufferPool(64, limit=4)
+        buffer = pool.acquire()
+        pool.release(buffer)
+        assert pool.acquire() is buffer
+        assert pool.allocations == 1
+        assert pool.reuses == 1
+
+    def test_limit_bounds_the_free_list(self):
+        pool = BufferPool(8, limit=2)
+        buffers = [pool.acquire() for _ in range(5)]
+        for buffer in buffers:
+            pool.release(buffer)
+        assert len(pool) == 2
+
+    def test_foreign_size_release_is_dropped(self):
+        pool = BufferPool(64, limit=4)
+        pool.release(bytearray(32))
+        pool.release(None)
+        assert len(pool) == 0
+
+    def test_steady_state_calls_do_not_allocate(self):
+        client = RpcClient(PROG, VERS).enable_fastpath()
+        client.build_call(1, 1, [1, 2], xdr_iarr)  # warm the template
+        allocations = client._send_pool.allocations
+        for xid in range(50):
+            client.build_call(xid, 1, [xid], xdr_iarr)
+        assert client._send_pool.allocations == allocations
+        assert client._send_pool.reuses >= 50
+
+
+class TestExactFitBuffers:
+    def test_configure_buffers_applies_floor(self):
+        client = RpcClient(PROG, VERS).enable_fastpath()
+        client.configure_buffers(48, 44)
+        assert client._send_pool.size == MIN_FASTPATH_BUFSIZE
+        assert client._recv_pool.size == MIN_FASTPATH_BUFSIZE
+
+    def test_configure_buffers_exact_fit(self):
+        client = RpcClient(PROG, VERS).enable_fastpath()
+        client.configure_buffers(5000, 4400)
+        assert client._send_pool.size == 5000
+        assert client._recv_pool.size == 4400
+
+    def test_overflowing_exact_fit_pool_grows_and_succeeds(self):
+        client = RpcClient(PROG, VERS).enable_fastpath()
+        client.configure_buffers(48, 44)
+        big = list(range(2000))  # ~8KB body, far over the 1KB pool
+        generic = RpcClient(PROG, VERS)
+        assert (client.build_call(5, 1, big, xdr_iarr)
+                == generic.build_call(5, 1, big, xdr_iarr))
+
+    def test_message_bigger_than_bufsize_still_raises(self):
+        client = RpcClient(PROG, VERS, bufsize=64).enable_fastpath()
+        with pytest.raises(XdrError):
+            client.build_call(5, 1, list(range(100)), xdr_iarr)
+
+
+def _registry(fastpath=False):
+    registry = SvcRegistry(fastpath=fastpath)
+    registry.register(PROG, VERS, 1, lambda a: [x * 2 for x in a],
+                      xdr_iarr, xdr_iarr)
+    registry.register(PROG, VERS, 2, lambda s: s.upper(),
+                      lambda x, v: xdr_string(x, v, 256),
+                      lambda x, v: xdr_string(x, v, 256))
+    return registry
+
+
+class TestServerFastpath:
+    def test_reply_bytes_identical(self):
+        generic = _registry(fastpath=False)
+        fast = _registry(fastpath=True)
+        client = RpcClient(PROG, VERS)
+        for proc, args, xdr_args in (
+            (1, [3, 4, 5], xdr_iarr),
+            (2, "abc", lambda x, v: xdr_string(x, v, 256)),
+        ):
+            request = client.build_call(77, proc, args, xdr_args)
+            assert fast.dispatch_bytes(request) == generic.dispatch_bytes(
+                request
+            )
+
+    def test_error_paths_identical(self):
+        generic = _registry(fastpath=False)
+        fast = _registry(fastpath=True)
+        client = RpcClient(PROG, VERS)
+        # PROC_UNAVAIL
+        request = client.build_call(5, 99, None, None)
+        assert fast.dispatch_bytes(request) == generic.dispatch_bytes(request)
+        # PROG_UNAVAIL
+        other = RpcClient(0x2FFFFFFF, 1)
+        request = other.build_call(6, 1, None, None)
+        assert fast.dispatch_bytes(request) == generic.dispatch_bytes(request)
+        # GARBAGE_ARGS (truncated body)
+        request = client.build_call(7, 1, [1, 2, 3], xdr_iarr)[:-8]
+        assert fast.dispatch_bytes(request) == generic.dispatch_bytes(request)
+
+    def test_memoryview_input(self):
+        fast = _registry(fastpath=True)
+        client = RpcClient(PROG, VERS)
+        request = bytearray(client.build_call(8, 1, [1], xdr_iarr))
+        reply = fast.dispatch_bytes(memoryview(request))
+        assert reply == _registry().dispatch_bytes(bytes(request))
+
+
+class TestLoopback:
+    def test_udp_fastpath_roundtrip(self):
+        with UdpServer(_registry(), fastpath=True) as server:
+            with UdpClient("127.0.0.1", server.port, PROG, VERS,
+                           fastpath=True) as client:
+                for i in range(20):
+                    assert client.call(1, [1, i], xdr_iarr, xdr_iarr) == [
+                        2, 2 * i
+                    ]
+                assert client.call(
+                    2, "hello",
+                    lambda x, v: xdr_string(x, v, 256),
+                    lambda x, v: xdr_string(x, v, 256),
+                ) == "HELLO"
+                assert client._send_pool.reuses > 0
+                assert client._recv_pool.reuses > 0
+
+    def test_tcp_fastpath_roundtrip(self):
+        with TcpServer(_registry(), fastpath=True) as server:
+            with TcpClient("127.0.0.1", server.port, PROG, VERS,
+                           fastpath=True) as client:
+                for i in range(10):
+                    assert client.call(1, [i], xdr_iarr, xdr_iarr) == [2 * i]
+
+    def test_fastpath_with_auth_sys(self):
+        cred = make_auth_sys(3, "box", 501, 20, (12,))
+        with UdpServer(_registry(), fastpath=True) as server:
+            with UdpClient("127.0.0.1", server.port, PROG, VERS,
+                           fastpath=True, cred=cred) as client:
+                assert client.call(1, [5], xdr_iarr, xdr_iarr) == [10]
+
+    def test_mixed_fastpath_and_generic_peers(self):
+        """A fast-path client against a generic server and vice versa —
+        the wire format is identical, so every pairing interoperates."""
+        with UdpServer(_registry(), fastpath=False) as server:
+            with UdpClient("127.0.0.1", server.port, PROG, VERS,
+                           fastpath=True) as client:
+                assert client.call(1, [7], xdr_iarr, xdr_iarr) == [14]
+        with UdpServer(_registry(), fastpath=True) as server:
+            with UdpClient("127.0.0.1", server.port, PROG, VERS,
+                           fastpath=False) as client:
+                assert client.call(1, [7], xdr_iarr, xdr_iarr) == [14]

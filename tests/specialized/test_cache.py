@@ -1,0 +1,176 @@
+"""Specialization cache: hit/miss accounting, the >=10x repeat-call
+speedup, the on-disk tier, and content-keyed invalidation."""
+
+import time
+
+import pytest
+
+from repro.specialized import SpecializationCache, SpecializationPipeline
+from repro.specialized.cache import content_key
+
+IDL = """
+const MAXN = 64;
+
+struct smallarr {
+    int vals<MAXN>;
+};
+
+program CACHE_PROG {
+    version CACHE_VERS {
+        smallarr BOUNCE(smallarr) = 1;
+    } = 1;
+} = 0x20009999;
+"""
+
+IMPL = """
+void bounce_impl(struct smallarr *args, struct smallarr *res)
+{
+    int i;
+    res->vals_len = args->vals_len;
+    for (i = 0; i < args->vals_len; i++)
+        res->vals[i] = args->vals[i];
+}
+"""
+
+LENS = {"vals": 4}
+
+
+def make_pipeline(cache_dir=None, idl=IDL):
+    return SpecializationPipeline(idl, impl_sources=[IMPL],
+                                  cache_dir=cache_dir)
+
+
+class TestContentKey:
+    def test_stable_and_order_insensitive(self):
+        assert content_key(a=1, b="x") == content_key(b="x", a=1)
+
+    def test_sensitive_to_values(self):
+        assert content_key(a=1) != content_key(a=2)
+        assert content_key(a=1) != content_key(b=1)
+
+
+class TestMemoryTier:
+    def test_repeat_client_specialization_is_cached(self):
+        pipeline = make_pipeline()
+        first = pipeline.specialize_client("BOUNCE", arg_lens=LENS,
+                                           res_lens=LENS)
+        second = pipeline.specialize_client("BOUNCE", arg_lens=LENS,
+                                            res_lens=LENS)
+        assert first is second
+        assert pipeline.cache.hits == 1
+        assert pipeline.cache.misses == 1
+
+    def test_second_call_at_least_10x_faster(self):
+        pipeline = make_pipeline()
+        started = time.perf_counter()
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        warm = time.perf_counter() - started
+        assert cold >= 10 * warm, (cold, warm)
+
+    def test_different_invariants_are_different_entries(self):
+        pipeline = make_pipeline()
+        a = pipeline.specialize_client("BOUNCE", arg_lens={"vals": 2},
+                                       res_lens={"vals": 2})
+        b = pipeline.specialize_client("BOUNCE", arg_lens={"vals": 3},
+                                       res_lens={"vals": 3})
+        assert a is not b
+        assert pipeline.cache.misses == 2
+
+    def test_server_residual_is_cached(self):
+        pipeline = make_pipeline()
+        first = pipeline.specialize_server("BOUNCE", arg_lens=LENS,
+                                           res_lens=LENS)
+        second = pipeline.specialize_server("BOUNCE", arg_lens=LENS,
+                                            res_lens=LENS)
+        # Wrappers are fresh (they carry per-instance counters) but the
+        # residual program behind them came from the cache.
+        assert first is not second
+        assert pipeline.cache.hits == 1
+        request = make_pipeline().specialize_client(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        ).build_request(7, {"vals": [1, 2, 3, 4]})
+        assert first.dispatch_bytes(request) == second.dispatch_bytes(
+            request
+        )
+
+    def test_lru_eviction(self):
+        cache = SpecializationCache(capacity=2)
+        cache.get("a", build=lambda: 1)
+        cache.get("b", build=lambda: 2)
+        cache.get("c", build=lambda: 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+
+class TestDiskTier:
+    def test_roundtrip_through_disk(self, tmp_path):
+        cache_dir = str(tmp_path)
+        first = make_pipeline(cache_dir).specialize_client(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        )
+        revived_pipeline = make_pipeline(cache_dir)
+        revived = revived_pipeline.specialize_client(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        )
+        assert revived_pipeline.cache.disk_hits == 1
+        assert revived_pipeline.cache.misses == 0
+        args = {"vals": [9, 8, 7, 6]}
+        assert revived.build_request(5, args) == first.build_request(5, args)
+        matched, value = revived.parse_reply(
+            make_pipeline(cache_dir).specialize_server(
+                "BOUNCE", arg_lens=LENS, res_lens=LENS
+            ).dispatch_bytes(first.build_request(5, args)),
+            5,
+        )
+        assert matched
+        assert value.vals == [9, 8, 7, 6]
+
+    def test_server_roundtrip_through_disk(self, tmp_path):
+        cache_dir = str(tmp_path)
+        make_pipeline(cache_dir).specialize_server(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        )
+        revived_pipeline = make_pipeline(cache_dir)
+        server = revived_pipeline.specialize_server(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        )
+        assert revived_pipeline.cache.disk_hits == 1
+        client = revived_pipeline.specialize_client(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        )
+        request = client.build_request(3, {"vals": [1, 2, 3, 4]})
+        matched, value = client.parse_reply(server.dispatch_bytes(request),
+                                            3)
+        assert matched
+        assert value.vals == [1, 2, 3, 4]
+        assert server.fast_path_hits == 1
+
+    def test_idl_change_invalidates(self, tmp_path):
+        cache_dir = str(tmp_path)
+        make_pipeline(cache_dir).specialize_client(
+            "BOUNCE", arg_lens=LENS, res_lens=LENS
+        )
+        edited = IDL.replace("MAXN = 64", "MAXN = 65")
+        pipeline = make_pipeline(cache_dir, idl=edited)
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        assert pipeline.cache.disk_hits == 0
+        assert pipeline.cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path)
+        pipeline = make_pipeline(cache_dir)
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        for path in tmp_path.iterdir():
+            path.write_bytes(b"not a pickle")
+        fresh = make_pipeline(cache_dir)
+        fresh.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        assert fresh.cache.disk_hits == 0
+        assert fresh.cache.misses == 1
+
+    def test_memory_only_cache_writes_nothing(self, tmp_path):
+        pipeline = make_pipeline(cache_dir=None)
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        assert list(tmp_path.iterdir()) == []

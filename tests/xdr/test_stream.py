@@ -88,3 +88,59 @@ def test_sizeof_matches_encoding():
     stream = XdrMemStream(bytearray(256), XdrOp.ENCODE)
     xdr_array(stream, value, 64, xdr_int)
     assert stream.getpos() == size
+
+
+# -- zero-copy DECODE buffers ------------------------------------------------
+
+
+def _encoded_ints(values):
+    stream = XdrMemStream(bytearray(4 + 4 * len(values)), XdrOp.ENCODE)
+    xdr_array(stream, values, 64, xdr_int)
+    return stream.data()
+
+
+def test_decode_from_bytes_is_zero_copy():
+    data = _encoded_ints([1, 2, 3])
+    stream = XdrMemStream(data, XdrOp.DECODE)
+    assert stream.buffer is data  # no defensive copy
+    assert xdr_array(stream, None, 64, xdr_int) == [1, 2, 3]
+
+
+def test_decode_from_readonly_memoryview():
+    data = _encoded_ints([7, 8])
+    view = memoryview(data)
+    assert view.readonly
+    stream = XdrMemStream(view, XdrOp.DECODE)
+    assert stream.buffer is view
+    assert xdr_array(stream, None, 64, xdr_int) == [7, 8]
+
+
+def test_decode_from_memoryview_slice():
+    """Decoding a datagram out of a larger receive buffer in place."""
+    payload = _encoded_ints([5, 6, 7])
+    recv_buffer = bytearray(1024)
+    recv_buffer[:len(payload)] = payload
+    view = memoryview(recv_buffer)[:len(payload)]
+    stream = XdrMemStream(view, XdrOp.DECODE)
+    assert xdr_array(stream, None, 64, xdr_int) == [5, 6, 7]
+    assert stream.x_handy == 0
+
+
+def test_encode_rejects_readonly_memoryview():
+    with pytest.raises(XdrError):
+        XdrMemStream(memoryview(b"\x00" * 8), XdrOp.ENCODE)
+
+
+def test_encode_into_writable_memoryview():
+    backing = bytearray(16)
+    stream = XdrMemStream(memoryview(backing), XdrOp.ENCODE)
+    xdr_int(stream, 0x01020304)
+    assert backing[:4] == b"\x01\x02\x03\x04"
+
+
+def test_encode_from_bytes_still_copies():
+    """Historical behavior: ENCODE over bytes gets a private bytearray."""
+    source = b"\x00" * 8
+    stream = XdrMemStream(source, XdrOp.ENCODE)
+    assert stream.putlong(1)
+    assert source == b"\x00" * 8
