@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, codesize, figure6, live, marshaling, roundtrip, unrolling
+from repro.bench import ablation, codesize, faults, figure6, live, marshaling, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -16,7 +16,12 @@ EXPERIMENTS = {
     "figure6": ("Figure 6 — cross-platform panels", figure6.run),
     "ablation": ("Ablations of specializer refinements", ablation.run),
     "live": ("Live fast path — generic vs staged runtime", live.run),
+    "faults": ("Fault matrix — latency/goodput under injected loss",
+               faults.run),
 }
+
+#: experiments whose runner takes only the workload (no sizes tuple)
+_NO_SIZES = ("table4", "ablation", "faults")
 
 
 def main(argv=None):
@@ -48,7 +53,7 @@ def main(argv=None):
         title, runner = EXPERIMENTS[name]
         started = time.time()
         print(f"### {title}\n")
-        if name in ("table4", "ablation"):
+        if name in _NO_SIZES:
             runner(workload)
         else:
             runner(workload, args.sizes)

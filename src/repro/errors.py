@@ -66,6 +66,22 @@ class RpcProtocolError(RpcError):
     """Raised on malformed or unexpected RPC messages."""
 
 
+class RpcConnectionError(RpcProtocolError):
+    """Raised when a stream transport fails mid-conversation (peer
+    closed the connection, reset, broken pipe).
+
+    Subclasses :class:`RpcProtocolError` so existing handlers that
+    treat any protocol-level transport failure uniformly keep working.
+    """
+
+
+class FaultInjected(RpcError):
+    """Raised by the fault-injection layer when an injected fault makes
+    the local operation impossible to complete (e.g. a stream "drop"
+    aborts the connection).  Never raised outside tests/benches that
+    installed a :class:`~repro.rpc.faults.FaultPlan`."""
+
+
 class RpcDeniedError(RpcError):
     """Raised when the server rejects a call (auth error, mismatch)."""
 

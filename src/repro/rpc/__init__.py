@@ -17,8 +17,10 @@ compiled from Tempo residual programs (:mod:`repro.specialized`).
 
 from repro.rpc.auth import AUTH_NONE, AUTH_SYS, OpaqueAuth, make_auth_none, make_auth_sys
 from repro.rpc.clnt_tcp import TcpClient
-from repro.rpc.clnt_udp import UdpClient
+from repro.rpc.clnt_udp import CallStats, UdpClient
+from repro.rpc.drc import DuplicateRequestCache
 from repro.rpc.fastpath import BufferPool, CallHeaderTemplate, ReplyHeaderTemplate
+from repro.rpc.faults import FaultPlan, FaultySocket
 from repro.rpc.message import RPC_VERSION
 from repro.rpc.server import SvcRegistry, rpc_service
 from repro.rpc.svc_tcp import TcpServer
@@ -29,6 +31,10 @@ __all__ = [
     "AUTH_SYS",
     "BufferPool",
     "CallHeaderTemplate",
+    "CallStats",
+    "DuplicateRequestCache",
+    "FaultPlan",
+    "FaultySocket",
     "OpaqueAuth",
     "make_auth_none",
     "make_auth_sys",

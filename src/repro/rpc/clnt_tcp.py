@@ -1,8 +1,22 @@
-"""TCP RPC client (``clnttcp_call``): record-marked stream transport."""
+"""TCP RPC client (``clnttcp_call``): record-marked stream transport.
+
+Every wire failure is translated to a typed
+:class:`~repro.errors.RpcError`: timeouts raise
+:class:`~repro.errors.RpcTimeoutError`, connection loss (reset,
+broken pipe, EOF mid-record) raises
+:class:`~repro.errors.RpcConnectionError`, and a peer that sends
+unframeable garbage raises :class:`~repro.errors.RpcProtocolError` —
+callers never see ``struct.error`` or a bare ``OSError``.
+"""
 
 import socket
+import struct
 
-from repro.errors import RpcProtocolError, RpcTimeoutError
+from repro.errors import (
+    RpcConnectionError,
+    RpcProtocolError,
+    RpcTimeoutError,
+)
 from repro.rpc.client import RpcClient
 from repro.rpc.record import read_record, write_record
 
@@ -11,11 +25,21 @@ class TcpClient(RpcClient):
     """An RPC client over a persistent TCP connection."""
 
     def __init__(self, host, port, prog, vers, timeout=25.0, bufsize=1 << 16,
-                 fastpath=False, **kwargs):
+                 fastpath=False, fault_plan=None, **kwargs):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
         self.timeout = timeout
-        self.sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self.sock = socket.create_connection((host, port),
+                                                 timeout=timeout)
+        except ConnectionRefusedError as exc:
+            raise RpcConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         self.sock.settimeout(timeout)
+        if fault_plan is not None:
+            from repro.rpc.faults import FaultySocket
+
+            self.sock = FaultySocket(self.sock, fault_plan)
         if fastpath:
             self.enable_fastpath()
 
@@ -43,8 +67,15 @@ class TcpClient(RpcClient):
             raise RpcTimeoutError(
                 f"TCP RPC call (prog={self.prog}, proc={proc}) timed out"
             ) from exc
-        except (BrokenPipeError, ConnectionResetError) as exc:
-            raise RpcProtocolError(f"connection failed: {exc}") from exc
+        except struct.error as exc:
+            # A corrupted stream can desync any decoder below us; make
+            # it a protocol error instead of leaking the struct layer.
+            raise RpcProtocolError(
+                f"undecodable reply on TCP stream: {exc}"
+            ) from exc
+        except (BrokenPipeError, ConnectionResetError,
+                ConnectionAbortedError) as exc:
+            raise RpcConnectionError(f"connection failed: {exc}") from exc
         finally:
             if send_buffer is not None:
                 self.release_send_buffer(send_buffer)

@@ -1,28 +1,92 @@
 """UDP RPC client (``clntudp_call`` of the paper's Figure 1).
 
-Implements the classic Sun retransmission discipline: send the
-datagram, wait ``wait`` seconds for a matching reply, retransmit on
-timeout, and give up when the total ``timeout`` budget is exhausted.
-Stale replies (xid mismatch) are discarded without consuming a retry.
+Implements the Sun retransmission discipline, upgraded from the
+classic fixed-interval retry to *adaptive* retransmission: send the
+datagram, wait one backoff interval for a matching reply, retransmit
+on silence with the interval growing exponentially (jittered, capped
+at ``max_wait``), and give up when the total ``timeout`` budget is
+exhausted.  Per-call statistics (attempts, the realized backoff
+schedule, stale and garbage datagrams seen) land in
+:attr:`UdpClient.last_call_stats`.
+
+Two robustness guarantees the naive loop lacks:
+
+* the per-try receive window is clamped to the remaining budget, and
+  the *final* try always gets one full backoff interval to listen —
+  the client never fires back-to-back retransmits in a sliver of
+  budget near the deadline;
+* undecodable datagrams (corruption, truncation) are counted and
+  discarded like stale xids instead of failing the call — the
+  retransmission discipline recovers the reply from the server (whose
+  duplicate-request cache replays it without re-executing the
+  handler).
 
 With the fast path on (``fastpath=True`` or
 :meth:`~repro.rpc.client.RpcClient.enable_fastpath`), the request is
 serialized into a pooled buffer from a pre-built header template,
-replies land in a pooled receive buffer via ``recvfrom_into``, and
+replies land in a pooled receive buffer via ``recv_into``, and
 decoding reads a ``memoryview`` of that buffer — one complete call
 performs no per-call buffer allocation.
 """
 
+import random
 import select
 import socket
 import time
 
-from repro.errors import RpcTimeoutError
+from repro.errors import RpcTimeoutError, RpcProtocolError, XdrError
 from repro.rpc.client import RpcClient, UDPMSGSIZE
+from repro.rpc.faults import FaultySocket
+
+
+class CallStats:
+    """Per-call retransmission telemetry."""
+
+    __slots__ = ("proc", "attempts", "retransmissions", "backoff_schedule",
+                 "stale_replies", "garbage_datagrams", "elapsed_s")
+
+    def __init__(self, proc):
+        self.proc = proc
+        #: datagrams sent for this call (1 == no retransmission)
+        self.attempts = 0
+        self.retransmissions = 0
+        #: the receive window (seconds) granted to each attempt
+        self.backoff_schedule = []
+        #: well-formed replies bearing another call's xid
+        self.stale_replies = 0
+        #: datagrams that failed to decode at all (corruption, noise)
+        self.garbage_datagrams = 0
+        self.elapsed_s = 0.0
+
+    def as_dict(self):
+        return {
+            "proc": self.proc,
+            "attempts": self.attempts,
+            "retransmissions": self.retransmissions,
+            "backoff_schedule": list(self.backoff_schedule),
+            "stale_replies": self.stale_replies,
+            "garbage_datagrams": self.garbage_datagrams,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def __repr__(self):
+        return (
+            f"CallStats(proc={self.proc}, attempts={self.attempts},"
+            f" stale={self.stale_replies}, garbage={self.garbage_datagrams})"
+        )
 
 
 class UdpClient(RpcClient):
-    """An RPC client over UDP."""
+    """An RPC client over UDP.
+
+    ``wait`` is the initial receive window; each silent retry grows it
+    by ``backoff`` (default double), up to ``max_wait``, with ±
+    ``jitter`` relative randomization so a fleet of clients does not
+    retransmit in lockstep.  ``retrans_seed`` makes the jitter
+    deterministic (tests); ``jitter=0`` disables it.  ``fault_plan``
+    wraps the socket in a :class:`~repro.rpc.faults.FaultySocket`
+    faulting outgoing requests.
+    """
 
     def __init__(
         self,
@@ -32,18 +96,37 @@ class UdpClient(RpcClient):
         vers,
         timeout=5.0,
         wait=0.5,
+        max_wait=None,
+        backoff=2.0,
+        jitter=0.1,
+        retrans_seed=None,
         bufsize=UDPMSGSIZE,
         fastpath=False,
+        fault_plan=None,
         **kwargs,
     ):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
         self.address = (host, port)
         self.timeout = timeout
         self.wait = wait
+        self.max_wait = max_wait if max_wait is not None else max(
+            wait, timeout / 2.0
+        )
+        self.backoff = backoff
+        self.jitter = jitter
+        self._jitter_rng = random.Random(retrans_seed)
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.setblocking(False)
+        if fault_plan is not None:
+            self.sock = FaultySocket(self.sock, fault_plan)
         #: retransmissions performed over the client's lifetime
         self.retransmissions = 0
+        #: stale replies discarded over the client's lifetime
+        self.stale_replies = 0
+        #: undecodable datagrams discarded over the client's lifetime
+        self.garbage_datagrams = 0
+        #: :class:`CallStats` of the most recent call
+        self.last_call_stats = None
         if fastpath:
             self.enable_fastpath()
 
@@ -63,26 +146,54 @@ class UdpClient(RpcClient):
             if send_buffer is not None:
                 self.release_send_buffer(send_buffer)
 
+    def _next_window(self, window):
+        """The next backoff interval: grow, jitter, cap."""
+        grown = window * self.backoff
+        if self.jitter:
+            grown *= 1.0 + self.jitter * (
+                2.0 * self._jitter_rng.random() - 1.0
+            )
+        return min(grown, self.max_wait)
+
     def _call_loop(self, request, xid, proc, xdr_res):
-        deadline = time.monotonic() + self.timeout
-        first = True
+        stats = CallStats(proc)
+        self.last_call_stats = stats
+        started = time.monotonic()
+        deadline = started + self.timeout
+        window = min(self.wait, self.max_wait)
         while True:
             now = time.monotonic()
-            if now >= deadline:
-                raise RpcTimeoutError(
-                    f"RPC call (prog={self.prog}, proc={proc}) timed out"
-                    f" after {self.timeout}s"
-                )
-            if not first:
+            if stats.attempts:
+                if now >= deadline:
+                    break
                 self.retransmissions += 1
-            first = False
+                stats.retransmissions += 1
             self.sock.sendto(request, self.address)
-            try_deadline = min(now + self.wait, deadline)
-            reply = self._await_reply(xid, proc, xdr_res, try_deadline)
+            stats.attempts += 1
+            # Clamp the try to the remaining budget — but when the
+            # budget no longer covers a full window, make this the
+            # *final* try and still grant it the whole window: one
+            # guaranteed full receive wait instead of a sliver followed
+            # by a back-to-back retransmit.
+            final = (deadline - now) <= window
+            stats.backoff_schedule.append(window)
+            reply = self._await_reply(xid, proc, xdr_res, now + window,
+                                      stats)
             if reply is not None:
+                stats.elapsed_s = time.monotonic() - started
                 return reply[0]
+            if final:
+                break
+            window = self._next_window(window)
+        stats.elapsed_s = time.monotonic() - started
+        raise RpcTimeoutError(
+            f"RPC call (prog={self.prog}, proc={proc}) timed out"
+            f" after {self.timeout}s"
+            f" ({stats.attempts} attempts,"
+            f" {stats.retransmissions} retransmissions)"
+        )
 
-    def _await_reply(self, xid, proc, xdr_res, try_deadline):
+    def _await_reply(self, xid, proc, xdr_res, try_deadline, stats):
         """Wait for a matching reply until ``try_deadline``; None means
         retransmit."""
         while True:
@@ -97,16 +208,37 @@ class UdpClient(RpcClient):
                 try:
                     nbytes = self.sock.recv_into(recv_buffer)
                     data = memoryview(recv_buffer)[:nbytes]
-                    matched, value = self.parse_reply(data, xid, proc,
-                                                      xdr_res)
+                    matched, value = self._parse_tolerant(data, xid, proc,
+                                                          xdr_res, stats)
                 finally:
                     self.release_recv_buffer(recv_buffer)
             else:
                 data, _addr = self.sock.recvfrom(self.bufsize)
-                matched, value = self.parse_reply(data, xid, proc, xdr_res)
+                matched, value = self._parse_tolerant(data, xid, proc,
+                                                      xdr_res, stats)
             if matched:
                 return (value,)
-            # Stale xid: keep listening within the same try window.
+            # Stale xid or garbage: keep listening within the window.
+
+    def _parse_tolerant(self, data, xid, proc, xdr_res, stats):
+        """``parse_reply`` that treats undecodable datagrams as noise.
+
+        A corrupted or truncated datagram fails header or body decode
+        with :class:`XdrError`/:class:`RpcProtocolError` *before* the
+        xid is validated as ours — discard it and let retransmission
+        recover.  Genuine server verdicts (denials, non-SUCCESS
+        accepts) raise *after* the xid matched and propagate.
+        """
+        try:
+            matched, value = self.parse_reply(data, xid, proc, xdr_res)
+        except (XdrError, RpcProtocolError):
+            self.garbage_datagrams += 1
+            stats.garbage_datagrams += 1
+            return False, None
+        if not matched:
+            self.stale_replies += 1
+            stats.stale_replies += 1
+        return matched, value
 
     def close(self):
         self.sock.close()

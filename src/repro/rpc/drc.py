@@ -1,0 +1,109 @@
+"""Duplicate-request reply cache (DRC).
+
+Sun RPC over UDP is at-least-once: a client whose reply datagram was
+lost retransmits the same xid, and a naive server re-executes the
+handler — visible (and wrong) for non-idempotent procedures, and pure
+waste for idempotent ones.  The classic fix (Juszczak, USENIX '89;
+the plan9port ``libsunrpc`` exemplar leaves it as "for now, no reply
+cache") is a bounded cache of recent replies keyed by the request
+identity: a retransmission is answered by *replaying the recorded
+reply bytes* instead of re-running the handler, upgrading the
+observable semantics toward at-most-once.
+
+:class:`DuplicateRequestCache` is that cache: a thread-safe LRU keyed
+on ``(xid, caller address, prog, vers, proc)``.  Values are the raw
+reply messages as immutable ``bytes`` — callers must never hand in a
+view of pool-owned memory (the dispatcher's reply buffers are reused
+per call; :meth:`put` defends by copying anything that is not already
+``bytes``).
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class DuplicateRequestCache:
+    """A bounded LRU of raw replies keyed by request identity."""
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        #: replayed retransmissions (the handler was *not* re-run)
+        self.hits = 0
+        #: first-sighting requests
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(xid, caller, prog, vers, proc):
+        """The cache key for one request.
+
+        ``caller`` is the transport-level peer identity — the UDP
+        source ``(host, port)`` or the TCP peer name.  Two clients
+        behind the same xid never collide because their source
+        addresses differ.
+        """
+        return (xid, caller, prog, vers, proc)
+
+    def get(self, key):
+        """The cached raw reply for ``key``, or None (counts a miss)."""
+        with self._lock:
+            reply = self._entries.get(key)
+            if reply is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return reply
+
+    def put(self, key, reply):
+        """Record the reply sent for ``key``.
+
+        ``reply`` is copied to immutable ``bytes`` unless it already is
+        — cached replies must outlive the dispatcher's pooled reply
+        buffers.
+        """
+        if not isinstance(reply, bytes):
+            reply = bytes(reply)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = reply
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def summary(self):
+        """Counters for reports and tests."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self):
+        return (
+            f"DuplicateRequestCache(capacity={self.capacity},"
+            f" entries={len(self)}, hits={self.hits})"
+        )

@@ -3,57 +3,105 @@
 RPC over TCP delimits messages with *record marking*: each record is a
 sequence of fragments, each prefixed by a 4-byte header whose high bit
 flags the last fragment and whose low 31 bits give the fragment length.
+
+Every failure mode of the wire surfaces as a typed
+:class:`~repro.errors.RpcError` — a peer that closes mid-record,
+resets the connection, or announces an oversized or absurd fragment
+raises :class:`~repro.errors.RpcConnectionError` /
+:class:`~repro.errors.RpcProtocolError` with context, never a bare
+``struct.error`` or ``ConnectionResetError``.
 """
 
 import struct
 
-from repro.errors import RpcProtocolError
+from repro.errors import RpcConnectionError, RpcProtocolError
 
 LAST_FRAGMENT = 0x8000_0000
 MAX_FRAGMENT = 0x7FFF_FFFF
 #: Sun's default fragment size.
 DEFAULT_FRAGMENT_SIZE = 8192
+#: cap on fragments per record — a peer streaming endless zero-length
+#: non-last fragments must error out, not spin the reader forever.
+MAX_FRAGMENTS = 1 << 16
 
 
 def write_record(sock, payload, fragment_size=DEFAULT_FRAGMENT_SIZE):
-    """Send one RPC record, fragmenting as needed."""
+    """Send one RPC record, fragmenting as needed.
+
+    Transport failures (peer reset, broken pipe) raise
+    :class:`~repro.errors.RpcConnectionError`.
+    """
     view = memoryview(payload)
     total = len(view)
-    if total == 0:
-        sock.sendall(struct.pack(">I", LAST_FRAGMENT))
-        return
-    offset = 0
-    while offset < total:
-        chunk = view[offset:offset + fragment_size]
-        offset += len(chunk)
-        header = len(chunk) | (LAST_FRAGMENT if offset >= total else 0)
-        sock.sendall(struct.pack(">I", header) + bytes(chunk))
+    try:
+        if total == 0:
+            sock.sendall(struct.pack(">I", LAST_FRAGMENT))
+            return
+        offset = 0
+        while offset < total:
+            chunk = view[offset:offset + fragment_size]
+            offset += len(chunk)
+            header = len(chunk) | (LAST_FRAGMENT if offset >= total else 0)
+            sock.sendall(struct.pack(">I", header) + bytes(chunk))
+    except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError) \
+            as exc:
+        raise RpcConnectionError(
+            f"connection lost sending record ({total} bytes): {exc}"
+        ) from exc
 
 
-def _read_exact(sock, size):
+def _read_exact(sock, size, context):
     chunks = []
     remaining = size
     while remaining:
-        data = sock.recv(remaining)
+        try:
+            data = sock.recv(remaining)
+        except (ConnectionResetError, ConnectionAbortedError) as exc:
+            raise RpcConnectionError(
+                f"connection reset {context}"
+                f" ({size - remaining} of {size} bytes read): {exc}"
+            ) from exc
         if not data:
-            raise RpcProtocolError("connection closed mid-record")
+            raise RpcConnectionError(
+                f"connection closed {context}"
+                f" ({size - remaining} of {size} bytes read)"
+            )
         chunks.append(data)
         remaining -= len(data)
     return b"".join(chunks)
 
 
 def read_record(sock, max_size=1 << 24):
-    """Receive one complete RPC record (all fragments)."""
+    """Receive one complete RPC record (all fragments).
+
+    Raises :class:`~repro.errors.RpcConnectionError` on EOF or reset
+    mid-record and :class:`~repro.errors.RpcProtocolError` on a peer
+    that announces an oversized record or streams pathological
+    fragment chains.
+    """
     fragments = []
     total = 0
+    count = 0
     while True:
-        header = struct.unpack(">I", _read_exact(sock, 4))[0]
+        header = struct.unpack(
+            ">I", _read_exact(sock, 4, "reading fragment header")
+        )[0]
         last = bool(header & LAST_FRAGMENT)
         length = header & MAX_FRAGMENT
+        count += 1
         total += length
-        if total > max_size:
-            raise RpcProtocolError(f"record too large: {total} > {max_size}")
+        if length > max_size or total > max_size:
+            raise RpcProtocolError(
+                f"record too large: fragment of {length} bytes,"
+                f" {total} total > {max_size}"
+            )
+        if count > MAX_FRAGMENTS:
+            raise RpcProtocolError(
+                f"record exceeds {MAX_FRAGMENTS} fragments"
+            )
         if length:
-            fragments.append(_read_exact(sock, length))
+            fragments.append(
+                _read_exact(sock, length, "mid-record")
+            )
         if last:
             return b"".join(fragments)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import RpcProtocolError, XdrError
 from repro.rpc.auth import NULL_AUTH
+from repro.rpc.drc import DuplicateRequestCache
 from repro.rpc.fastpath import BufferPool, ReplyHeaderTemplate
 from repro.rpc.message import (
     AcceptStat,
@@ -55,7 +56,7 @@ class Procedure:
 class SvcRegistry:
     """Dispatch table for any number of programs/versions."""
 
-    def __init__(self, bufsize=8800, fastpath=False):
+    def __init__(self, bufsize=8800, fastpath=False, drc=False):
         #: (prog, vers) -> {proc: Procedure}
         self._programs = {}
         self.bufsize = bufsize
@@ -63,8 +64,16 @@ class SvcRegistry:
         #: buffer pool (see :mod:`repro.rpc.fastpath`).
         self._reply_template = None
         self._out_pool = None
+        #: duplicate-request reply cache (see :mod:`repro.rpc.drc`);
+        #: active only for dispatches that identify their caller.
+        self.drc = None
+        #: handler executions (DRC replays do not count) — lets tests
+        #: assert "invocations == unique requests" under retransmission.
+        self.handlers_invoked = 0
         if fastpath:
             self.enable_fastpath()
+        if drc:
+            self.enable_drc()
 
     def enable_fastpath(self, pool_limit=4):
         """Pre-build the SUCCESS reply header and pool reply buffers.
@@ -84,6 +93,22 @@ class SvcRegistry:
     def fastpath_enabled(self):
         return self._reply_template is not None
 
+    def enable_drc(self, capacity=256):
+        """Turn on the duplicate-request reply cache.
+
+        Retransmitted requests — same (xid, caller, prog, vers, proc)
+        — are answered by replaying the recorded reply bytes instead of
+        re-executing the handler, upgrading UDP's at-least-once
+        semantics toward at-most-once.  Takes effect only for
+        dispatches that pass a ``caller`` identity (the transports do).
+        """
+        self.drc = DuplicateRequestCache(capacity)
+        return self
+
+    @property
+    def drc_enabled(self):
+        return self.drc is not None
+
     def register(self, prog, vers, proc, handler, xdr_args=None,
                  xdr_res=None):
         """Register ``handler(args) -> result`` for one procedure."""
@@ -102,7 +127,7 @@ class SvcRegistry:
 
     # -- the dispatcher ---------------------------------------------------
 
-    def dispatch_bytes(self, data):
+    def dispatch_bytes(self, data, caller=None):
         """Process one call message; returns the reply message bytes, or
         None when the request is unparseable garbage (dropped, like the
         C svc code drops undecodable datagrams).
@@ -110,14 +135,19 @@ class SvcRegistry:
         ``data`` may be ``bytes``, ``bytearray``, or a ``memoryview``
         over the transport's receive buffer — it is decoded in place,
         never copied.
+
+        ``caller`` is the transport-level peer identity (UDP source
+        address, TCP peer name); when given and the DRC is enabled,
+        retransmitted requests are answered from the reply cache
+        without re-invoking the handler.
         """
         if self._out_pool is not None:
             reply = self._out_pool.acquire()
             try:
-                return self._dispatch_into(data, reply)
+                return self._dispatch_into(data, reply, caller)
             finally:
                 self._out_pool.release(reply)
-        return self._dispatch_into(data, bytearray(self.bufsize))
+        return self._dispatch_into(data, bytearray(self.bufsize), caller)
 
     def _fast_parse_header(self, data):
         """A :class:`CallHeader` for the common shape — RPC v2 with two
@@ -132,14 +162,14 @@ class SvcRegistry:
         xid, _, _, prog, vers, proc = struct.unpack_from(">6I", data, 0)
         return CallHeader(xid, prog, vers, proc, NULL_AUTH, NULL_AUTH)
 
-    def _dispatch_into(self, data, reply):
+    def _dispatch_into(self, data, reply, caller=None):
         if self._reply_template is not None:
             header = self._fast_parse_header(data)
             if header is not None:
                 stream = XdrMemStream(data, XdrOp.DECODE,
                                       offset=_FAST_HEADER_SIZE)
                 out = XdrMemStream(reply, XdrOp.ENCODE)
-                return self._dispatch_call(header, stream, out)
+                return self._dispatch_call(header, stream, out, caller)
         stream = XdrMemStream(data, XdrOp.DECODE)
         out = XdrMemStream(reply, XdrOp.ENCODE)
         try:
@@ -158,9 +188,28 @@ class SvcRegistry:
         except XdrError as exc:
             logger.debug("dropping truncated call: %s", exc)
             return None
-        return self._dispatch_call(header, stream, out)
+        return self._dispatch_call(header, stream, out, caller)
 
-    def _dispatch_call(self, header, stream, out):
+    def _record_reply(self, drc_key, reply):
+        """Cache a handler-produced reply for retransmission replay.
+
+        ``reply`` is already immutable ``bytes`` (``XdrMemStream.data``
+        copies out of the pooled buffer), so the cache never aliases
+        pool-owned memory.
+        """
+        if drc_key is not None:
+            self.drc.put(drc_key, reply)
+        return reply
+
+    def _dispatch_call(self, header, stream, out, caller=None):
+        drc_key = None
+        if self.drc is not None and caller is not None:
+            drc_key = DuplicateRequestCache.key(
+                header.xid, caller, header.prog, header.vers, header.proc
+            )
+            cached = self.drc.get(drc_key)
+            if cached is not None:
+                return cached
         key = (header.prog, header.vers)
         if key not in self._programs:
             versions = self.versions_of(header.prog)
@@ -197,6 +246,7 @@ class SvcRegistry:
                                   NULL_AUTH)
             return out.data()
         try:
+            self.handlers_invoked += 1
             result = proc.handler(args)
         except Exception:
             logger.exception(
@@ -204,7 +254,7 @@ class SvcRegistry:
             )
             encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
                                   NULL_AUTH)
-            return out.data()
+            return self._record_reply(drc_key, out.data())
         if self._reply_template is not None and out.pos == 0:
             # Fast path: copy the pre-built SUCCESS header, patch xid.
             out.setpos(self._reply_template.write_into(out.buffer,
@@ -227,7 +277,7 @@ class SvcRegistry:
             out = XdrMemStream(bytearray(self.bufsize), XdrOp.ENCODE)
             encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
                                   NULL_AUTH)
-        return out.data()
+        return self._record_reply(drc_key, out.data())
 
 
 def rpc_service(registry, prog, vers):

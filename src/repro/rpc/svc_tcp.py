@@ -3,7 +3,8 @@
 import socket
 import threading
 
-from repro.errors import RpcProtocolError
+from repro.errors import FaultInjected, RpcProtocolError
+from repro.rpc.faults import FaultySocket
 from repro.rpc.record import read_record, write_record
 
 
@@ -12,15 +13,29 @@ class TcpServer:
 
     Each accepted connection gets its own daemon thread, processing
     record-marked calls until the peer disconnects.
+
+    ``drc=True`` enables the registry's duplicate-request reply cache
+    (keyed per peer) — duplicates cannot arise inside one healthy TCP
+    stream, but a client that reconnects and replays an xid after a
+    torn connection is answered from the cache rather than re-executing
+    the handler.
+
+    ``fault_plan`` wraps every accepted connection in a
+    :class:`~repro.rpc.faults.FaultySocket` (stream semantics: delay,
+    corrupt, abort), faulting outgoing replies.
     """
 
     def __init__(self, registry, host="127.0.0.1", port=0, backlog=16,
-                 fastpath=False):
+                 fastpath=False, drc=True, fault_plan=None):
         self.registry = registry
         #: fast path: template/pooled replies live in the registry (the
         #: reply pool is thread-safe, so connection threads share it).
         if fastpath and hasattr(registry, "enable_fastpath"):
             registry.enable_fastpath()
+        if drc and hasattr(registry, "enable_drc"):
+            if getattr(registry, "drc", None) is None:
+                registry.enable_drc()
+        self.fault_plan = fault_plan
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self.sock.bind((host, port))
@@ -32,24 +47,32 @@ class TcpServer:
         self._conn_threads = []
         self.connections_accepted = 0
 
-    def _serve_connection(self, conn):
+    def _serve_connection(self, conn, peer):
         conn.settimeout(30.0)
+        if self.fault_plan is not None:
+            conn = FaultySocket(conn, self.fault_plan)
         try:
             while not self._stop.is_set():
                 try:
                     data = read_record(conn)
                 except (RpcProtocolError, socket.timeout, OSError):
+                    # RpcConnectionError subclasses RpcProtocolError:
+                    # a lost or misbehaving peer ends this connection
+                    # thread, never the server.
                     return
-                reply = self.registry.dispatch_bytes(data)
+                reply = self.registry.dispatch_bytes(data, caller=peer)
                 if reply is not None:
-                    write_record(conn, reply)
+                    try:
+                        write_record(conn, reply)
+                    except (RpcProtocolError, FaultInjected):
+                        return
         finally:
             conn.close()
 
     def serve_forever(self):
         while not self._stop.is_set():
             try:
-                conn, _addr = self.sock.accept()
+                conn, addr = self.sock.accept()
             except socket.timeout:
                 continue
             except OSError:
@@ -58,7 +81,7 @@ class TcpServer:
                 raise
             self.connections_accepted += 1
             thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
+                target=self._serve_connection, args=(conn, addr), daemon=True
             )
             thread.start()
             self._conn_threads.append(thread)

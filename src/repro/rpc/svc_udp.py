@@ -4,6 +4,7 @@ import socket
 import threading
 
 from repro.rpc.client import UDPMSGSIZE
+from repro.rpc.faults import FaultySocket
 
 
 class UdpServer:
@@ -12,16 +13,28 @@ class UdpServer:
     Usable inline (``handle_once`` in a loop) or as a daemon thread
     (``start``/``stop``), which is how the tests and examples run
     loopback round-trips.
+
+    ``drc=True`` (the default) turns on the registry's duplicate-request
+    reply cache so retransmitted requests replay the recorded reply
+    instead of re-executing the handler — the UDP retransmission
+    discipline makes duplicates a fact of life on this transport.
+
+    ``fault_plan`` wraps the server socket in a
+    :class:`~repro.rpc.faults.FaultySocket`, faulting outgoing replies
+    (the reply half of a lossy wire; wrap the client to lose requests).
     """
 
     def __init__(self, registry, host="127.0.0.1", port=0,
-                 bufsize=UDPMSGSIZE, fastpath=False):
+                 bufsize=UDPMSGSIZE, fastpath=False, drc=True,
+                 fault_plan=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.bind((host, port))
         self.sock.settimeout(0.2)
         self.host, self.port = self.sock.getsockname()
+        if fault_plan is not None:
+            self.sock = FaultySocket(self.sock, fault_plan)
         self._thread = None
         self._stop = threading.Event()
         #: datagrams processed (for tests)
@@ -31,6 +44,9 @@ class UdpServer:
         self._recv_buffer = bytearray(bufsize) if fastpath else None
         if fastpath and hasattr(registry, "enable_fastpath"):
             registry.enable_fastpath()
+        if drc and hasattr(registry, "enable_drc"):
+            if getattr(registry, "drc", None) is None:
+                registry.enable_drc()
 
     @property
     def fastpath_enabled(self):
@@ -49,7 +65,7 @@ class UdpServer:
                 data, addr = self.sock.recvfrom(self.bufsize)
         except socket.timeout:
             return False
-        reply = self.registry.dispatch_bytes(data)
+        reply = self.registry.dispatch_bytes(data, caller=addr)
         if reply is not None:
             self.sock.sendto(reply, addr)
         self.requests_handled += 1

@@ -4,8 +4,10 @@ import socket
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import RpcProtocolError
+from repro.errors import RpcError, RpcProtocolError
 from repro.rpc.record import read_record, write_record
 
 
@@ -84,3 +86,91 @@ def test_back_to_back_records():
     finally:
         left.close()
         right.close()
+
+
+class BytesSock:
+    """In-memory socket double: ``recv`` serves a fixed byte stream in
+    caller- or fuzzer-chosen chunk sizes (then EOF); ``sendall``
+    accumulates, so a written record can be replayed through ``recv``."""
+
+    def __init__(self, data=b"", chunk_sizes=()):
+        self._data = bytes(data)
+        self._pos = 0
+        self._chunks = list(chunk_sizes)
+        self.sent = bytearray()
+
+    def recv(self, size):
+        if self._chunks:
+            size = min(size, self._chunks.pop(0))
+        piece = self._data[self._pos:self._pos + max(size, 0)]
+        self._pos += len(piece)
+        return piece
+
+    def sendall(self, data):
+        self.sent += data
+
+
+@settings(deadline=None)
+@given(
+    payload=st.binary(max_size=4096),
+    fragment_size=st.integers(min_value=1, max_value=512),
+    chunk_sizes=st.lists(
+        st.integers(min_value=1, max_value=64), max_size=32
+    ),
+)
+def test_fuzz_roundtrip_any_fragmentation_and_recv_chunking(
+        payload, fragment_size, chunk_sizes):
+    """write_record → wire bytes → read_record is the identity for any
+    payload, any fragment size, and any short-read pattern."""
+    writer = BytesSock()
+    write_record(writer, payload, fragment_size)
+    reader = BytesSock(writer.sent, chunk_sizes)
+    assert read_record(reader) == payload
+
+
+@settings(deadline=None)
+@given(
+    stream=st.binary(max_size=2048),
+    chunk_sizes=st.lists(
+        st.integers(min_value=1, max_value=33), max_size=16
+    ),
+)
+def test_fuzz_arbitrary_streams_yield_bytes_or_typed_errors(
+        stream, chunk_sizes):
+    """Feeding the reassembler arbitrary bytes either parses to a
+    record or raises a typed RpcError — never struct.error, never a
+    hang, never an over-budget allocation."""
+    reader = BytesSock(stream, chunk_sizes)
+    try:
+        result = read_record(reader, max_size=1 << 16)
+    except RpcError:
+        pass
+    else:
+        assert isinstance(result, bytes)
+        assert len(result) <= 1 << 16
+
+
+@settings(deadline=None)
+@given(
+    payload=st.binary(min_size=1, max_size=512),
+    fragment_size=st.integers(min_value=1, max_value=128),
+    data=st.data(),
+)
+def test_fuzz_single_bit_corruption_never_escapes_typed_errors(
+        payload, fragment_size, data):
+    """Flipping any one bit of a valid record's wire image gives back
+    either some bytes or a typed RpcError.  (Header corruption can
+    resize or truncate the record; it must not crash the reader.)"""
+    writer = BytesSock()
+    write_record(writer, payload, fragment_size)
+    wire = bytearray(writer.sent)
+    index = data.draw(st.integers(0, len(wire) - 1), label="byte")
+    bit = data.draw(st.integers(0, 7), label="bit")
+    wire[index] ^= 1 << bit
+    reader = BytesSock(bytes(wire))
+    try:
+        result = read_record(reader)
+    except RpcError:
+        pass
+    else:
+        assert isinstance(result, bytes)
