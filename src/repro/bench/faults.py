@@ -15,10 +15,13 @@ sequence, so cell-to-cell differences are the stack's, not the dice's.
 
 import contextlib
 import json
+import os
 import platform
 import time
 
+from repro import obs
 from repro.bench.report import format_table
+from repro.obs.trace import summarize_spans
 from repro.bench.workloads import PROG_NUMBER, VERS_NUMBER, WORKLOAD_IDL
 from repro.rpc import FaultPlan, SvcRegistry, UdpClient, UdpServer
 from repro.rpcgen.codegen_py import load_python
@@ -105,13 +108,24 @@ def _run_cell(stubs, loss, fastpath, drc, calls, seed):
 
 
 def run(workload=None, calls=DEFAULT_CALLS, seed=DEFAULT_SEED,
-        json_path=DEFAULT_JSON):
+        json_path=DEFAULT_JSON, trace=None):
     """Print the fault-matrix table and write the JSON report.
+
+    The whole matrix runs with metrics enabled and the report embeds
+    the resulting ``obs_metrics`` snapshot.  ``trace=True`` (default:
+    on when ``REPRO_TRACE`` is set) additionally records every cell's
+    spans in memory and attaches a per-cell ``span_summary`` — the
+    per-phase time breakdown (encode/send/wait/decode, dispatch/
+    drc_lookup/handler/encode_reply) under that cell's fault rate.
 
     ``workload`` is accepted (and ignored) for CLI uniformity with the
     simulator reports.
     """
     del workload
+    if trace is None:
+        trace = os.environ.get("REPRO_TRACE", "").lower() in (
+            "1", "true", "yes", "on"
+        )
     stubs = load_python(parse_idl(WORKLOAD_IDL), "fault_bench_stubs")
     results = {
         "meta": {
@@ -121,27 +135,48 @@ def run(workload=None, calls=DEFAULT_CALLS, seed=DEFAULT_SEED,
             "seed": seed,
             "loss_rates": list(LOSS_RATES),
             "duplicate_rate": DUPLICATE_RATE,
+            "trace": trace,
         },
         "cells": [],
     }
     rows = []
-    for loss in LOSS_RATES:
-        for fastpath in (False, True):
-            for drc in (True, False):
-                cell = _run_cell(stubs, loss, fastpath, drc, calls, seed)
-                results["cells"].append(cell)
-                drc_hits = (cell["drc_stats"] or {}).get("hits", "-")
-                rows.append((
-                    f"{int(loss * 100)}%",
-                    "fast" if fastpath else "generic",
-                    "on" if drc else "off",
-                    f"{cell['correct']}/{cell['calls']}",
-                    f"{cell['p50_us']:.0f}",
-                    f"{cell['p99_us']:.0f}",
-                    f"{cell['goodput_calls_per_s']:.0f}",
-                    cell["retransmissions"],
-                    drc_hits,
-                ))
+    prev_enabled, prev_sinks = obs.enabled, obs.tracer.sinks
+    obs.registry.reset()
+    obs.enabled = True
+    sink = None
+    if trace:
+        # keep any pre-attached sink (e.g. REPRO_TRACE_FILE) and add a
+        # memory sink for the per-cell summaries
+        sink = obs.MemorySink()
+        obs.tracer.sinks = list(prev_sinks) + [sink]
+    try:
+        for loss in LOSS_RATES:
+            for fastpath in (False, True):
+                for drc in (True, False):
+                    if sink is not None:
+                        sink.clear()
+                    cell = _run_cell(stubs, loss, fastpath, drc, calls,
+                                     seed)
+                    if sink is not None:
+                        cell["span_summary"] = summarize_spans(
+                            sink.records
+                        )
+                    results["cells"].append(cell)
+                    drc_hits = (cell["drc_stats"] or {}).get("hits", "-")
+                    rows.append((
+                        f"{int(loss * 100)}%",
+                        "fast" if fastpath else "generic",
+                        "on" if drc else "off",
+                        f"{cell['correct']}/{cell['calls']}",
+                        f"{cell['p50_us']:.0f}",
+                        f"{cell['p99_us']:.0f}",
+                        f"{cell['goodput_calls_per_s']:.0f}",
+                        cell["retransmissions"],
+                        drc_hits,
+                    ))
+        results["obs_metrics"] = obs.collect()
+    finally:
+        obs.enabled, obs.tracer.sinks = prev_enabled, prev_sinks
     print(format_table(
         "Fault matrix — loopback UDP under seeded loss/duplication",
         ("loss", "path", "drc", "ok", "p50us", "p99us", "call/s",

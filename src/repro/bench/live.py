@@ -18,6 +18,7 @@ import json
 import platform
 import time
 
+from repro import obs
 from repro.bench.report import format_table, ratio
 from repro.bench.workloads import PROG_NUMBER, VERS_NUMBER, WORKLOAD_IDL
 from repro.rpc import SvcRegistry, UdpClient, UdpServer
@@ -27,6 +28,20 @@ from repro.rpcgen.idl_parser import parse_idl
 
 DEFAULT_SIZES = (20, 250, 2000)
 DEFAULT_JSON = "BENCH_live.json"
+
+#: ``if obs.enabled`` guard sites executed by one fast-path loopback
+#: round trip with instrumentation off, counted by inspection of the
+#: instrumented call path: client call start + ``_finish_call`` +
+#: send/recv buffer-pool acquires (4); server datagram counter +
+#: dispatch selector + fastpath-header counter + DRC get/put + outcome
+#: verdict + reply-pool acquire (7).  Rounded up one for headroom.
+OBS_GUARDS_PER_CALL = 12
+
+#: documented bound (docs/OBSERVABILITY.md): the disabled
+#: instrumentation may cost at most this fraction of a loopback round
+#: trip.  CI asserts ``obs.overhead_pct`` from the JSON report stays
+#: under it.
+OBS_OVERHEAD_BOUND_PCT = 2.0
 
 
 def _best_us(fn, repeats=5, number=200):
@@ -118,6 +133,84 @@ def roundtrip_times(stubs, n, repeats=3, number=200):
     return best[False] * 1e6, best[True] * 1e6, allocs
 
 
+def guard_cost_ns(number=200000, repeats=5):
+    """Best-of-``repeats`` per-iteration cost of the disabled
+    ``if obs.enabled`` guard, in nanoseconds.
+
+    Times a tight loop of the exact test every instrumented hot-path
+    site performs.  The loop overhead is included, so this
+    *overestimates* the true guard cost — which keeps the derived
+    overhead figure conservative.
+    """
+    flag = obs
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(number):
+            if flag.enabled:
+                pass
+        best = min(best, time.perf_counter() - started)
+    return best / number * 1e9
+
+
+def obs_overhead(stubs, n=64, repeats=3, number=200):
+    """Measure what observability costs a fast-path round trip.
+
+    The headline number is deterministic, not differential: there is
+    no uninstrumented build to diff against, so the disabled cost is
+    modeled as ``guard_ns × OBS_GUARDS_PER_CALL`` against a measured
+    disabled round trip (``overhead_pct``).  The A/B figures —
+    the same loopback call timed with obs off, with metrics on, and
+    with tracing into a :class:`~repro.obs.trace.MemorySink` — are
+    informational: they show what *enabling* costs, which is allowed
+    to be much more than 2%.
+    """
+    prev_enabled, prev_sinks = obs.enabled, obs.tracer.sinks
+    obs.enabled, obs.tracer.sinks = False, []
+    try:
+        guard_ns = guard_cost_ns()
+        registry = _registry(stubs, fastpath=True)
+        args = stubs.intarr(vals=list(range(n)))
+        roundtrip_us = {}
+        with contextlib.ExitStack() as stack:
+            server = stack.enter_context(
+                UdpServer(registry, fastpath=True)
+            )
+            transport = stack.enter_context(
+                UdpClient("127.0.0.1", server.port, PROG_NUMBER,
+                          VERS_NUMBER, fastpath=True)
+            )
+            client = stubs.XCHG_PROG_1_client(transport)
+            client.SENDRECV(args)  # warm templates and pools
+            memory_sink = obs.MemorySink()
+            modes = (
+                ("disabled", False, False),
+                ("metrics", True, False),
+                ("tracing", True, True),
+            )
+            for name, enabled, tracing in modes:
+                obs.enabled = enabled
+                obs.tracer.sinks = [memory_sink] if tracing else []
+                roundtrip_us[name] = _best_us(
+                    lambda: client.SENDRECV(args), repeats, number
+                )
+                memory_sink.clear()
+            obs.enabled, obs.tracer.sinks = False, []
+        guarded_ns = guard_ns * OBS_GUARDS_PER_CALL
+        overhead_pct = guarded_ns / (roundtrip_us["disabled"] * 1e3) * 100
+        return {
+            "guard_ns": guard_ns,
+            "guards_per_call": OBS_GUARDS_PER_CALL,
+            "guarded_ns_per_call": guarded_ns,
+            "overhead_pct": overhead_pct,
+            "overhead_bound_pct": OBS_OVERHEAD_BOUND_PCT,
+            "roundtrip_us": roundtrip_us,
+            "n": n,
+        }
+    finally:
+        obs.enabled, obs.tracer.sinks = prev_enabled, prev_sinks
+
+
 def run(workload=None, sizes=DEFAULT_SIZES, repeats=5, number=200,
         json_path=DEFAULT_JSON):
     """Print the generic-vs-fastpath table and write the JSON report.
@@ -160,6 +253,21 @@ def run(workload=None, sizes=DEFAULT_SIZES, repeats=5, number=200,
             "fastpath_pool_allocations": allocs,
         }
         roundtrip_rows.append((n, generic_us, fast_us, speedup))
+    overhead = obs_overhead(stubs, repeats=max(3, repeats - 2),
+                            number=number)
+    results["obs"] = overhead
+    # a populated snapshot rides along so the report shows what the
+    # instruments see for this exact workload (one metrics-on repeat
+    # ran above as part of the A/B measurement)
+    snapshot_state = obs.enabled
+    obs.registry.reset()
+    obs.enabled = True
+    try:
+        marshal_times(stubs, sizes[0], repeats=1, number=10)
+        roundtrip_times(stubs, sizes[0], repeats=1, number=10)
+    finally:
+        obs.enabled = snapshot_state
+    results["obs_metrics"] = obs.collect()
     print(format_table(
         "Live marshal — generic vs fast path (us/call)",
         ("n", "generic", "fastpath", "speedup"),
@@ -173,6 +281,18 @@ def run(workload=None, sizes=DEFAULT_SIZES, repeats=5, number=200,
         note="fast path: header templates + pooled exact-size buffers"
              " + zero-copy decode (repro.rpc.fastpath)",
     ))
+    rt = overhead["roundtrip_us"]
+    print()
+    print("Observability: disabled-guard cost"
+          f" {overhead['guard_ns']:.1f}ns x"
+          f" {overhead['guards_per_call']} guards"
+          f" = {overhead['guarded_ns_per_call']:.0f}ns/call"
+          f" = {overhead['overhead_pct']:.3f}% of a"
+          f" {rt['disabled']:.1f}us round trip"
+          f" (bound: {overhead['overhead_bound_pct']:.1f}%)")
+    print(f"  enabled A/B (informational): off {rt['disabled']:.1f}us,"
+          f" metrics {rt['metrics']:.1f}us,"
+          f" metrics+tracing {rt['tracing']:.1f}us")
     if json_path:
         with open(json_path, "w") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)

@@ -1,0 +1,134 @@
+"""The observability catalog: every instrument and span the stack emits.
+
+This module is the single source of truth the documentation and the
+tests check against: ``tests/obs/test_docs_catalog.py`` asserts that
+(a) every name here is documented in ``docs/OBSERVABILITY.md`` and
+(b) every instrument a live run actually produces is declared here —
+so an undeclared, undocumented metric cannot ship silently.
+"""
+
+#: metric name -> (kind, labels, meaning).  Labels list the label
+#: *keys* an instrument may be refined by ("" = unlabeled).
+METRICS = {
+    # -- client ----------------------------------------------------------
+    "rpc.client.calls": (
+        "counter", "transport, tier",
+        "calls started, by transport (udp/tcp) and dispatch tier"
+        " (generic/fastpath/specialized)"),
+    "rpc.client.attempts": (
+        "counter", "transport",
+        "datagrams/records sent including retransmissions"),
+    "rpc.client.retransmissions": (
+        "counter", "transport",
+        "resends after a silent receive window (attempts - calls)"),
+    "rpc.client.stale_replies": (
+        "counter", "transport",
+        "well-formed replies bearing another call's xid, discarded"),
+    "rpc.client.garbage_datagrams": (
+        "counter", "transport",
+        "received payloads that failed header/body decode, discarded"),
+    "rpc.client.timeouts": (
+        "counter", "transport",
+        "calls that exhausted their timeout budget"),
+    "rpc.client.errors": (
+        "counter", "transport, error",
+        "calls that raised, by exception type"),
+    "rpc.client.call_latency_s": (
+        "histogram", "transport",
+        "end-to-end call latency in seconds (success and failure)"),
+    # -- server ----------------------------------------------------------
+    "rpc.server.requests": (
+        "counter", "",
+        "call messages entering the dispatcher"),
+    "rpc.server.replies": (
+        "counter", "outcome",
+        "dispatch outcomes: success, drc_replay, prog_unavail,"
+        " prog_mismatch, proc_unavail, garbage_args, system_err,"
+        " rpc_mismatch, dropped"),
+    "rpc.server.handler_errors": (
+        "counter", "",
+        "handler invocations that raised (answered SYSTEM_ERR)"),
+    "rpc.server.dispatch_latency_s": (
+        "histogram", "",
+        "dispatch_bytes latency in seconds, DRC replays included"),
+    "rpc.server.fastpath_header_hits": (
+        "counter", "",
+        "call headers recognized by the fast-path slice compare"),
+    "rpc.server.fastpath_fallbacks": (
+        "counter", "",
+        "fast-path-enabled dispatches that fell back to the generic"
+        " header decoder"),
+    "rpc.server.specialized_hits": (
+        "counter", "",
+        "requests answered by the compiled residual dispatcher"),
+    "rpc.server.specialized_fallbacks": (
+        "counter", "",
+        "requests the residual dispatcher handed to the generic"
+        " fallback registry"),
+    "rpc.server.datagrams": (
+        "counter", "transport",
+        "transport-level receive events (UDP datagrams handled)"),
+    "rpc.server.connections": (
+        "counter", "transport",
+        "TCP connections accepted"),
+    # -- duplicate-request cache ----------------------------------------
+    "rpc.drc.hits": (
+        "counter", "",
+        "retransmitted requests answered by replaying the cached reply"),
+    "rpc.drc.misses": (
+        "counter", "",
+        "first-sighting requests (cache lookup found nothing)"),
+    "rpc.drc.stores": (
+        "counter", "",
+        "replies recorded into the cache"),
+    "rpc.drc.evictions": (
+        "counter", "",
+        "entries pushed out by the LRU capacity bound"),
+    "rpc.drc.entries": (
+        "gauge", "",
+        "current number of cached replies"),
+    # -- buffer pools ----------------------------------------------------
+    "rpc.pool.reuses": (
+        "counter", "",
+        "buffer acquisitions served from the free-list"),
+    "rpc.pool.allocations": (
+        "counter", "",
+        "buffer acquisitions that had to allocate (steady state: 0)"),
+    # -- fault injection -------------------------------------------------
+    "faults.injected": (
+        "counter", "kind",
+        "faults applied by FaultPlan, by kind (drop/duplicate/reorder/"
+        "delay/corrupt/truncate/skipped)"),
+    # -- specialization cache -------------------------------------------
+    "spec.cache.hits": (
+        "counter", "",
+        "specializations served from the in-memory LRU"),
+    "spec.cache.disk_hits": (
+        "counter", "",
+        "specializations revived from the on-disk tier (Tempo skipped)"),
+    "spec.cache.misses": (
+        "counter", "",
+        "specializations built from scratch (full Tempo run)"),
+}
+
+#: span name -> meaning.  The per-span *fields* are documented in
+#: docs/OBSERVABILITY.md; the common envelope (name/span/parent/trace/
+#: ts/dur_us/tid) is emitted for every span.
+SPANS = {
+    "client.call": "one whole client call, root of the client's trace",
+    "client.encode": "serializing the call message (header + body)",
+    "client.send": "handing one attempt's bytes to the socket",
+    "client.wait": "one attempt's receive window (UDP) or the reply"
+                   " read loop (TCP)",
+    "client.decode": "parsing one received payload against the"
+                     " expected xid",
+    "server.dispatch": "one whole dispatch_bytes, root of the server's"
+                       " trace",
+    "server.drc_lookup": "duplicate-request cache probe",
+    "server.decode_args": "unmarshaling the call arguments",
+    "server.handler": "the registered handler's execution",
+    "server.encode_reply": "marshaling the reply header + results",
+}
+
+#: every label value the ``tier`` field/label may take.
+TIERS = ("generic", "fastpath", "specialized")

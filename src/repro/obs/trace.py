@@ -1,0 +1,239 @@
+"""Per-call trace spans and their sinks.
+
+A :class:`Span` is one timed region of a call — ``client.encode``,
+``server.handler`` — with a monotonic start timestamp, a duration,
+and free-form structured fields (xid, proc, tier, byte counts...).
+Spans nest: ``span.child("client.send")`` records the parent id, and
+every span carries the id of its root (the ``trace`` field), so the
+spans of one RPC call can be regrouped from an interleaved stream.
+
+Spans are emitted to :class:`TraceSink`\\ s **when they end**, as one
+flat JSON-able dict each; :class:`JsonLinesSink` writes them as
+JSON-lines (the ``RPCTrace`` file format, one span object per line),
+:class:`MemorySink` keeps them in a list for tests and in-process
+summaries.  The full span schema is documented field by field in
+``docs/OBSERVABILITY.md``.
+
+Exception safety: ``Span`` is a context manager whose ``__exit__``
+always ends the span, recording ``outcome="error"`` and the exception
+type when the block raised; instrumented code that cannot use ``with``
+calls :meth:`Span.end` from a ``finally`` (ending twice is a no-op,
+so belt-and-braces call sites are safe).
+"""
+
+import itertools
+import json
+import threading
+import time
+
+
+class Span:
+    """One timed, structured region; emitted to sinks on ``end()``."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "trace_id",
+                 "fields", "ts", "dur_s", "_ended")
+
+    def __init__(self, tracer, name, parent=None, **fields):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer.next_id()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.trace_id = parent.trace_id if parent is not None else self.span_id
+        self.fields = fields
+        self.ts = time.monotonic()
+        self.dur_s = None
+        self._ended = False
+
+    def child(self, name, **fields):
+        """Start a nested span."""
+        return Span(self._tracer, name, parent=self, **fields)
+
+    def add(self, **fields):
+        """Attach fields discovered after the span started (e.g. the
+        xid of a request that had to be decoded first)."""
+        self.fields.update(fields)
+        return self
+
+    def end(self, **fields):
+        """Close the span and emit it; idempotent."""
+        if self._ended:
+            return self
+        self._ended = True
+        self.dur_s = time.monotonic() - self.ts
+        if fields:
+            self.fields.update(fields)
+        self._tracer.emit(self)
+        return self
+
+    def to_record(self):
+        record = {
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "trace": self.trace_id,
+            "ts": self.ts,
+            "dur_us": round(self.dur_s * 1e6, 3) if self.dur_s is not None
+            else None,
+            "tid": threading.get_ident(),
+        }
+        record.update(self.fields)
+        return record
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None and "outcome" not in self.fields:
+            self.end(outcome="error", error=exc_type.__name__)
+        else:
+            self.end()
+        return False
+
+    def __repr__(self):
+        return (f"Span({self.name}, span={self.span_id},"
+                f" trace={self.trace_id}, fields={self.fields})")
+
+
+class TraceSink:
+    """Interface: receives one flat span record dict per ended span."""
+
+    def emit(self, record):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class MemorySink(TraceSink):
+    """Collects span records in a list (tests, in-process summaries)."""
+
+    def __init__(self):
+        self.records = []
+        self._lock = threading.Lock()
+
+    def emit(self, record):
+        with self._lock:
+            self.records.append(record)
+
+    def clear(self):
+        with self._lock:
+            self.records.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self.records)
+
+
+class JsonLinesSink(TraceSink):
+    """Writes one compact JSON object per line (the RPCTrace format).
+
+    Accepts a path (opened append, closed by :meth:`close`) or an open
+    file-like object (left open — the caller owns it).
+    """
+
+    def __init__(self, path_or_file):
+        if hasattr(path_or_file, "write"):
+            self._file = path_or_file
+            self._owns = False
+            self.path = getattr(path_or_file, "name", None)
+        else:
+            self._file = open(path_or_file, "a", encoding="utf-8")
+            self._owns = True
+            self.path = path_or_file
+        self._lock = threading.Lock()
+
+    def emit(self, record):
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True,
+                          default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def close(self):
+        with self._lock:
+            try:
+                self._file.flush()
+            except ValueError:
+                return  # already closed
+            if self._owns:
+                self._file.close()
+
+
+class Tracer:
+    """Hands out spans and fans ended spans out to the sinks.
+
+    With no sinks attached the tracer is inactive and ``start``
+    returns None — instrumented code checks for that, so
+    metrics-only operation pays no span construction cost.
+    """
+
+    def __init__(self):
+        self.sinks = []
+        self._ids = itertools.count(1)
+
+    @property
+    def active(self):
+        return bool(self.sinks)
+
+    def next_id(self):
+        return next(self._ids)
+
+    def add_sink(self, sink):
+        self.sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink):
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+        sink.close()
+
+    def clear_sinks(self):
+        for sink in self.sinks:
+            sink.close()
+        self.sinks = []
+
+    def start(self, name, **fields):
+        """A new root span, or None when tracing is inactive."""
+        if not self.sinks:
+            return None
+        return Span(self, name, **fields)
+
+    def emit(self, span):
+        record = span.to_record()
+        for sink in self.sinks:
+            sink.emit(record)
+
+
+def load_trace(path):
+    """Read a JSON-lines trace file back into a list of span dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_spans(records):
+    """Per-name aggregates of an iterable of span records.
+
+    Returns ``{name: {count, total_us, avg_us, max_us}}`` sorted by
+    total time descending — the "where did the time go" view used by
+    the fault bench's per-phase summary and the CLI.
+    """
+    by_name = {}
+    for record in records:
+        dur = record.get("dur_us") or 0.0
+        entry = by_name.setdefault(
+            record.get("name", "?"),
+            {"count": 0, "total_us": 0.0, "max_us": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_us"] += dur
+        entry["max_us"] = max(entry["max_us"], dur)
+    for entry in by_name.values():
+        entry["total_us"] = round(entry["total_us"], 3)
+        entry["avg_us"] = round(entry["total_us"] / entry["count"], 3)
+        entry["max_us"] = round(entry["max_us"], 3)
+    return dict(sorted(by_name.items(),
+                       key=lambda item: -item[1]["total_us"]))

@@ -7,11 +7,19 @@ broken pipe, EOF mid-record) raises
 :class:`~repro.errors.RpcConnectionError`, and a peer that sends
 unframeable garbage raises :class:`~repro.errors.RpcProtocolError` —
 callers never see ``struct.error`` or a bare ``OSError``.
+
+With observability enabled (``repro.obs``), each call emits a
+``client.call`` span (``transport=tcp``) with ``client.encode`` /
+``client.send`` / ``client.wait`` / ``client.decode`` children plus
+per-call counters and a latency histogram; stale replies consumed
+inside the read loop are counted like the UDP client's.
 """
 
 import socket
 import struct
+import time
 
+from repro import obs as _obs
 from repro.errors import (
     RpcConnectionError,
     RpcProtocolError,
@@ -28,6 +36,10 @@ class TcpClient(RpcClient):
                  fastpath=False, fault_plan=None, **kwargs):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
         self.timeout = timeout
+        #: calls finished (returned or raised) over the client's lifetime
+        self.calls_completed = 0
+        #: stale replies discarded over the client's lifetime
+        self.stale_replies = 0
         try:
             self.sock = socket.create_connection((host, port),
                                                  timeout=timeout)
@@ -45,24 +57,103 @@ class TcpClient(RpcClient):
 
     def call(self, proc, args=None, xdr_args=None, xdr_res=None):
         xid = self.next_xid()
-        send_buffer = None
-        if self.fastpath_enabled and proc not in self._codecs:
-            send_buffer, length = self.build_call_pooled(
-                xid, proc, args, xdr_args
-            )
-            request = memoryview(send_buffer)[:length]
-        else:
-            request = self.build_call(xid, proc, args, xdr_args)
+        span = None
+        if _obs.enabled:
+            tier = ("specialized" if proc in self._codecs
+                    else "fastpath" if self.fastpath_enabled
+                    else "generic")
+            _obs.registry.counter("rpc.client.calls", transport="tcp",
+                                  tier=tier).inc()
+            span = _obs.span("client.call", side="client", transport="tcp",
+                             xid=xid, prog=self.prog, vers=self.vers,
+                             proc=proc, tier=tier)
+        started = time.monotonic() if _obs.enabled else 0.0
         try:
+            value = self._call_once(xid, proc, args, xdr_args, xdr_res,
+                                    span)
+        except BaseException as exc:
+            self._finish_call(started, type(exc).__name__)
+            if span is not None:
+                span.end(outcome="error", error=type(exc).__name__)
+            raise
+        self._finish_call(started, "ok")
+        if span is not None:
+            span.end(outcome="ok")
+        return value
+
+    def _finish_call(self, started, outcome):
+        """Single per-call aggregation point (cf. the UDP client's)."""
+        self.calls_completed += 1
+        if not _obs.enabled:
+            return
+        registry = _obs.registry
+        registry.counter("rpc.client.attempts", transport="tcp").inc()
+        if outcome == "RpcTimeoutError":
+            registry.counter("rpc.client.timeouts", transport="tcp").inc()
+        elif outcome != "ok":
+            registry.counter("rpc.client.errors", transport="tcp",
+                             error=outcome).inc()
+        registry.histogram("rpc.client.call_latency_s",
+                           transport="tcp").observe(
+            time.monotonic() - started
+        )
+
+    def _call_once(self, xid, proc, args, xdr_args, xdr_res, span=None):
+        send_buffer = None
+        wait_span = None
+        encode_span = (span.child("client.encode")
+                       if span is not None else None)
+        try:
+            if self.fastpath_enabled and proc not in self._codecs:
+                send_buffer, length = self.build_call_pooled(
+                    xid, proc, args, xdr_args
+                )
+                request = memoryview(send_buffer)[:length]
+            else:
+                request = self.build_call(xid, proc, args, xdr_args)
+        except BaseException as exc:
+            if encode_span is not None:
+                encode_span.end(outcome="error", error=type(exc).__name__)
+            raise
+        if encode_span is not None:
+            encode_span.end(bytes=len(request))
+        try:
+            send_span = (span.child("client.send", bytes=len(request))
+                         if span is not None else None)
             write_record(self.sock, request)
+            if send_span is not None:
+                send_span.end()
             if send_buffer is not None:
                 self.release_send_buffer(send_buffer)
                 send_buffer = None
+            wait_span = (span.child("client.wait")
+                         if span is not None else None)
             while True:
                 data = read_record(self.sock)
-                matched, value = self.parse_reply(data, xid, proc, xdr_res)
+                if span is not None:
+                    decode_span = span.child("client.decode",
+                                             bytes=len(data))
+                    try:
+                        matched, value = self.parse_reply(data, xid, proc,
+                                                          xdr_res)
+                    except BaseException as exc:
+                        decode_span.end(outcome="error",
+                                        error=type(exc).__name__)
+                        raise
+                    decode_span.end(matched=matched)
+                else:
+                    matched, value = self.parse_reply(data, xid, proc,
+                                                      xdr_res)
                 if matched:
+                    if wait_span is not None:
+                        wait_span.end(outcome="reply")
                     return value
+                # A reply for an earlier xid on our own stream: count
+                # it per-lifetime and keep reading.
+                self.stale_replies += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.client.stale_replies",
+                                          transport="tcp").inc()
         except socket.timeout as exc:
             raise RpcTimeoutError(
                 f"TCP RPC call (prog={self.prog}, proc={proc}) timed out"
@@ -79,6 +170,10 @@ class TcpClient(RpcClient):
         finally:
             if send_buffer is not None:
                 self.release_send_buffer(send_buffer)
+            if wait_span is not None:
+                # Idempotent: a no-op when the reply path already
+                # closed it; closes the span on every error path.
+                wait_span.end(outcome="aborted")
 
     def close(self):
         try:

@@ -27,6 +27,15 @@ serialized into a pooled buffer from a pre-built header template,
 replies land in a pooled receive buffer via ``recv_into``, and
 decoding reads a ``memoryview`` of that buffer — one complete call
 performs no per-call buffer allocation.
+
+Telemetry (``repro.obs``): when observability is enabled, each call
+emits a ``client.call`` span with ``client.encode`` / ``client.send``
+/ ``client.wait`` / ``client.decode`` children, and the per-call
+:class:`CallStats` fold into the cumulative client counters and the
+metrics registry at exactly one point (:meth:`UdpClient._finish_call`)
+— during the call only the per-call stats are touched, so a
+retransmitted attempt can never be double-counted against both the
+in-flight lifetime counters and the finished call's numbers.
 """
 
 import random
@@ -34,6 +43,7 @@ import select
 import socket
 import time
 
+from repro import obs as _obs
 from repro.errors import RpcTimeoutError, RpcProtocolError, XdrError
 from repro.rpc.client import RpcClient, UDPMSGSIZE
 from repro.rpc.faults import FaultySocket
@@ -86,6 +96,11 @@ class UdpClient(RpcClient):
     deterministic (tests); ``jitter=0`` disables it.  ``fault_plan``
     wraps the socket in a :class:`~repro.rpc.faults.FaultySocket`
     faulting outgoing requests.
+
+    Cumulative telemetry: :attr:`calls_completed`,
+    :attr:`retransmissions`, :attr:`stale_replies`,
+    :attr:`garbage_datagrams` (also :meth:`stats_summary`), all updated
+    once per finished call from that call's :class:`CallStats`.
     """
 
     def __init__(
@@ -119,6 +134,8 @@ class UdpClient(RpcClient):
         self.sock.setblocking(False)
         if fault_plan is not None:
             self.sock = FaultySocket(self.sock, fault_plan)
+        #: calls finished (returned, timed out, or raised)
+        self.calls_completed = 0
         #: retransmissions performed over the client's lifetime
         self.retransmissions = 0
         #: stale replies discarded over the client's lifetime
@@ -130,21 +147,57 @@ class UdpClient(RpcClient):
         if fastpath:
             self.enable_fastpath()
 
+    def stats_summary(self):
+        """Cumulative client statistics (the registry mirrors these)."""
+        return {
+            "calls_completed": self.calls_completed,
+            "retransmissions": self.retransmissions,
+            "stale_replies": self.stale_replies,
+            "garbage_datagrams": self.garbage_datagrams,
+        }
+
     def call(self, proc, args=None, xdr_args=None, xdr_res=None):
         xid = self.next_xid()
+        span = None
+        if _obs.enabled:
+            tier = ("specialized" if proc in self._codecs
+                    else "fastpath" if self.fastpath_enabled
+                    else "generic")
+            _obs.registry.counter("rpc.client.calls", transport="udp",
+                                  tier=tier).inc()
+            span = _obs.span("client.call", side="client", transport="udp",
+                             xid=xid, prog=self.prog, vers=self.vers,
+                             proc=proc, tier=tier)
         send_buffer = None
-        if self.fastpath_enabled and proc not in self._codecs:
-            send_buffer, length = self.build_call_pooled(
-                xid, proc, args, xdr_args
-            )
-            request = memoryview(send_buffer)[:length]
-        else:
-            request = self.build_call(xid, proc, args, xdr_args)
         try:
-            return self._call_loop(request, xid, proc, xdr_res)
+            encode_span = (span.child("client.encode")
+                           if span is not None else None)
+            try:
+                if self.fastpath_enabled and proc not in self._codecs:
+                    send_buffer, length = self.build_call_pooled(
+                        xid, proc, args, xdr_args
+                    )
+                    request = memoryview(send_buffer)[:length]
+                else:
+                    request = self.build_call(xid, proc, args, xdr_args)
+            except BaseException as exc:
+                if encode_span is not None:
+                    encode_span.end(outcome="error",
+                                    error=type(exc).__name__)
+                raise
+            if encode_span is not None:
+                encode_span.end(bytes=len(request))
+            value = self._call_loop(request, xid, proc, xdr_res, span)
+        except BaseException as exc:
+            if span is not None:
+                span.end(outcome="error", error=type(exc).__name__)
+            raise
         finally:
             if send_buffer is not None:
                 self.release_send_buffer(send_buffer)
+        if span is not None:
+            span.end(outcome="ok")
+        return value
 
     def _next_window(self, window):
         """The next backoff interval: grow, jitter, cap."""
@@ -155,37 +208,100 @@ class UdpClient(RpcClient):
             )
         return min(grown, self.max_wait)
 
-    def _call_loop(self, request, xid, proc, xdr_res):
+    def _finish_call(self, stats, outcome):
+        """The single aggregation point for per-call telemetry.
+
+        Lifetime counters and the metrics registry are updated *here
+        only*, from the finished :class:`CallStats` — never inline
+        during the retransmission loop.  That guarantees one call
+        contributes each number exactly once however it ends (reply,
+        timeout, server verdict, fault), fixing the double-count risk
+        of bumping live counters per attempt *and* folding the
+        per-call stats in afterwards.
+        """
+        self.calls_completed += 1
+        self.retransmissions += stats.retransmissions
+        self.stale_replies += stats.stale_replies
+        self.garbage_datagrams += stats.garbage_datagrams
+        if not _obs.enabled:
+            return
+        registry = _obs.registry
+        registry.counter("rpc.client.attempts",
+                         transport="udp").inc(stats.attempts)
+        if stats.retransmissions:
+            registry.counter("rpc.client.retransmissions",
+                             transport="udp").inc(stats.retransmissions)
+        if stats.stale_replies:
+            registry.counter("rpc.client.stale_replies",
+                             transport="udp").inc(stats.stale_replies)
+        if stats.garbage_datagrams:
+            registry.counter("rpc.client.garbage_datagrams",
+                             transport="udp").inc(stats.garbage_datagrams)
+        if outcome == "timeout":
+            registry.counter("rpc.client.timeouts", transport="udp").inc()
+        elif outcome != "ok":
+            registry.counter("rpc.client.errors", transport="udp",
+                             error=outcome).inc()
+        registry.histogram("rpc.client.call_latency_s",
+                           transport="udp").observe(stats.elapsed_s)
+
+    def _call_loop(self, request, xid, proc, xdr_res, span=None):
         stats = CallStats(proc)
         self.last_call_stats = stats
         started = time.monotonic()
         deadline = started + self.timeout
         window = min(self.wait, self.max_wait)
-        while True:
-            now = time.monotonic()
-            if stats.attempts:
-                if now >= deadline:
+        outcome = "timeout"
+        try:
+            while True:
+                now = time.monotonic()
+                if stats.attempts:
+                    if now >= deadline:
+                        break
+                    stats.retransmissions += 1
+                send_span = (span.child("client.send",
+                                        attempt=stats.attempts + 1,
+                                        bytes=len(request))
+                             if span is not None else None)
+                self.sock.sendto(request, self.address)
+                if send_span is not None:
+                    send_span.end()
+                stats.attempts += 1
+                # Clamp the try to the remaining budget — but when the
+                # budget no longer covers a full window, make this the
+                # *final* try and still grant it the whole window: one
+                # guaranteed full receive wait instead of a sliver
+                # followed by a back-to-back retransmit.
+                final = (deadline - now) <= window
+                stats.backoff_schedule.append(window)
+                wait_span = (span.child("client.wait",
+                                        attempt=stats.attempts,
+                                        window_s=round(window, 6))
+                             if span is not None else None)
+                try:
+                    reply = self._await_reply(xid, proc, xdr_res,
+                                              now + window, stats, span)
+                except BaseException as exc:
+                    if wait_span is not None:
+                        wait_span.end(outcome="error",
+                                      error=type(exc).__name__)
+                    raise
+                if wait_span is not None:
+                    wait_span.end(
+                        outcome="reply" if reply is not None else "silent"
+                    )
+                if reply is not None:
+                    outcome = "ok"
+                    return reply[0]
+                if final:
                     break
-                self.retransmissions += 1
-                stats.retransmissions += 1
-            self.sock.sendto(request, self.address)
-            stats.attempts += 1
-            # Clamp the try to the remaining budget — but when the
-            # budget no longer covers a full window, make this the
-            # *final* try and still grant it the whole window: one
-            # guaranteed full receive wait instead of a sliver followed
-            # by a back-to-back retransmit.
-            final = (deadline - now) <= window
-            stats.backoff_schedule.append(window)
-            reply = self._await_reply(xid, proc, xdr_res, now + window,
-                                      stats)
-            if reply is not None:
-                stats.elapsed_s = time.monotonic() - started
-                return reply[0]
-            if final:
-                break
-            window = self._next_window(window)
-        stats.elapsed_s = time.monotonic() - started
+                window = self._next_window(window)
+        except BaseException as exc:
+            outcome = type(exc).__name__
+            raise
+        finally:
+            stats.elapsed_s = time.monotonic() - started
+            self._finish_call(stats, outcome)
         raise RpcTimeoutError(
             f"RPC call (prog={self.prog}, proc={proc}) timed out"
             f" after {self.timeout}s"
@@ -193,7 +309,8 @@ class UdpClient(RpcClient):
             f" {stats.retransmissions} retransmissions)"
         )
 
-    def _await_reply(self, xid, proc, xdr_res, try_deadline, stats):
+    def _await_reply(self, xid, proc, xdr_res, try_deadline, stats,
+                     span=None):
         """Wait for a matching reply until ``try_deadline``; None means
         retransmit."""
         while True:
@@ -208,17 +325,31 @@ class UdpClient(RpcClient):
                 try:
                     nbytes = self.sock.recv_into(recv_buffer)
                     data = memoryview(recv_buffer)[:nbytes]
-                    matched, value = self._parse_tolerant(data, xid, proc,
-                                                          xdr_res, stats)
+                    matched, value = self._parse_traced(data, xid, proc,
+                                                        xdr_res, stats, span)
                 finally:
                     self.release_recv_buffer(recv_buffer)
             else:
                 data, _addr = self.sock.recvfrom(self.bufsize)
-                matched, value = self._parse_tolerant(data, xid, proc,
-                                                      xdr_res, stats)
+                matched, value = self._parse_traced(data, xid, proc,
+                                                    xdr_res, stats, span)
             if matched:
                 return (value,)
             # Stale xid or garbage: keep listening within the window.
+
+    def _parse_traced(self, data, xid, proc, xdr_res, stats, span):
+        """:meth:`_parse_tolerant` wrapped in a ``client.decode`` span."""
+        if span is None:
+            return self._parse_tolerant(data, xid, proc, xdr_res, stats)
+        decode_span = span.child("client.decode", bytes=len(data))
+        try:
+            matched, value = self._parse_tolerant(data, xid, proc, xdr_res,
+                                                  stats)
+        except BaseException as exc:
+            decode_span.end(outcome="error", error=type(exc).__name__)
+            raise
+        decode_span.end(matched=matched)
+        return matched, value
 
     def _parse_tolerant(self, data, xid, proc, xdr_res, stats):
         """``parse_reply`` that treats undecodable datagrams as noise.
@@ -228,15 +359,16 @@ class UdpClient(RpcClient):
         xid is validated as ours — discard it and let retransmission
         recover.  Genuine server verdicts (denials, non-SUCCESS
         accepts) raise *after* the xid matched and propagate.
+
+        Only the per-call ``stats`` are updated here; the lifetime
+        counters fold in once per call via :meth:`_finish_call`.
         """
         try:
             matched, value = self.parse_reply(data, xid, proc, xdr_res)
         except (XdrError, RpcProtocolError):
-            self.garbage_datagrams += 1
             stats.garbage_datagrams += 1
             return False, None
         if not matched:
-            self.stale_replies += 1
             stats.stale_replies += 1
         return matched, value
 

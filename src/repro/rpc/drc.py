@@ -21,6 +21,8 @@ per call; :meth:`put` defends by copying anything that is not already
 import threading
 from collections import OrderedDict
 
+from repro import obs as _obs
+
 
 class DuplicateRequestCache:
     """A bounded LRU of raw replies keyed by request identity."""
@@ -55,10 +57,13 @@ class DuplicateRequestCache:
             reply = self._entries.get(key)
             if reply is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return reply
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if _obs.enabled:
+            name = "rpc.drc.hits" if reply is not None else "rpc.drc.misses"
+            _obs.registry.counter(name).inc()
+        return reply
 
     def put(self, key, reply):
         """Record the reply sent for ``key``.
@@ -69,6 +74,7 @@ class DuplicateRequestCache:
         """
         if not isinstance(reply, bytes):
             reply = bytes(reply)
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -77,6 +83,13 @@ class DuplicateRequestCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+            entries = len(self._entries)
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.stores").inc()
+            if evicted:
+                _obs.registry.counter("rpc.drc.evictions").inc(evicted)
+            _obs.registry.gauge("rpc.drc.entries").set(entries)
 
     def clear(self):
         with self._lock:

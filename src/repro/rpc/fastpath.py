@@ -30,6 +30,7 @@ Everything here is byte-for-byte equivalent to the generic encoders in
 import struct
 import threading
 
+from repro import obs as _obs
 from repro.rpc.auth import MAX_AUTH_BYTES, NULL_AUTH
 from repro.rpc.message import (
     AcceptStat,
@@ -140,9 +141,15 @@ class BufferPool:
         with self._lock:
             if self._free:
                 self.reuses += 1
-                return self._free.pop()
-            self.allocations += 1
-        return bytearray(self.size)
+                buffer = self._free.pop()
+            else:
+                self.allocations += 1
+                buffer = None
+        if _obs.enabled:
+            name = ("rpc.pool.reuses" if buffer is not None
+                    else "rpc.pool.allocations")
+            _obs.registry.counter(name).inc()
+        return buffer if buffer is not None else bytearray(self.size)
 
     def release(self, buffer):
         if buffer is None or len(buffer) != self.size:

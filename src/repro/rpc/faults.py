@@ -47,6 +47,7 @@ import socket
 import threading
 import time
 
+from repro import obs as _obs
 from repro.errors import FaultInjected
 
 #: every fault kind a plan can inject, in application order: ``drop``
@@ -142,6 +143,8 @@ class FaultPlan:
     def note(self, kind):
         """Record one applied (or skipped) fault for the stats."""
         self.injected[kind] += 1
+        if _obs.enabled:
+            _obs.registry.counter("faults.injected", kind=kind).inc()
 
     def summary(self):
         """Counts for reports: decisions, per-kind injections."""

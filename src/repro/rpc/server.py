@@ -7,12 +7,22 @@ PROG_MISMATCH, PROC_UNAVAIL, GARBAGE_ARGS, SYSTEM_ERR, RPC_MISMATCH).
 
 Like the client, marshaling is pluggable per procedure so the
 Tempo-specialized server stubs can replace the generic micro-layers.
+
+Telemetry (``repro.obs``): when observability is enabled, each
+dispatch emits a ``server.dispatch`` span with ``server.drc_lookup``
+/ ``server.decode_args`` / ``server.handler`` /
+``server.encode_reply`` children, every outcome increments the
+``rpc.server.replies{outcome=...}`` counter, and the fast-path header
+recognizer reports hit/fallback counts.  The disabled path is the
+original dispatcher behind one ``if obs.enabled`` test.
 """
 
 import logging
 import struct
+import time
 from dataclasses import dataclass
 
+from repro import obs as _obs
 from repro.errors import RpcProtocolError, XdrError
 from repro.rpc.auth import NULL_AUTH
 from repro.rpc.drc import DuplicateRequestCache
@@ -39,6 +49,9 @@ NULLPROC = 0
 _CALL_V2 = struct.pack(">II", 0, 2)
 _NULL_AUTHS = bytes(16)
 _FAST_HEADER_SIZE = 10 * 4
+
+def _count_reply(outcome):
+    _obs.registry.counter("rpc.server.replies", outcome=outcome).inc()
 
 
 @dataclass
@@ -141,6 +154,8 @@ class SvcRegistry:
         retransmitted requests are answered from the reply cache
         without re-invoking the handler.
         """
+        if _obs.enabled:
+            return self._dispatch_observed(data, caller)
         if self._out_pool is not None:
             reply = self._out_pool.acquire()
             try:
@@ -148,6 +163,39 @@ class SvcRegistry:
             finally:
                 self._out_pool.release(reply)
         return self._dispatch_into(data, bytearray(self.bufsize), caller)
+
+    def _dispatch_observed(self, data, caller):
+        """:meth:`dispatch_bytes` with metrics + an optional span."""
+        _obs.registry.counter("rpc.server.requests").inc()
+        started = time.monotonic()
+        span = _obs.span("server.dispatch", side="server", bytes=len(data),
+                         caller=str(caller) if caller is not None else None)
+        try:
+            if self._out_pool is not None:
+                reply = self._out_pool.acquire()
+                try:
+                    result = self._dispatch_into(data, reply, caller, span)
+                finally:
+                    self._out_pool.release(reply)
+            else:
+                result = self._dispatch_into(
+                    data, bytearray(self.bufsize), caller, span
+                )
+        except BaseException as exc:
+            if span is not None:
+                span.end(outcome="error", error=type(exc).__name__)
+            raise
+        finally:
+            _obs.registry.histogram("rpc.server.dispatch_latency_s").observe(
+                time.monotonic() - started
+            )
+        if result is None:
+            _count_reply("dropped")
+            if span is not None:
+                span.end(outcome="dropped")
+        elif span is not None:
+            span.end(reply_bytes=len(result))
+        return result
 
     def _fast_parse_header(self, data):
         """A :class:`CallHeader` for the common shape — RPC v2 with two
@@ -162,14 +210,24 @@ class SvcRegistry:
         xid, _, _, prog, vers, proc = struct.unpack_from(">6I", data, 0)
         return CallHeader(xid, prog, vers, proc, NULL_AUTH, NULL_AUTH)
 
-    def _dispatch_into(self, data, reply, caller=None):
+    def _dispatch_into(self, data, reply, caller=None, span=None):
         if self._reply_template is not None:
             header = self._fast_parse_header(data)
             if header is not None:
+                if _obs.enabled:
+                    _obs.registry.counter(
+                        "rpc.server.fastpath_header_hits").inc()
+                if span is not None:
+                    span.add(tier="fastpath")
                 stream = XdrMemStream(data, XdrOp.DECODE,
                                       offset=_FAST_HEADER_SIZE)
                 out = XdrMemStream(reply, XdrOp.ENCODE)
-                return self._dispatch_call(header, stream, out, caller)
+                return self._dispatch_call(header, stream, out, caller,
+                                           span)
+            if _obs.enabled:
+                _obs.registry.counter("rpc.server.fastpath_fallbacks").inc()
+        if span is not None:
+            span.add(tier="generic")
         stream = XdrMemStream(data, XdrOp.DECODE)
         out = XdrMemStream(reply, XdrOp.ENCODE)
         try:
@@ -182,13 +240,17 @@ class SvcRegistry:
                 except Exception:
                     return None
                 encode_denied_reply(out, xid, RejectStat.RPC_MISMATCH, (2, 2))
+                if _obs.enabled:
+                    _count_reply("rpc_mismatch")
+                if span is not None:
+                    span.add(xid=xid, outcome="rpc_mismatch")
                 return out.data()
             logger.debug("dropping undecodable call: %s", exc)
             return None
         except XdrError as exc:
             logger.debug("dropping truncated call: %s", exc)
             return None
-        return self._dispatch_call(header, stream, out, caller)
+        return self._dispatch_call(header, stream, out, caller, span)
 
     def _record_reply(self, drc_key, reply):
         """Cache a handler-produced reply for retransmission replay.
@@ -201,14 +263,27 @@ class SvcRegistry:
             self.drc.put(drc_key, reply)
         return reply
 
-    def _dispatch_call(self, header, stream, out, caller=None):
+    def _verdict(self, span, header, outcome):
+        """Record a dispatch outcome on the span + outcome counter."""
+        if _obs.enabled:
+            _count_reply(outcome)
+        if span is not None:
+            span.add(xid=header.xid, prog=header.prog, vers=header.vers,
+                     proc=header.proc, outcome=outcome)
+
+    def _dispatch_call(self, header, stream, out, caller=None, span=None):
         drc_key = None
         if self.drc is not None and caller is not None:
             drc_key = DuplicateRequestCache.key(
                 header.xid, caller, header.prog, header.vers, header.proc
             )
+            drc_span = (span.child("server.drc_lookup")
+                        if span is not None else None)
             cached = self.drc.get(drc_key)
+            if drc_span is not None:
+                drc_span.end(hit=cached is not None)
             if cached is not None:
+                self._verdict(span, header, "drc_replay")
                 return cached
         key = (header.prog, header.vers)
         if key not in self._programs:
@@ -218,21 +293,27 @@ class SvcRegistry:
                     out, header.xid, AcceptStat.PROG_MISMATCH, NULL_AUTH,
                     mismatch=(versions[0], versions[-1]),
                 )
+                self._verdict(span, header, "prog_mismatch")
             else:
                 encode_accepted_reply(
                     out, header.xid, AcceptStat.PROG_UNAVAIL, NULL_AUTH
                 )
+                self._verdict(span, header, "prog_unavail")
             return out.data()
         table = self._programs[key]
         if header.proc == NULLPROC and NULLPROC not in table:
             encode_accepted_reply(out, header.xid, AcceptStat.SUCCESS,
                                   NULL_AUTH)
+            self._verdict(span, header, "success")
             return out.data()
         if header.proc not in table:
             encode_accepted_reply(out, header.xid, AcceptStat.PROC_UNAVAIL,
                                   NULL_AUTH)
+            self._verdict(span, header, "proc_unavail")
             return out.data()
         proc = table[header.proc]
+        decode_span = (span.child("server.decode_args")
+                       if span is not None else None)
         try:
             if proc.decode_args is not None:
                 args = proc.decode_args(stream)
@@ -241,20 +322,36 @@ class SvcRegistry:
             else:
                 args = None
         except XdrError as exc:
+            if decode_span is not None:
+                decode_span.end(outcome="garbage_args")
             logger.debug("garbage args: %s", exc)
             encode_accepted_reply(out, header.xid, AcceptStat.GARBAGE_ARGS,
                                   NULL_AUTH)
+            self._verdict(span, header, "garbage_args")
             return out.data()
+        if decode_span is not None:
+            decode_span.end()
+        handler_span = (span.child("server.handler")
+                        if span is not None else None)
         try:
             self.handlers_invoked += 1
             result = proc.handler(args)
         except Exception:
+            if handler_span is not None:
+                handler_span.end(outcome="error")
             logger.exception(
                 "handler for prog=%d proc=%d failed", header.prog, header.proc
             )
+            if _obs.enabled:
+                _obs.registry.counter("rpc.server.handler_errors").inc()
             encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
                                   NULL_AUTH)
+            self._verdict(span, header, "system_err")
             return self._record_reply(drc_key, out.data())
+        if handler_span is not None:
+            handler_span.end()
+        encode_span = (span.child("server.encode_reply")
+                       if span is not None else None)
         if self._reply_template is not None and out.pos == 0:
             # Fast path: copy the pre-built SUCCESS header, patch xid.
             out.setpos(self._reply_template.write_into(out.buffer,
@@ -262,6 +359,7 @@ class SvcRegistry:
         else:
             encode_accepted_reply(out, header.xid, AcceptStat.SUCCESS,
                                   NULL_AUTH)
+        outcome = "success"
         try:
             if proc.encode_res is not None:
                 proc.encode_res(out, result)
@@ -277,6 +375,10 @@ class SvcRegistry:
             out = XdrMemStream(bytearray(self.bufsize), XdrOp.ENCODE)
             encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
                                   NULL_AUTH)
+            outcome = "system_err"
+        if encode_span is not None:
+            encode_span.end(bytes=out.pos)
+        self._verdict(span, header, outcome)
         return self._record_reply(drc_key, out.data())
 
 

@@ -3,6 +3,7 @@
 import socket
 import threading
 
+from repro import obs as _obs
 from repro.errors import FaultInjected, RpcProtocolError
 from repro.rpc.faults import FaultySocket
 from repro.rpc.record import read_record, write_record
@@ -80,6 +81,9 @@ class TcpServer:
                     return
                 raise
             self.connections_accepted += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.server.connections",
+                                      transport="tcp").inc()
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn, addr), daemon=True
             )

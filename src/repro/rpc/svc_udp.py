@@ -3,6 +3,7 @@
 import socket
 import threading
 
+from repro import obs as _obs
 from repro.rpc.client import UDPMSGSIZE
 from repro.rpc.faults import FaultySocket
 
@@ -69,6 +70,9 @@ class UdpServer:
         if reply is not None:
             self.sock.sendto(reply, addr)
         self.requests_handled += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.datagrams",
+                                  transport="udp").inc()
         return True
 
     def serve_forever(self):

@@ -27,6 +27,8 @@ import os
 import pickle
 from collections import OrderedDict
 
+from repro import obs as _obs
+
 #: bump when the cached payload layout changes — old disk entries are
 #: then simply never looked up again.
 CACHE_FORMAT = 1
@@ -79,16 +81,22 @@ class SpecializationCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            if _obs.enabled:
+                _obs.registry.counter("spec.cache.hits").inc()
             self._entries.move_to_end(key)
             return entry
         if load is not None:
             payload = self._disk_read(key)
             if payload is not None:
                 self.disk_hits += 1
+                if _obs.enabled:
+                    _obs.registry.counter("spec.cache.disk_hits").inc()
                 value = load(payload)
                 self._remember(key, value)
                 return value
         self.misses += 1
+        if _obs.enabled:
+            _obs.registry.counter("spec.cache.misses").inc()
         value = build()
         self._remember(key, value)
         if dump is not None:

@@ -20,6 +20,7 @@ residual ``else`` branches of the paper's §6.2 rewrite.
 import os
 import struct
 
+from repro import obs as _obs
 from repro.errors import IdlError, XdrError
 from repro.minic.compile_py import compile_program
 from repro.minic.parser import parse_program
@@ -198,10 +199,27 @@ class ServerSpecialization:
         return drc.key(xid, caller, prog, vers, proc)
 
     def dispatch_bytes(self, data, caller=None):
+        span = None
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.requests").inc()
+            span = _obs.span(
+                "server.dispatch", side="server", tier="specialized",
+                bytes=len(data),
+                caller=str(caller) if caller is not None else None,
+            )
         drc_key = self._drc_key(data, caller)
         if drc_key is not None:
+            drc_span = (span.child("server.drc_lookup")
+                        if span is not None else None)
             cached = self.fallback.drc.get(drc_key)
+            if drc_span is not None:
+                drc_span.end(hit=cached is not None)
             if cached is not None:
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.server.replies",
+                                          outcome="drc_replay").inc()
+                if span is not None:
+                    span.end(outcome="drc_replay")
                 return cached
         in_buffer = sr.fresh_buffer(data)
         out_buffer = self._out_buffers.acquire()
@@ -212,20 +230,45 @@ class ServerSpecialization:
                 "outbuf": sr.buffer_cursor(out_buffer),
                 "outsize": self.bufsize,
             }
+            handler_span = (span.child("server.handler")
+                            if span is not None else None)
             outlen = self._module.call(
                 self._entry, *[values[name] for name in self._params]
             )
+            if handler_span is not None:
+                handler_span.end(residual=True)
             if outlen:
                 self.fast_path_hits += 1
                 reply = bytes(out_buffer.data[:outlen])
                 if drc_key is not None:
                     self.fallback.drc.put(drc_key, reply)
+                if _obs.enabled:
+                    _obs.registry.counter(
+                        "rpc.server.specialized_hits").inc()
+                    _obs.registry.counter("rpc.server.replies",
+                                          outcome="success").inc()
+                if span is not None:
+                    span.end(outcome="success", reply_bytes=len(reply))
                 return reply
+        except BaseException as exc:
+            if span is not None:
+                span.end(outcome="error", error=type(exc).__name__)
+            raise
         finally:
             self._out_buffers.release(out_buffer)
         if self.fallback is not None:
             self.fallback_hits += 1
+            if _obs.enabled:
+                _obs.registry.counter(
+                    "rpc.server.specialized_fallbacks").inc()
+            if span is not None:
+                span.end(outcome="fallback")
             return self.fallback.dispatch_bytes(data, caller=caller)
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.replies",
+                                  outcome="dropped").inc()
+        if span is not None:
+            span.end(outcome="dropped")
         return None
 
 

@@ -1,0 +1,23 @@
+"""Fixtures for the observability tests.
+
+Every test runs against a private registry/tracer and a known-off
+flag, whatever the surrounding process (or a stray ``REPRO_OBS``) set
+up, and the previous state is restored afterwards.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def obs_state():
+    """Fresh, disabled obs state per test; restores on exit."""
+    prev = (obs.enabled, obs.registry, obs.tracer)
+    obs.enabled = False
+    obs.registry = MetricsRegistry()
+    obs.tracer = Tracer()
+    yield
+    obs.enabled, obs.registry, obs.tracer = prev

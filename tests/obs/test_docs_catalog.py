@@ -1,0 +1,93 @@
+"""The catalog-as-contract tests.
+
+Three directions of agreement:
+
+* every name in :mod:`repro.obs.catalog` is documented in
+  ``docs/OBSERVABILITY.md``;
+* every instrument/span name hard-coded in the source is declared in
+  the catalog (static scan);
+* every instrument and span a live lossy run actually emits is
+  declared in the catalog (dynamic check).
+
+Together these make it impossible to ship an undeclared, undocumented
+metric — adding an instrument forces a catalog entry and a docs row.
+"""
+
+import re
+from pathlib import Path
+
+from repro import obs
+from repro.obs.catalog import METRICS, SPANS, TIERS
+from repro.obs.trace import MemorySink
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs" / "OBSERVABILITY.md"
+SRC = REPO / "src" / "repro"
+
+_INSTRUMENT_RE = re.compile(
+    r"(?:counter|gauge|histogram)\(\s*\n?\s*[\"']([a-z0-9_.]+)[\"']"
+)
+_SPAN_RE = re.compile(
+    r"(?:\bspan|\.child)\(\s*\n?\s*[\"']([a-z0-9_.]+)[\"']"
+)
+
+
+def _source_names(pattern):
+    names = set()
+    for path in SRC.rglob("*.py"):
+        if "obs" in path.parts:
+            continue  # the obs package itself (docstrings, CLI demo)
+        names.update(pattern.findall(path.read_text()))
+    return names
+
+
+class TestCatalogMatchesDocs:
+    def test_docs_file_exists(self):
+        assert DOCS.is_file()
+
+    def test_every_metric_is_documented(self):
+        text = DOCS.read_text()
+        missing = [name for name in METRICS if f"`{name}`" not in text]
+        assert not missing, f"undocumented metrics: {missing}"
+
+    def test_every_span_is_documented(self):
+        text = DOCS.read_text()
+        missing = [name for name in SPANS if f"`{name}`" not in text]
+        assert not missing, f"undocumented spans: {missing}"
+
+    def test_every_tier_is_documented(self):
+        text = DOCS.read_text()
+        assert all(f"`{tier}`" in text for tier in TIERS)
+
+
+class TestSourceMatchesCatalog:
+    def test_instrument_names_in_source_are_declared(self):
+        emitted = _source_names(_INSTRUMENT_RE)
+        assert emitted  # the scan found the instrumented stack
+        undeclared = emitted - set(METRICS)
+        assert not undeclared, f"undeclared instruments: {undeclared}"
+
+    def test_span_names_in_source_are_declared(self):
+        emitted = _source_names(_SPAN_RE)
+        assert emitted
+        undeclared = emitted - set(SPANS)
+        assert not undeclared, f"undeclared spans: {undeclared}"
+
+
+class TestLiveRunMatchesCatalog:
+    def test_demo_emits_only_declared_names(self):
+        from repro.obs.cli import run_demo
+
+        sink = MemorySink()
+        obs.tracer.add_sink(sink)
+        snapshot = run_demo(calls=8)
+        emitted = set()
+        for kind in ("counters", "gauges", "histograms"):
+            for key in snapshot[kind]:
+                emitted.add(key.split("{", 1)[0])
+        assert emitted  # the demo populated the registry
+        undeclared = emitted - set(METRICS)
+        assert not undeclared, f"undeclared instruments: {undeclared}"
+        span_names = {record["name"] for record in sink.records}
+        assert span_names
+        assert not span_names - set(SPANS)

@@ -1,0 +1,145 @@
+"""Unit tests for counters, gauges, and fixed-bucket histograms."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_counts(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_reset_zeroes_in_place(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+        c.inc()
+        assert c.value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)   # exactly on an edge -> that bucket
+        h.observe(1.5)   # between edges -> next bucket up
+        h.observe(7.0)   # beyond the last edge -> +inf bucket
+        snap = h.snapshot()
+        assert snap["buckets"] == [1.0, 2.0, 5.0]
+        # cumulative: <=1.0, <=2.0, <=5.0, <=inf
+        assert snap["cumulative_counts"] == [1, 2, 2, 3]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(9.5)
+
+    def test_smallest_bucket_catches_zero(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.0)
+        assert h.snapshot()["cumulative_counts"] == [1, 1, 1]
+
+    def test_quantile(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 5.0))
+        assert h.quantile(0.5) is None
+        for value in (0.5, 0.5, 1.5, 4.0):
+            h.observe(value)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 5.0
+
+    def test_overflow_quantile_reports_last_finite_edge(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.5) == 1.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        a = registry.counter("rpc.calls", transport="udp")
+        b = registry.counter("rpc.calls", transport="udp")
+        assert a is b
+        assert registry.counter("rpc.calls", transport="tcp") is not a
+        assert len(registry) == 2
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TypeError):
+            registry.gauge("n")
+        with pytest.raises(TypeError):
+            registry.histogram("n")
+
+    def test_collect_keys_include_sorted_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c", b="2", a="1").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.collect()
+        assert snap["counters"] == {"c{a=1,b=2}": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_format_labels(self):
+        assert format_labels({}) == ""
+        assert format_labels({"b": "y", "a": "x"}) == "{a=x,b=y}"
+
+    def test_reset_keeps_instrument_references_valid(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c")
+        c.inc(5)
+        registry.reset()
+        assert c.value == 0
+        c.inc()
+        assert registry.collect()["counters"]["c"] == 1
+
+    def test_threaded_increments_are_exact(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 10000
+        barrier = threading.Barrier(threads)
+
+        def work():
+            counter = registry.counter("c")
+            hist = registry.histogram("h", buckets=(1.0,))
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(0.5)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = threads * per_thread
+        assert registry.counter("c").value == total
+        assert registry.histogram("h", buckets=(1.0,)).count == total

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Check relative links and anchors in the repo's markdown docs.
+
+Scans the given markdown files (default: README.md, DESIGN.md,
+ROADMAP.md, CHANGES.md, docs/*.md) for inline links and validates:
+
+* relative file links point at files that exist;
+* anchor links (``#section`` or ``file.md#section``) resolve to a
+  heading in the target file (GitHub slug rules: lowercase, spaces to
+  dashes, punctuation dropped);
+* external links (http/https/mailto) are *not* fetched — only noted.
+
+Exits 1 with a per-link report when anything is broken; used by CI's
+docs step.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+DEFAULT_FILES = ("README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = {github_slug(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def check_file(path, root):
+    """Yields (link, problem) tuples for every broken link in ``path``."""
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_of(path):
+                yield target, "no such heading in this file"
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            yield target, "points outside the repository"
+            continue
+        if not resolved.exists():
+            yield target, "file does not exist"
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                yield target, f"no heading '#{anchor}' in {file_part}"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="markdown files (default: top-level + docs/)")
+    args = parser.parse_args(argv)
+    root = Path(__file__).resolve().parents[1]
+    if args.files:
+        paths = [Path(f).resolve() for f in args.files]
+    else:
+        paths = [root / name for name in DEFAULT_FILES
+                 if (root / name).exists()]
+        paths.extend(sorted((root / "docs").glob("*.md")))
+    broken = 0
+    for path in paths:
+        for target, problem in check_file(path, root):
+            print(f"{path.relative_to(root)}: ({target}) -> {problem}")
+            broken += 1
+    checked = len(paths)
+    if broken:
+        print(f"\n{broken} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all links OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
