@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, codesize, faults, figure6, live, marshaling, roundtrip, unrolling
+from repro.bench import ablation, chaos, codesize, faults, figure6, live, marshaling, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -18,10 +18,12 @@ EXPERIMENTS = {
     "live": ("Live fast path — generic vs staged runtime", live.run),
     "faults": ("Fault matrix — latency/goodput under injected loss",
                faults.run),
+    "chaos": ("Chaos soak — resilience invariants under loss, kills,"
+              " and drain", chaos.run),
 }
 
 #: experiments whose runner takes only the workload (no sizes tuple)
-_NO_SIZES = ("table4", "ablation", "faults")
+_NO_SIZES = ("table4", "ablation", "faults", "chaos")
 
 
 def main(argv=None):

@@ -62,6 +62,27 @@ class RpcTimeoutError(RpcError):
     """Raised when a client call exhausts its retransmission budget."""
 
 
+class RpcDeadlineExceeded(RpcTimeoutError):
+    """Raised when a call's *deadline budget* is exhausted.
+
+    A deadline is an end-to-end bound shared by every stage of a call
+    — encode, connect/reconnect, every retransmission window, and the
+    reply wait all draw from one budget
+    (:class:`~repro.rpc.resilience.Deadline`).  Subclasses
+    :class:`RpcTimeoutError` so existing handlers that treat any
+    client-side expiry uniformly keep working.
+    """
+
+
+class RpcCircuitOpenError(RpcError):
+    """Raised when a circuit breaker refuses a call locally.
+
+    The endpoint's :class:`~repro.rpc.resilience.CircuitBreaker` is
+    open: recent calls failed and the recovery timeout has not yet
+    elapsed, so the call is rejected without touching the network.
+    """
+
+
 class RpcProtocolError(RpcError):
     """Raised on malformed or unexpected RPC messages."""
 

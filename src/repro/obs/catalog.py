@@ -36,6 +36,23 @@ METRICS = {
     "rpc.client.call_latency_s": (
         "histogram", "transport",
         "end-to-end call latency in seconds (success and failure)"),
+    "rpc.client.deadline_exceeded": (
+        "counter", "transport",
+        "calls that exhausted their end-to-end deadline budget"
+        " (raised RpcDeadlineExceeded)"),
+    "rpc.client.failovers": (
+        "counter", "",
+        "successful calls that landed on a different endpoint than the"
+        " previous one (FailoverClient endpoint switches)"),
+    # -- circuit breaker -------------------------------------------------
+    "rpc.breaker.transitions": (
+        "counter", "to",
+        "circuit-breaker state transitions, by destination state"
+        " (closed/open/half_open)"),
+    "rpc.breaker.rejections": (
+        "counter", "",
+        "calls refused locally by an open (or probe-exhausted"
+        " half-open) breaker"),
     # -- server ----------------------------------------------------------
     "rpc.server.requests": (
         "counter", "",
@@ -44,7 +61,24 @@ METRICS = {
         "counter", "outcome",
         "dispatch outcomes: success, drc_replay, prog_unavail,"
         " prog_mismatch, proc_unavail, garbage_args, system_err,"
-        " rpc_mismatch, dropped"),
+        " rpc_mismatch, dropped, shed"),
+    "rpc.server.sheds": (
+        "counter", "reason",
+        "requests answered with a SYSTEM_ERR shed reply, by reason"
+        " (queue_full, draining)"),
+    "rpc.server.queue_depth": (
+        "gauge", "",
+        "bounded request queue occupancy after the last enqueue"),
+    "rpc.server.draining": (
+        "gauge", "",
+        "1 while the registry is in graceful-drain mode, else 0"),
+    "rpc.server.drains": (
+        "counter", "",
+        "graceful drains initiated (begin_drain calls)"),
+    "rpc.server.decode_defended": (
+        "counter", "",
+        "non-RpcError exceptions from malformed requests converted"
+        " into drops/GARBAGE_ARGS/fallbacks by the defensive decode"),
     "rpc.server.handler_errors": (
         "counter", "",
         "handler invocations that raised (answered SYSTEM_ERR)"),

@@ -8,7 +8,9 @@ A working pure-Python Sun RPC stack structured like the 1984 sources:
   retransmission (UDP) and record marking (TCP);
 * :mod:`repro.rpc.server` + :mod:`repro.rpc.svc_udp` /
   :mod:`repro.rpc.svc_tcp` — service dispatch and transports;
-* :mod:`repro.rpc.pmap` — the portmapper (program 100000).
+* :mod:`repro.rpc.pmap` — the portmapper (program 100000);
+* :mod:`repro.rpc.resilience` — deadlines, circuit breaking,
+  multi-endpoint failover, overload control, graceful drain.
 
 Marshaling is pluggable per call: the generic path uses the
 :mod:`repro.xdr` micro-layers, the optimized path plugs in marshalers
@@ -22,6 +24,18 @@ from repro.rpc.drc import DuplicateRequestCache
 from repro.rpc.fastpath import BufferPool, CallHeaderTemplate, ReplyHeaderTemplate
 from repro.rpc.faults import FaultPlan, FaultySocket
 from repro.rpc.message import RPC_VERSION
+from repro.rpc.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FailoverClient,
+    HEALTH_PROG,
+    HEALTH_PROC_STATUS,
+    HEALTH_VERS,
+    InflightLimiter,
+    STATUS_DRAINING,
+    STATUS_SERVING,
+    WorkerPool,
+)
 from repro.rpc.server import SvcRegistry, rpc_service
 from repro.rpc.svc_tcp import TcpServer
 from repro.rpc.svc_udp import UdpServer
@@ -32,9 +46,19 @@ __all__ = [
     "BufferPool",
     "CallHeaderTemplate",
     "CallStats",
+    "CircuitBreaker",
+    "Deadline",
     "DuplicateRequestCache",
+    "FailoverClient",
     "FaultPlan",
     "FaultySocket",
+    "HEALTH_PROG",
+    "HEALTH_PROC_STATUS",
+    "HEALTH_VERS",
+    "InflightLimiter",
+    "STATUS_DRAINING",
+    "STATUS_SERVING",
+    "WorkerPool",
     "OpaqueAuth",
     "make_auth_none",
     "make_auth_sys",

@@ -22,40 +22,108 @@ import time
 from repro import obs as _obs
 from repro.errors import (
     RpcConnectionError,
+    RpcDeadlineExceeded,
     RpcProtocolError,
     RpcTimeoutError,
 )
 from repro.rpc.client import RpcClient
 from repro.rpc.record import read_record, write_record
+from repro.rpc.resilience import Deadline
 
 
 class TcpClient(RpcClient):
-    """An RPC client over a persistent TCP connection."""
+    """An RPC client over a persistent TCP connection.
+
+    After a :class:`~repro.errors.RpcConnectionError` the client can be
+    revived in place with :meth:`reconnect`, which re-establishes the
+    connection *and* resets per-call state — pooled fast-path buffers
+    are discarded (a half-written request must never be resent from a
+    dirty buffer) and no span state survives the failed call, so a
+    failed-then-retried call reports exactly one encode span per
+    attempt.
+    """
 
     def __init__(self, host, port, prog, vers, timeout=25.0, bufsize=1 << 16,
                  fastpath=False, fault_plan=None, **kwargs):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
+        self.address = (host, port)
         self.timeout = timeout
+        self._fault_plan = fault_plan
         #: calls finished (returned or raised) over the client's lifetime
         self.calls_completed = 0
         #: stale replies discarded over the client's lifetime
         self.stale_replies = 0
-        try:
-            self.sock = socket.create_connection((host, port),
-                                                 timeout=timeout)
-        except ConnectionRefusedError as exc:
-            raise RpcConnectionError(
-                f"cannot connect to {host}:{port}: {exc}"
-            ) from exc
-        self.sock.settimeout(timeout)
-        if fault_plan is not None:
-            from repro.rpc.faults import FaultySocket
-
-            self.sock = FaultySocket(self.sock, fault_plan)
+        #: successful :meth:`reconnect` calls over the client's lifetime
+        self.reconnects = 0
+        self.sock = self._connect(timeout)
         if fastpath:
             self.enable_fastpath()
 
-    def call(self, proc, args=None, xdr_args=None, xdr_res=None):
+    def _connect(self, timeout):
+        """A connected (and fault-wrapped) socket to ``self.address``."""
+        host, port = self.address
+        try:
+            sock = socket.create_connection(self.address, timeout=timeout)
+        except socket.timeout as exc:
+            raise RpcTimeoutError(
+                f"connect to {host}:{port} timed out after {timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise RpcConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        sock.settimeout(self.timeout)
+        if self._fault_plan is not None:
+            from repro.rpc.faults import FaultySocket
+
+            sock = FaultySocket(sock, self._fault_plan)
+        return sock
+
+    def reconnect(self, deadline=None):
+        """Re-establish the connection after a connection failure.
+
+        Resets per-call state so the retried call starts clean: the
+        old socket (possibly holding a half-written record) is closed,
+        and with the fast path on, the buffer pools are rebuilt — a
+        buffer that held a partially transmitted request is never
+        reused for the retry.  ``deadline`` bounds the connect attempt
+        (it draws from the same per-call budget as everything else).
+        """
+        deadline = Deadline.coerce(deadline)
+        timeout = self.timeout
+        if deadline is not None:
+            timeout = min(timeout, deadline.check("reconnect"))
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        try:
+            self.sock = self._connect(timeout)
+        except RpcTimeoutError:
+            if deadline is not None and deadline.expired:
+                raise RpcDeadlineExceeded(
+                    f"deadline exceeded reconnecting to {self.address}"
+                ) from None
+            raise
+        if self.fastpath_enabled:
+            # Discard pooled buffers from the failed connection: a
+            # fresh pool guarantees the retry never sends bytes left
+            # over from a half-written request.
+            send_pool, recv_pool = self._send_pool, self._recv_pool
+            self.enable_fastpath(send_size=send_pool.size,
+                                 recv_size=recv_pool.size,
+                                 pool_limit=send_pool.limit)
+        self.reconnects += 1
+        return self
+
+    def call(self, proc, args=None, xdr_args=None, xdr_res=None,
+             deadline=None):
+        """One RPC.  ``deadline`` (a
+        :class:`~repro.rpc.resilience.Deadline` or seconds budget) caps
+        the whole call — the reply wait is clamped to the remaining
+        budget and exhaustion raises
+        :class:`~repro.errors.RpcDeadlineExceeded`."""
+        deadline = Deadline.coerce(deadline)
         xid = self.next_xid()
         span = None
         if _obs.enabled:
@@ -69,13 +137,25 @@ class TcpClient(RpcClient):
                              proc=proc, tier=tier)
         started = time.monotonic() if _obs.enabled else 0.0
         try:
+            if deadline is not None:
+                # Pre-flight check + clamp the socket to the remaining
+                # budget for this call's reads/writes.
+                self.sock.settimeout(
+                    min(self.timeout, deadline.check(f"proc={proc}"))
+                )
             value = self._call_once(xid, proc, args, xdr_args, xdr_res,
-                                    span)
+                                    span, deadline)
         except BaseException as exc:
             self._finish_call(started, type(exc).__name__)
             if span is not None:
                 span.end(outcome="error", error=type(exc).__name__)
             raise
+        finally:
+            if deadline is not None:
+                try:
+                    self.sock.settimeout(self.timeout)
+                except OSError:
+                    pass
         self._finish_call(started, "ok")
         if span is not None:
             span.end(outcome="ok")
@@ -88,7 +168,10 @@ class TcpClient(RpcClient):
             return
         registry = _obs.registry
         registry.counter("rpc.client.attempts", transport="tcp").inc()
-        if outcome == "RpcTimeoutError":
+        if outcome == "RpcDeadlineExceeded":
+            registry.counter("rpc.client.deadline_exceeded",
+                             transport="tcp").inc()
+        elif outcome == "RpcTimeoutError":
             registry.counter("rpc.client.timeouts", transport="tcp").inc()
         elif outcome != "ok":
             registry.counter("rpc.client.errors", transport="tcp",
@@ -98,7 +181,8 @@ class TcpClient(RpcClient):
             time.monotonic() - started
         )
 
-    def _call_once(self, xid, proc, args, xdr_args, xdr_res, span=None):
+    def _call_once(self, xid, proc, args, xdr_args, xdr_res, span=None,
+                   deadline=None):
         send_buffer = None
         wait_span = None
         encode_span = (span.child("client.encode")
@@ -155,6 +239,11 @@ class TcpClient(RpcClient):
                     _obs.registry.counter("rpc.client.stale_replies",
                                           transport="tcp").inc()
         except socket.timeout as exc:
+            if deadline is not None and deadline.expired:
+                raise RpcDeadlineExceeded(
+                    f"TCP RPC call (prog={self.prog}, proc={proc})"
+                    f" exceeded its deadline of {deadline.budget_s}s"
+                ) from exc
             raise RpcTimeoutError(
                 f"TCP RPC call (prog={self.prog}, proc={proc}) timed out"
             ) from exc

@@ -44,9 +44,15 @@ import socket
 import time
 
 from repro import obs as _obs
-from repro.errors import RpcTimeoutError, RpcProtocolError, XdrError
+from repro.errors import (
+    RpcDeadlineExceeded,
+    RpcProtocolError,
+    RpcTimeoutError,
+    XdrError,
+)
 from repro.rpc.client import RpcClient, UDPMSGSIZE
 from repro.rpc.faults import FaultySocket
+from repro.rpc.resilience import Deadline
 
 
 class CallStats:
@@ -156,7 +162,15 @@ class UdpClient(RpcClient):
             "garbage_datagrams": self.garbage_datagrams,
         }
 
-    def call(self, proc, args=None, xdr_args=None, xdr_res=None):
+    def call(self, proc, args=None, xdr_args=None, xdr_res=None,
+             deadline=None):
+        """One RPC.  ``deadline`` (a
+        :class:`~repro.rpc.resilience.Deadline` or a seconds budget)
+        caps the whole call — every retransmission window draws from
+        it and exhaustion raises
+        :class:`~repro.errors.RpcDeadlineExceeded` — on top of the
+        client's own ``timeout``."""
+        deadline = Deadline.coerce(deadline)
         xid = self.next_xid()
         span = None
         if _obs.enabled:
@@ -187,7 +201,8 @@ class UdpClient(RpcClient):
                 raise
             if encode_span is not None:
                 encode_span.end(bytes=len(request))
-            value = self._call_loop(request, xid, proc, xdr_res, span)
+            value = self._call_loop(request, xid, proc, xdr_res, span,
+                                    deadline)
         except BaseException as exc:
             if span is not None:
                 span.end(outcome="error", error=type(exc).__name__)
@@ -239,25 +254,36 @@ class UdpClient(RpcClient):
                              transport="udp").inc(stats.garbage_datagrams)
         if outcome == "timeout":
             registry.counter("rpc.client.timeouts", transport="udp").inc()
+        elif outcome == "deadline":
+            registry.counter("rpc.client.deadline_exceeded",
+                             transport="udp").inc()
         elif outcome != "ok":
             registry.counter("rpc.client.errors", transport="udp",
                              error=outcome).inc()
         registry.histogram("rpc.client.call_latency_s",
                            transport="udp").observe(stats.elapsed_s)
 
-    def _call_loop(self, request, xid, proc, xdr_res, span=None):
+    def _call_loop(self, request, xid, proc, xdr_res, span=None,
+                   deadline=None):
         stats = CallStats(proc)
         self.last_call_stats = stats
         started = time.monotonic()
-        deadline = started + self.timeout
+        budget_end = started + self.timeout
+        # The per-call deadline (when given) caps the whole loop: no
+        # send and no receive window may extend past it.
+        hard_end = budget_end
+        if deadline is not None:
+            hard_end = min(budget_end, deadline.expires_at)
         window = min(self.wait, self.max_wait)
         outcome = "timeout"
         try:
             while True:
                 now = time.monotonic()
+                if now >= hard_end:
+                    if deadline is not None and deadline.expired:
+                        outcome = "deadline"
+                    break
                 if stats.attempts:
-                    if now >= deadline:
-                        break
                     stats.retransmissions += 1
                 send_span = (span.child("client.send",
                                         attempt=stats.attempts + 1,
@@ -271,16 +297,21 @@ class UdpClient(RpcClient):
                 # budget no longer covers a full window, make this the
                 # *final* try and still grant it the whole window: one
                 # guaranteed full receive wait instead of a sliver
-                # followed by a back-to-back retransmit.
-                final = (deadline - now) <= window
-                stats.backoff_schedule.append(window)
+                # followed by a back-to-back retransmit.  A deadline is
+                # harder than the timeout budget: the grant never
+                # stretches past it.
+                final = (hard_end - now) <= window
+                grant = window
+                if deadline is not None:
+                    grant = min(grant, max(deadline.expires_at - now, 0.0))
+                stats.backoff_schedule.append(grant)
                 wait_span = (span.child("client.wait",
                                         attempt=stats.attempts,
-                                        window_s=round(window, 6))
+                                        window_s=round(grant, 6))
                              if span is not None else None)
                 try:
                     reply = self._await_reply(xid, proc, xdr_res,
-                                              now + window, stats, span)
+                                              now + grant, stats, span)
                 except BaseException as exc:
                     if wait_span is not None:
                         wait_span.end(outcome="error",
@@ -294,6 +325,8 @@ class UdpClient(RpcClient):
                     outcome = "ok"
                     return reply[0]
                 if final:
+                    if deadline is not None and deadline.expired:
+                        outcome = "deadline"
                     break
                 window = self._next_window(window)
         except BaseException as exc:
@@ -302,6 +335,13 @@ class UdpClient(RpcClient):
         finally:
             stats.elapsed_s = time.monotonic() - started
             self._finish_call(stats, outcome)
+        if outcome == "deadline":
+            raise RpcDeadlineExceeded(
+                f"RPC call (prog={self.prog}, proc={proc}) exceeded its"
+                f" deadline of {deadline.budget_s}s"
+                f" ({stats.attempts} attempts,"
+                f" {stats.retransmissions} retransmissions)"
+            )
         raise RpcTimeoutError(
             f"RPC call (prog={self.prog}, proc={proc}) timed out"
             f" after {self.timeout}s"
@@ -320,19 +360,27 @@ class UdpClient(RpcClient):
             readable, _, _ = select.select([self.sock], [], [], remaining)
             if not readable:
                 return None
-            if self.fastpath_enabled:
-                recv_buffer = self.acquire_recv_buffer()
-                try:
-                    nbytes = self.sock.recv_into(recv_buffer)
-                    data = memoryview(recv_buffer)[:nbytes]
+            try:
+                if self.fastpath_enabled:
+                    recv_buffer = self.acquire_recv_buffer()
+                    try:
+                        nbytes = self.sock.recv_into(recv_buffer)
+                        data = memoryview(recv_buffer)[:nbytes]
+                        matched, value = self._parse_traced(
+                            data, xid, proc, xdr_res, stats, span
+                        )
+                    finally:
+                        self.release_recv_buffer(recv_buffer)
+                else:
+                    data, _addr = self.sock.recvfrom(self.bufsize)
                     matched, value = self._parse_traced(data, xid, proc,
                                                         xdr_res, stats, span)
-                finally:
-                    self.release_recv_buffer(recv_buffer)
-            else:
-                data, _addr = self.sock.recvfrom(self.bufsize)
-                matched, value = self._parse_traced(data, xid, proc,
-                                                    xdr_res, stats, span)
+            except (BlockingIOError, InterruptedError):
+                # Select woke more than one reader of a shared socket
+                # (or the read was interrupted); the datagram went to
+                # another thread — keep waiting, never leak an OS-level
+                # error to the caller.
+                continue
             if matched:
                 return (value,)
             # Stale xid or garbage: keep listening within the window.

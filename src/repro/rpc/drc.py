@@ -24,6 +24,11 @@ from collections import OrderedDict
 from repro import obs as _obs
 
 
+#: placeholder value for a request whose handler is currently running
+#: (claimed but not yet answered) — never returned as a reply.
+_IN_PROGRESS = object()
+
+
 class DuplicateRequestCache:
     """A bounded LRU of raw replies keyed by request identity."""
 
@@ -39,6 +44,10 @@ class DuplicateRequestCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        #: duplicates dropped because the original was still executing
+        #: (a worker pool can hold the original and a retransmission
+        #: concurrently; the claim protocol runs the handler once)
+        self.in_progress_drops = 0
 
     @staticmethod
     def key(xid, caller, prog, vers, proc):
@@ -52,10 +61,17 @@ class DuplicateRequestCache:
         return (xid, caller, prog, vers, proc)
 
     def get(self, key):
-        """The cached raw reply for ``key``, or None (counts a miss)."""
+        """The cached raw reply for ``key``, or None (counts a miss).
+
+        A key whose handler is still executing (claimed via
+        :meth:`claim` but not yet answered) reads as a miss — the
+        dispatcher then calls :meth:`claim` itself and learns, under
+        the lock, that the request is in flight.
+        """
         with self._lock:
             reply = self._entries.get(key)
-            if reply is None:
+            if reply is None or reply is _IN_PROGRESS:
+                reply = None
                 self.misses += 1
             else:
                 self._entries.move_to_end(key)
@@ -64,6 +80,43 @@ class DuplicateRequestCache:
             name = "rpc.drc.hits" if reply is not None else "rpc.drc.misses"
             _obs.registry.counter(name).inc()
         return reply
+
+    def claim(self, key):
+        """Atomically claim ``key`` for execution.
+
+        Closes the check-then-execute race a worker pool opens: the
+        original request and a retransmission of the same xid can both
+        miss :meth:`get` and sit in the queue together.  The dispatcher
+        calls ``claim`` immediately before running the handler:
+
+        * ``True`` — the caller owns the key and must execute the
+          handler (and later :meth:`put` the reply);
+        * ``False`` — another thread is executing this key right now;
+          the caller must drop the request (the client retransmits and
+          is answered from the cache);
+        * ``bytes`` — the reply finished between :meth:`get` and here;
+          replay it.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = _IN_PROGRESS
+                return True
+            if entry is _IN_PROGRESS:
+                self.in_progress_drops += 1
+                return False
+            self._entries.move_to_end(key)
+            self.hits += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.hits").inc()
+        return entry
+
+    def abandon(self, key):
+        """Release an unanswered claim (the dispatch died before
+        producing a reply) so a retransmission can execute."""
+        with self._lock:
+            if self._entries.get(key) is _IN_PROGRESS:
+                del self._entries[key]
 
     def put(self, key, reply):
         """Record the reply sent for ``key``.
@@ -80,8 +133,19 @@ class DuplicateRequestCache:
                 self._entries.move_to_end(key)
             self._entries[key] = reply
             self.stores += 1
+            # Evict least-recently-used *answered* entries; a claimed
+            # key must survive until its owner calls put/abandon, or
+            # the single-execution guarantee breaks.
+            scanned = 0
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                if scanned >= len(self._entries):
+                    break
+                old_key, old_value = self._entries.popitem(last=False)
+                if old_value is _IN_PROGRESS:
+                    self._entries[old_key] = old_value
+                    self._entries.move_to_end(old_key)
+                    scanned += 1
+                    continue
                 self.evictions += 1
                 evicted += 1
             entries = len(self._entries)
@@ -113,6 +177,7 @@ class DuplicateRequestCache:
                 "misses": self.misses,
                 "stores": self.stores,
                 "evictions": self.evictions,
+                "in_progress_drops": self.in_progress_drops,
             }
 
     def __repr__(self):

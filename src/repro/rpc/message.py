@@ -163,7 +163,13 @@ def decode_reply_header(xdrs):
         if stat == RejectStat.RPC_MISMATCH:
             detail = (xdr_u_long(xdrs, None), xdr_u_long(xdrs, None))
         else:
-            detail = AuthStat(xdr_u_long(xdrs, None))
+            detail = xdr_u_long(xdrs, None)
+            try:
+                detail = AuthStat(detail)
+            except ValueError:
+                raise RpcProtocolError(
+                    f"bad auth_stat {detail}"
+                ) from None
         return DeniedReply(xid, stat, detail)
     raise RpcProtocolError(f"bad reply_stat {reply_stat}")
 

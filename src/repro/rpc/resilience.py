@@ -1,0 +1,625 @@
+"""``repro.rpc.resilience`` — deadlines, circuit breaking, failover,
+and server-side overload control.
+
+The paper's claim is that the specialized fast path is *behaviorally
+identical* to the generic micro-layer stack.  That equivalence only
+matters if both survive the same failure envelope: the packet level
+(loss, duplication, corruption) is covered by :mod:`repro.rpc.faults`
+and the DRC; this module covers the *endpoint* level —
+
+* **Deadlines** (:class:`Deadline`): one end-to-end budget per call
+  that the retransmission loop, TCP connect/reconnect, and the reply
+  wait all draw from.  Exhausting it raises the typed
+  :class:`~repro.errors.RpcDeadlineExceeded` — a call can be slow or
+  it can fail, but it can never hang past its budget.
+* **Circuit breaking** (:class:`CircuitBreaker`): per-endpoint
+  closed → open → half-open state machine with an injectable clock so
+  tests drive the transitions deterministically.
+* **Failover** (:class:`FailoverClient`): one client face over N
+  replicated endpoints; rotates on connection failure, timeout, or an
+  open breaker, and keeps DRC-safe xid discipline — every endpoint's
+  underlying client draws xids from one shared counter, so an xid is
+  never reused for two *different* calls, while a retransmission of
+  the *same* call keeps its xid and stays coalescible by the server's
+  duplicate-request cache.
+* **Overload control** (:class:`WorkerPool`, :class:`InflightLimiter`):
+  a bounded request queue with workers (UDP) and an in-flight cap
+  (TCP); an overloaded server *answers* with a Sun RPC ``SYSTEM_ERR``
+  reply instead of silently dropping, so clients fail over instead of
+  burning their budget on retransmits.
+* **Graceful drain**: the health program constants below plus
+  ``SvcRegistry.begin_drain()`` — a draining server finishes in-flight
+  calls, keeps serving DRC replays, answers health checks, and sheds
+  everything else.
+
+Everything here is threaded through *both* the generic and the
+specialized dispatch paths, preserving the paper's equivalence under
+failure as well as under load.
+"""
+
+import itertools
+import os
+import queue
+import struct
+import threading
+import time
+
+from repro import obs as _obs
+from repro.errors import (
+    RpcCircuitOpenError,
+    RpcConnectionError,
+    RpcDeadlineExceeded,
+    RpcDeniedError,
+    RpcError,
+    RpcTimeoutError,
+)
+
+__all__ = [
+    "Deadline",
+    "CircuitBreaker",
+    "FailoverClient",
+    "WorkerPool",
+    "InflightLimiter",
+    "HEALTH_PROG",
+    "HEALTH_VERS",
+    "HEALTH_PROC_STATUS",
+    "STATUS_SERVING",
+    "STATUS_DRAINING",
+]
+
+#: the well-known health-check program (user-defined number space).
+HEALTH_PROG = 0x20FFFFFF
+HEALTH_VERS = 1
+#: procedure 1 returns the serving status as an XDR u_long; procedure
+#: 0 is the ordinary NULL ping (answered even while draining).
+HEALTH_PROC_STATUS = 1
+STATUS_SERVING = 1
+STATUS_DRAINING = 2
+
+
+class Deadline:
+    """An absolute end-to-end budget for one call.
+
+    Every stage of the call draws from the same budget: encode, each
+    retransmission window, TCP connect/reconnect, the reply wait.  The
+    clock is injectable (tests pass a fake); ``remaining()`` may go
+    negative once expired.
+    """
+
+    __slots__ = ("budget_s", "expires_at", "_clock")
+
+    def __init__(self, budget_s, clock=time.monotonic):
+        self._clock = clock
+        self.budget_s = float(budget_s)
+        self.expires_at = clock() + self.budget_s
+
+    @classmethod
+    def coerce(cls, value, clock=time.monotonic):
+        """None, a Deadline, or a seconds budget → Deadline (or None)."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls(value, clock=clock)
+
+    def remaining(self):
+        return self.expires_at - self._clock()
+
+    @property
+    def expired(self):
+        return self.remaining() <= 0.0
+
+    def check(self, context=""):
+        """Raise :class:`RpcDeadlineExceeded` if expired; else return
+        the remaining seconds."""
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            where = f" ({context})" if context else ""
+            raise RpcDeadlineExceeded(
+                f"deadline of {self.budget_s}s exceeded{where}"
+            )
+        return remaining
+
+    def __repr__(self):
+        return (f"Deadline(budget={self.budget_s}s,"
+                f" remaining={self.remaining():.3f}s)")
+
+
+class CircuitBreaker:
+    """Per-endpoint closed → open → half-open breaker.
+
+    * **closed** — calls flow; ``failure_threshold`` consecutive
+      failures trip it open.
+    * **open** — calls are rejected locally (no network) until
+      ``recovery_s`` elapses, then the breaker half-opens.
+    * **half-open** — up to ``half_open_probes`` trial calls are let
+      through; one success closes the breaker, one failure re-opens it
+      (and restarts the recovery clock).
+
+    The clock is injectable so tests step time explicitly; all methods
+    are thread-safe.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold=5, recovery_s=1.0,
+                 half_open_probes=1, clock=time.monotonic, name=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = None
+        self._probes_left = 0
+        #: (state, at) history of every transition, for tests/reports
+        self.transitions = []
+        self.rejections = 0
+
+    @property
+    def state(self):
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, state):
+        """Lock held by caller."""
+        self._state = state
+        self.transitions.append((state, self._clock()))
+        if _obs.enabled:
+            _obs.registry.counter("rpc.breaker.transitions",
+                                  to=state).inc()
+
+    def _maybe_half_open(self):
+        """Lock held by caller: open → half-open once recovery_s passed."""
+        if (self._state == self.OPEN
+                and self._clock() - self._opened_at >= self.recovery_s):
+            self._transition(self.HALF_OPEN)
+            self._probes_left = self.half_open_probes
+
+    def allow(self):
+        """May a call proceed right now?  Half-open consumes a probe."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and self._probes_left > 0:
+                self._probes_left -= 1
+                return True
+            self.rejections += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.breaker.rejections").inc()
+            return False
+
+    def record_success(self):
+        with self._lock:
+            self._failures = 0
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+
+    def record_failure(self):
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or (
+                    self._state == self.CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._opened_at = self._clock()
+                self._transition(self.OPEN)
+
+    def recovery_due_in(self):
+        """Seconds until an open breaker half-opens (0 when not open)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self.recovery_s - (self._clock() - self._opened_at),
+            )
+
+    def summary(self):
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "rejections": self.rejections,
+                "transitions": len(self.transitions),
+            }
+
+    def __repr__(self):
+        return f"CircuitBreaker(state={self.state}, name={self.name!r})"
+
+
+class InflightLimiter:
+    """A non-blocking in-flight counter with an optional cap.
+
+    ``try_acquire`` admits a request (False == over the cap: shed it);
+    ``wait_idle`` is what graceful drain blocks on.
+    """
+
+    def __init__(self, limit=None):
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def inflight(self):
+        with self._lock:
+            return self._inflight
+
+    def try_acquire(self):
+        with self._lock:
+            if self.limit is not None and self._inflight >= self.limit:
+                self.rejected += 1
+                return False
+            self._inflight += 1
+            self.admitted += 1
+            return True
+
+    def release(self):
+        with self._lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout=None):
+        """Block until nothing is in flight; True when idle."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._lock:
+            while self._inflight > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+
+_STOP = object()
+
+
+class WorkerPool:
+    """A bounded request queue drained by daemon worker threads.
+
+    ``submit`` never blocks: a full queue returns False and the caller
+    sheds the request with a proper RPC error reply instead of letting
+    it pile up.  Worker exceptions are contained (counted, never
+    propagated), so a hostile request cannot kill a worker.  Graceful
+    drain waits on ``wait_idle`` — queue empty *and* no handler mid-
+    flight.
+    """
+
+    def __init__(self, workers, queue_depth, handler, name="rpc-worker"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.handler = handler
+        self._queue = queue.Queue(maxsize=max(1, queue_depth))
+        self._limiter = InflightLimiter()
+        self._stopped = threading.Event()
+        self.worker_errors = 0
+        self.submitted = 0
+        self.shed = 0
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, item):
+        """Enqueue one request; False means the queue is full (shed)."""
+        try:
+            # Count the item as in flight *before* it is visible to a
+            # worker, so wait_idle can never observe a queued-but-
+            # uncounted request.
+            self._limiter.try_acquire()
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self._limiter.release()
+            self.shed += 1
+            return False
+        self.submitted += 1
+        if _obs.enabled:
+            _obs.registry.gauge("rpc.server.queue_depth").set(
+                self._queue.qsize()
+            )
+        return True
+
+    def _run(self):
+        while True:
+            try:
+                item = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopped.is_set():
+                    return
+                continue
+            if item is _STOP:
+                return
+            try:
+                self.handler(item)
+            except Exception:
+                # Contain everything: a worker must survive any
+                # request.  (The dispatcher already answers malformed
+                # input with typed RPC errors; this is the last line.)
+                self.worker_errors += 1
+            finally:
+                self._limiter.release()
+
+    @property
+    def inflight(self):
+        return self._limiter.inflight
+
+    def wait_idle(self, timeout=None):
+        """True once the queue is empty and no handler is running."""
+        return self._limiter.wait_idle(timeout)
+
+    def stop(self, timeout=2.0):
+        self._stopped.set()
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(_STOP)
+            except queue.Full:
+                break
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+
+class FailoverClient:
+    """One client face over N replicated endpoints.
+
+    ``endpoints`` is a list of ``(host, port)``; ``transport`` picks
+    UDP or TCP.  Each endpoint gets a lazily-created underlying client
+    and its own :class:`CircuitBreaker`.  A call tries the current
+    endpoint first and rotates on connection failure, timeout, server
+    error, or an open breaker; with a deadline it keeps cycling the
+    replica set until the budget is spent, then raises
+    :class:`~repro.errors.RpcDeadlineExceeded`.
+
+    **Xid discipline:** all underlying clients share one xid counter.
+    A retransmission of the same call (inside one endpoint's
+    retransmission loop) keeps its xid — the server's DRC coalesces
+    it; a *failover* attempt is a new call with a fresh xid — the new
+    endpoint has no reply cached for it, so at-least-once execution
+    across endpoints is explicit, never accidental xid collision.
+
+    ``call_budget_s`` is the default per-call deadline (None = no
+    deadline: one rotation through the replica set, then the last
+    error propagates).
+    """
+
+    def __init__(self, endpoints, prog, vers, transport="udp",
+                 call_budget_s=None, breaker_threshold=3,
+                 breaker_recovery_s=1.0, retry_pause_s=0.02,
+                 clock=time.monotonic, client_factory=None,
+                 **client_kwargs):
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        if transport not in ("udp", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.endpoints = [tuple(endpoint) for endpoint in endpoints]
+        self.prog = prog
+        self.vers = vers
+        self.transport = transport
+        self.call_budget_s = call_budget_s
+        self.retry_pause_s = retry_pause_s
+        self._clock = clock
+        self._client_factory = client_factory
+        self._client_kwargs = dict(client_kwargs)
+        self._clients = [None] * len(self.endpoints)
+        self.breakers = [
+            CircuitBreaker(failure_threshold=breaker_threshold,
+                           recovery_s=breaker_recovery_s, clock=clock,
+                           name=f"{host}:{port}")
+            for host, port in self.endpoints
+        ]
+        self._index = 0
+        self._lock = threading.Lock()
+        start = struct.unpack(">I", os.urandom(4))[0]
+        #: one xid sequence shared by every underlying client
+        self._xids = itertools.count(start)
+        self.failovers = 0
+        self.calls_completed = 0
+        self.deadline_exceeded = 0
+        #: (endpoint, error-type-name) of failures seen, newest last
+        self.last_errors = []
+
+    # -- endpoint/client management --------------------------------------
+
+    def _make_client(self, index, deadline):
+        host, port = self.endpoints[index]
+        if self._client_factory is not None:
+            return self._client_factory(host, port, self.prog, self.vers,
+                                        **self._client_kwargs)
+        kwargs = dict(self._client_kwargs)
+        if self.transport == "udp":
+            from repro.rpc.clnt_udp import UdpClient
+
+            return UdpClient(host, port, self.prog, self.vers, **kwargs)
+        from repro.rpc.clnt_tcp import TcpClient
+
+        if deadline is not None:
+            kwargs["timeout"] = min(
+                kwargs.get("timeout", 25.0), max(deadline.check("connect"),
+                                                 1e-3)
+            )
+        return TcpClient(host, port, self.prog, self.vers, **kwargs)
+
+    def _client(self, index, deadline=None):
+        client = self._clients[index]
+        if client is None:
+            client = self._make_client(index, deadline)
+            # Shared xid discipline: every endpoint draws from the one
+            # counter, so no two distinct calls ever share an xid.
+            client._xids = self._xids
+            self._clients[index] = client
+        return client
+
+    def _drop_client(self, index):
+        """Forget a broken client so the next use reconnects."""
+        client = self._clients[index]
+        self._clients[index] = None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    # -- the call loop ----------------------------------------------------
+
+    def call(self, proc, args=None, xdr_args=None, xdr_res=None,
+             deadline=None):
+        budget = deadline if deadline is not None else self.call_budget_s
+        deadline = Deadline.coerce(budget, clock=self._clock)
+        count = len(self.endpoints)
+        last_error = None
+        while True:
+            if deadline is not None:
+                try:
+                    deadline.check(f"proc={proc}")
+                except RpcDeadlineExceeded:
+                    self.deadline_exceeded += 1
+                    if last_error is not None:
+                        raise RpcDeadlineExceeded(
+                            f"deadline exceeded calling proc={proc}; last"
+                            f" endpoint error: {last_error}"
+                        ) from last_error
+                    raise
+            attempted = False
+            for offset in range(count):
+                index = (self._index + offset) % count
+                if not self.breakers[index].allow():
+                    continue
+                if deadline is not None and deadline.expired:
+                    break
+                attempted = True
+                value, failed = self._try_endpoint(
+                    index, proc, args, xdr_args, xdr_res, deadline
+                )
+                if not failed:
+                    with self._lock:
+                        if self._index != index:
+                            self.failovers += 1
+                            if _obs.enabled:
+                                _obs.registry.counter(
+                                    "rpc.client.failovers").inc()
+                        self._index = index
+                        self.calls_completed += 1
+                    return value
+                last_error = value
+            if deadline is None:
+                # No budget to keep cycling: one full rotation only.
+                break
+            # Budget remains: pause briefly (bounded by the budget and
+            # by the earliest breaker recovery) and cycle again.
+            pause = self.retry_pause_s
+            if not attempted:
+                due = min(
+                    breaker.recovery_due_in() for breaker in self.breakers
+                )
+                pause = max(pause, min(due, 0.25))
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                continue  # the top-of-loop check raises
+            time.sleep(min(pause, max(remaining, 0.0)))
+        if last_error is not None:
+            raise last_error
+        raise RpcCircuitOpenError(
+            f"all {count} endpoints have open circuit breakers"
+        )
+
+    def _try_endpoint(self, index, proc, args, xdr_args, xdr_res,
+                      deadline):
+        """One attempt on one endpoint.
+
+        Returns ``(value, False)`` on success, ``(error, True)`` on a
+        failure that should rotate to the next endpoint.  Deadline
+        exhaustion propagates — the budget is global, not
+        per-endpoint.
+        """
+        breaker = self.breakers[index]
+        try:
+            client = self._client(index, deadline)
+        except (RpcConnectionError, OSError) as exc:
+            breaker.record_failure()
+            self._note_failure(index, exc)
+            return self._as_rpc_error(exc), True
+        try:
+            value = client.call(proc, args, xdr_args=xdr_args,
+                                xdr_res=xdr_res, deadline=deadline)
+        except RpcDeadlineExceeded:
+            breaker.record_failure()
+            self.deadline_exceeded += 1
+            raise
+        except (RpcConnectionError, RpcTimeoutError, RpcDeniedError) as exc:
+            breaker.record_failure()
+            self._note_failure(index, exc)
+            if isinstance(exc, RpcConnectionError):
+                self._drop_client(index)
+            return exc, True
+        breaker.record_success()
+        return value, False
+
+    def _note_failure(self, index, exc):
+        self.last_errors.append(
+            (self.endpoints[index], type(exc).__name__)
+        )
+        del self.last_errors[:-32]
+
+    @staticmethod
+    def _as_rpc_error(exc):
+        if isinstance(exc, RpcError):
+            return exc
+        return RpcConnectionError(f"endpoint unreachable: {exc}")
+
+    # -- convenience -------------------------------------------------------
+
+    def null_call(self, deadline=None):
+        return self.call(0, deadline=deadline)
+
+    def health(self, deadline=None):
+        """The health program's status (``STATUS_SERVING`` /
+        ``STATUS_DRAINING``) from whichever replica answers."""
+        from repro.xdr import xdr_u_long
+
+        saved_prog, saved_vers = self.prog, self.vers
+        clients = list(self._clients)
+        try:
+            # Health rides its own program number; underlying clients
+            # are per-(prog, vers), so query with a throwaway set.
+            self.prog, self.vers = HEALTH_PROG, HEALTH_VERS
+            self._clients = [None] * len(self.endpoints)
+            return self.call(HEALTH_PROC_STATUS, xdr_res=xdr_u_long,
+                             deadline=deadline)
+        finally:
+            for client in self._clients:
+                if client is not None:
+                    client.close()
+            self.prog, self.vers = saved_prog, saved_vers
+            self._clients = clients
+
+    def stats_summary(self):
+        return {
+            "calls_completed": self.calls_completed,
+            "failovers": self.failovers,
+            "deadline_exceeded": self.deadline_exceeded,
+            "breakers": [breaker.summary() for breaker in self.breakers],
+        }
+
+    def close(self):
+        for index in range(len(self._clients)):
+            self._drop_client(index)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

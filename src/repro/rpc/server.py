@@ -35,7 +35,14 @@ from repro.rpc.message import (
     encode_accepted_reply,
     encode_denied_reply,
 )
-from repro.xdr import XdrMemStream, XdrOp
+from repro.rpc.resilience import (
+    HEALTH_PROG,
+    HEALTH_PROC_STATUS,
+    HEALTH_VERS,
+    STATUS_DRAINING,
+    STATUS_SERVING,
+)
+from repro.xdr import XdrMemStream, XdrOp, xdr_u_long
 
 logger = logging.getLogger(__name__)
 
@@ -83,6 +90,16 @@ class SvcRegistry:
         #: handler executions (DRC replays do not count) — lets tests
         #: assert "invocations == unique requests" under retransmission.
         self.handlers_invoked = 0
+        #: graceful-drain mode: DRC replays and health checks are still
+        #: answered; everything else is shed with SYSTEM_ERR.
+        self.draining = False
+        #: (prog, vers) pairs still served while draining (health).
+        self._drain_exempt = set()
+        #: requests answered with a shed (overload/drain) reply.
+        self.sheds = 0
+        #: non-RpcError exceptions the defensive decode converted into
+        #: drops instead of letting them crash dispatch.
+        self.decode_defended = 0
         if fastpath:
             self.enable_fastpath()
         if drc:
@@ -121,6 +138,79 @@ class SvcRegistry:
     @property
     def drc_enabled(self):
         return self.drc is not None
+
+    # -- resilience: drain, health, shedding ------------------------------
+
+    def begin_drain(self):
+        """Enter graceful-drain mode.
+
+        In-flight handlers finish normally; retransmissions of already
+        answered calls keep replaying from the DRC; health-check
+        programs (:meth:`install_health`) keep answering; every other
+        request is *shed* — answered with a ``SYSTEM_ERR`` reply (not
+        silently dropped) so clients fail over promptly instead of
+        burning their deadline on retransmits.
+        """
+        self.draining = True
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.drains").inc()
+            _obs.registry.gauge("rpc.server.draining").set(1)
+        return self
+
+    def end_drain(self):
+        """Leave drain mode (a drained server can resume serving)."""
+        self.draining = False
+        if _obs.enabled:
+            _obs.registry.gauge("rpc.server.draining").set(0)
+        return self
+
+    def install_health(self, prog=HEALTH_PROG, vers=HEALTH_VERS):
+        """Register the health-check program.
+
+        Procedure 0 is the ordinary NULL ping; procedure
+        ``HEALTH_PROC_STATUS`` returns the serving status as a u_long
+        (``STATUS_SERVING`` / ``STATUS_DRAINING``).  Health stays
+        answerable *during* drain so orchestrators can watch the drain
+        complete.
+        """
+        self.register(
+            prog, vers, HEALTH_PROC_STATUS,
+            lambda _args: (STATUS_DRAINING if self.draining
+                           else STATUS_SERVING),
+            xdr_args=None, xdr_res=xdr_u_long,
+        )
+        self._drain_exempt.add((prog, vers))
+        return self
+
+    def shed_reply_bytes(self, data, reason="queue_full"):
+        """A ``SYSTEM_ERR`` reply for a request refused before dispatch
+        (bounded queue full), or None when ``data`` is not a
+        recognizable v2 call.
+
+        Shed replies are *never* recorded in the DRC — a retransmission
+        after load subsides must reach the handler.
+        """
+        if len(data) < _FAST_HEADER_SIZE or bytes(data[4:12]) != _CALL_V2:
+            return None
+        xid = int.from_bytes(data[0:4], "big")
+        out = XdrMemStream(bytearray(64), XdrOp.ENCODE)
+        encode_accepted_reply(out, xid, AcceptStat.SYSTEM_ERR, NULL_AUTH)
+        self.sheds += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.sheds", reason=reason).inc()
+            _count_reply("shed")
+        return out.data()
+
+    def _shed(self, out, header, reason, span):
+        """Answer one dispatched request with a shed reply (SYSTEM_ERR);
+        not recorded in the DRC."""
+        encode_accepted_reply(out, header.xid, AcceptStat.SYSTEM_ERR,
+                              NULL_AUTH)
+        self.sheds += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.sheds", reason=reason).inc()
+        self._verdict(span, header, "shed")
+        return out.data()
 
     def register(self, prog, vers, proc, handler, xdr_args=None,
                  xdr_res=None):
@@ -250,6 +340,17 @@ class SvcRegistry:
         except XdrError as exc:
             logger.debug("dropping truncated call: %s", exc)
             return None
+        except Exception as exc:
+            # Defensive decode: arbitrary bytes must never crash
+            # dispatch.  Anything the grammar-level decoders did not
+            # already map to a typed error (struct.error, ValueError,
+            # IndexError, ...) is counted and dropped like undecodable
+            # garbage.
+            self.decode_defended += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.server.decode_defended").inc()
+            logger.debug("defended undecodable call: %r", exc)
+            return None
         return self._dispatch_call(header, stream, out, caller, span)
 
     def _record_reply(self, drc_key, reply):
@@ -285,6 +386,11 @@ class SvcRegistry:
             if cached is not None:
                 self._verdict(span, header, "drc_replay")
                 return cached
+        if self.draining and (header.prog, header.vers) not in \
+                self._drain_exempt:
+            # Draining: replays (above) and health (exempt) still
+            # answer; new work is refused with a typed error reply.
+            return self._shed(out, header, "draining", span)
         key = (header.prog, header.vers)
         if key not in self._programs:
             versions = self.versions_of(header.prog)
@@ -321,16 +427,50 @@ class SvcRegistry:
                 args = proc.xdr_args(stream, None)
             else:
                 args = None
-        except XdrError as exc:
+        except Exception as exc:
+            # XdrError is the designed signal, but fuzzed bytes can
+            # make body filters raise UnicodeDecodeError, ValueError
+            # (enum discriminants), struct.error, ... — all of them are
+            # GARBAGE_ARGS per the message grammar, never a crash.
+            if not isinstance(exc, XdrError):
+                self.decode_defended += 1
+                if _obs.enabled:
+                    _obs.registry.counter(
+                        "rpc.server.decode_defended").inc()
             if decode_span is not None:
                 decode_span.end(outcome="garbage_args")
-            logger.debug("garbage args: %s", exc)
+            logger.debug("garbage args: %r", exc)
             encode_accepted_reply(out, header.xid, AcceptStat.GARBAGE_ARGS,
                                   NULL_AUTH)
             self._verdict(span, header, "garbage_args")
             return out.data()
         if decode_span is not None:
             decode_span.end()
+        if drc_key is not None:
+            # Claim the key atomically before executing: with a worker
+            # pool, the original and a retransmission of the same xid
+            # can both miss the lookup above and sit in the queue
+            # together; only the claim owner runs the handler.
+            claimed = self.drc.claim(drc_key)
+            if claimed is False:
+                # Another worker is executing this request right now;
+                # drop — the client's next retransmit replays the
+                # cached reply.
+                return None
+            if claimed is not True:
+                self._verdict(span, header, "drc_replay")
+                return claimed
+        try:
+            return self._run_handler(proc, args, header, out, drc_key, span)
+        except BaseException:
+            # Only non-Exception escapes reach here (the handler and
+            # encode paths below contain Exception); release the claim
+            # so a retransmission is not blocked forever.
+            if drc_key is not None:
+                self.drc.abandon(drc_key)
+            raise
+
+    def _run_handler(self, proc, args, header, out, drc_key, span):
         handler_span = (span.child("server.handler")
                         if span is not None else None)
         try:
@@ -365,9 +505,10 @@ class SvcRegistry:
                 proc.encode_res(out, result)
             elif proc.xdr_res is not None:
                 proc.xdr_res(out, result)
-        except XdrError:
-            # Result does not fit the reply buffer: answer SYSTEM_ERR
-            # rather than killing the transport.
+        except Exception:
+            # Result does not fit the reply buffer (XdrError) or the
+            # handler returned something the filter cannot marshal:
+            # answer SYSTEM_ERR rather than killing the transport.
             logger.exception(
                 "reply encoding failed for prog=%d proc=%d",
                 header.prog, header.proc,

@@ -7,6 +7,7 @@ from repro import obs as _obs
 from repro.errors import FaultInjected, RpcProtocolError
 from repro.rpc.faults import FaultySocket
 from repro.rpc.record import read_record, write_record
+from repro.rpc.resilience import InflightLimiter
 
 
 class TcpServer:
@@ -21,14 +22,24 @@ class TcpServer:
     torn connection is answered from the cache rather than re-executing
     the handler.
 
+    ``max_inflight=N`` bounds concurrently dispatching requests across
+    all connections; requests over the cap are *shed* — answered with
+    a ``SYSTEM_ERR`` reply instead of queuing without bound.  Graceful
+    shutdown: :meth:`drain` puts the registry into drain mode and waits
+    for in-flight dispatches to finish.
+
     ``fault_plan`` wraps every accepted connection in a
     :class:`~repro.rpc.faults.FaultySocket` (stream semantics: delay,
     corrupt, abort), faulting outgoing replies.
     """
 
     def __init__(self, registry, host="127.0.0.1", port=0, backlog=16,
-                 fastpath=False, drc=True, fault_plan=None):
+                 fastpath=False, drc=True, fault_plan=None,
+                 max_inflight=None):
         self.registry = registry
+        self._limiter = InflightLimiter(max_inflight)
+        #: requests answered with an over-cap shed reply
+        self.requests_shed = 0
         #: fast path: template/pooled replies live in the registry (the
         #: reply pool is thread-safe, so connection threads share it).
         if fastpath and hasattr(registry, "enable_fastpath"):
@@ -46,10 +57,13 @@ class TcpServer:
         self._stop = threading.Event()
         self._thread = None
         self._conn_threads = []
+        self._conns = set()
+        self._conns_lock = threading.Lock()
         self.connections_accepted = 0
 
-    def _serve_connection(self, conn, peer):
-        conn.settimeout(30.0)
+    def _serve_connection(self, raw_conn, peer):
+        raw_conn.settimeout(30.0)
+        conn = raw_conn
         if self.fault_plan is not None:
             conn = FaultySocket(conn, self.fault_plan)
         try:
@@ -61,7 +75,20 @@ class TcpServer:
                     # a lost or misbehaving peer ends this connection
                     # thread, never the server.
                     return
-                reply = self.registry.dispatch_bytes(data, caller=peer)
+                if not self._limiter.try_acquire():
+                    # Over the in-flight cap: answer, don't queue.
+                    reply = None
+                    if hasattr(self.registry, "shed_reply_bytes"):
+                        reply = self.registry.shed_reply_bytes(
+                            data, reason="queue_full"
+                        )
+                    self.requests_shed += 1
+                else:
+                    try:
+                        reply = self.registry.dispatch_bytes(data,
+                                                             caller=peer)
+                    finally:
+                        self._limiter.release()
                 if reply is not None:
                     try:
                         write_record(conn, reply)
@@ -69,6 +96,8 @@ class TcpServer:
                         return
         finally:
             conn.close()
+            with self._conns_lock:
+                self._conns.discard(raw_conn)
 
     def serve_forever(self):
         while not self._stop.is_set():
@@ -81,6 +110,8 @@ class TcpServer:
                     return
                 raise
             self.connections_accepted += 1
+            with self._conns_lock:
+                self._conns.add(conn)
             if _obs.enabled:
                 _obs.registry.counter("rpc.server.connections",
                                       transport="tcp").inc()
@@ -89,6 +120,20 @@ class TcpServer:
             )
             thread.start()
             self._conn_threads.append(thread)
+
+    @property
+    def inflight(self):
+        """Requests currently mid-dispatch across all connections."""
+        return self._limiter.inflight
+
+    def drain(self, timeout=5.0):
+        """Graceful drain: registry into drain mode, wait for in-flight
+        dispatches to finish.  Connections stay open (DRC replays and
+        health checks still answer); call :meth:`stop` to tear down.
+        Returns True once idle."""
+        if hasattr(self.registry, "begin_drain"):
+            self.registry.begin_drain()
+        return self._limiter.wait_idle(timeout)
 
     def start(self):
         self._stop.clear()
@@ -100,6 +145,21 @@ class TcpServer:
 
     def stop(self):
         self._stop.set()
+        # Sever established connections so peers observe the stop as
+        # RpcConnectionError immediately — a connection thread blocked
+        # in read_record() would otherwise keep answering until its
+        # socket timeout.  Drain first for a graceful goodbye.
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None

@@ -6,6 +6,7 @@ import threading
 from repro import obs as _obs
 from repro.rpc.client import UDPMSGSIZE
 from repro.rpc.faults import FaultySocket
+from repro.rpc.resilience import InflightLimiter, WorkerPool
 
 
 class UdpServer:
@@ -20,6 +21,18 @@ class UdpServer:
     instead of re-executing the handler — the UDP retransmission
     discipline makes duplicates a fact of life on this transport.
 
+    ``workers=N`` (N >= 1) switches dispatch to a bounded request queue
+    drained by N worker threads: the receive loop only reads datagrams
+    and enqueues them, and when the queue (``queue_depth``) is full the
+    request is *shed* — answered immediately with a ``SYSTEM_ERR``
+    reply so the client fails over instead of retransmitting into a
+    black hole.  ``workers=0`` keeps the classic inline dispatch.
+
+    Graceful shutdown: :meth:`drain` puts the registry into drain mode
+    (DRC replays and health checks still answered, new work shed) and
+    waits for in-flight requests to finish; :meth:`stop` then tears the
+    transport down.
+
     ``fault_plan`` wraps the server socket in a
     :class:`~repro.rpc.faults.FaultySocket`, faulting outgoing replies
     (the reply half of a lossy wire; wrap the client to lose requests).
@@ -27,7 +40,7 @@ class UdpServer:
 
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
-                 fault_plan=None):
+                 fault_plan=None, workers=0, queue_depth=64):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -40,22 +53,59 @@ class UdpServer:
         self._stop = threading.Event()
         #: datagrams processed (for tests)
         self.requests_handled = 0
-        #: fast path: one reusable receive buffer (handle_once is not
-        #: reentrant) + template/pooled replies in the registry.
+        #: requests answered with a queue-full shed reply
+        self.requests_shed = 0
+        self._counters_lock = threading.Lock()
+        #: in-flight tracking for graceful drain (inline mode; worker
+        #: mode tracks through the pool's own limiter)
+        self._inflight = InflightLimiter()
+        #: fast path: one reusable receive buffer (the receive loop is
+        #: not reentrant) + template/pooled replies in the registry.
         self._recv_buffer = bytearray(bufsize) if fastpath else None
         if fastpath and hasattr(registry, "enable_fastpath"):
             registry.enable_fastpath()
         if drc and hasattr(registry, "enable_drc"):
             if getattr(registry, "drc", None) is None:
                 registry.enable_drc()
+        self._pool = None
+        if workers:
+            self._pool = WorkerPool(
+                workers, queue_depth, self._work,
+                name=f"svcudp:{self.port}",
+            )
 
     @property
     def fastpath_enabled(self):
         return self._recv_buffer is not None
 
+    def _process(self, data, addr):
+        """Dispatch one datagram and send the reply (any thread)."""
+        reply = self.registry.dispatch_bytes(data, caller=addr)
+        if reply is not None:
+            self.sock.sendto(reply, addr)
+        with self._counters_lock:
+            self.requests_handled += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.server.datagrams",
+                                  transport="udp").inc()
+
+    def _work(self, item):
+        self._process(*item)
+
+    def _shed(self, data, addr):
+        """Answer a request the full queue refused with SYSTEM_ERR."""
+        shed = None
+        if hasattr(self.registry, "shed_reply_bytes"):
+            shed = self.registry.shed_reply_bytes(data,
+                                                  reason="queue_full")
+        if shed is not None:
+            self.sock.sendto(shed, addr)
+        with self._counters_lock:
+            self.requests_shed += 1
+
     def handle_once(self, timeout=None):
-        """Receive and answer one datagram; returns True if one was
-        handled."""
+        """Receive and handle (or enqueue) one datagram; returns True
+        if one was received."""
         if timeout is not None:
             self.sock.settimeout(timeout)
         try:
@@ -66,14 +116,39 @@ class UdpServer:
                 data, addr = self.sock.recvfrom(self.bufsize)
         except socket.timeout:
             return False
-        reply = self.registry.dispatch_bytes(data, caller=addr)
-        if reply is not None:
-            self.sock.sendto(reply, addr)
-        self.requests_handled += 1
-        if _obs.enabled:
-            _obs.registry.counter("rpc.server.datagrams",
-                                  transport="udp").inc()
+        if self._pool is not None:
+            # The receive buffer is reused; workers need their own copy.
+            if not self._pool.submit((bytes(data), addr)):
+                self._shed(data, addr)
+            return True
+        self._inflight.try_acquire()
+        try:
+            self._process(data, addr)
+        finally:
+            self._inflight.release()
         return True
+
+    @property
+    def inflight(self):
+        """Requests currently queued or mid-dispatch."""
+        if self._pool is not None:
+            return self._pool.inflight
+        return self._inflight.inflight
+
+    def drain(self, timeout=5.0):
+        """Graceful drain: stop taking new work, finish what's queued.
+
+        Puts the registry into drain mode (DRC replays and installed
+        health programs keep answering; other requests are shed with
+        SYSTEM_ERR) and waits up to ``timeout`` for in-flight requests
+        to complete.  The transport keeps running — call :meth:`stop`
+        to tear it down.  Returns True once idle.
+        """
+        if hasattr(self.registry, "begin_drain"):
+            self.registry.begin_drain()
+        if self._pool is not None:
+            return self._pool.wait_idle(timeout)
+        return self._inflight.wait_idle(timeout)
 
     def serve_forever(self):
         while not self._stop.is_set():
@@ -98,6 +173,8 @@ class UdpServer:
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
+        if self._pool is not None:
+            self._pool.stop()
         self.sock.close()
 
     def __enter__(self):

@@ -221,6 +221,33 @@ class ServerSpecialization:
                 if span is not None:
                     span.end(outcome="drc_replay")
                 return cached
+        if getattr(self.fallback, "draining", False):
+            # Drain mode applies to the residual fast path too: the
+            # generic registry sheds (or answers health) so both tiers
+            # refuse new work identically.
+            if span is not None:
+                span.end(outcome="drained")
+            return self.fallback.dispatch_bytes(data, caller=caller)
+        if drc_key is not None:
+            # Atomic claim before executing (see
+            # DuplicateRequestCache.claim): only one worker runs a
+            # given xid even when the original and a retransmission
+            # are queued together.
+            claimed = self.fallback.drc.claim(drc_key)
+            if claimed is False:
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.server.replies",
+                                          outcome="dropped").inc()
+                if span is not None:
+                    span.end(outcome="dropped")
+                return None
+            if claimed is not True:
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.server.replies",
+                                          outcome="drc_replay").inc()
+                if span is not None:
+                    span.end(outcome="drc_replay")
+                return claimed
         in_buffer = sr.fresh_buffer(data)
         out_buffer = self._out_buffers.acquire()
         try:
@@ -232,9 +259,19 @@ class ServerSpecialization:
             }
             handler_span = (span.child("server.handler")
                             if span is not None else None)
-            outlen = self._module.call(
-                self._entry, *[values[name] for name in self._params]
-            )
+            try:
+                outlen = self._module.call(
+                    self._entry, *[values[name] for name in self._params]
+                )
+            except Exception:
+                # Defensive decode: fuzzed bytes that crash the
+                # residual program must not crash dispatch — hand the
+                # request to the generic fallback (which answers with
+                # a typed RPC error or drops it).
+                outlen = 0
+                if _obs.enabled:
+                    _obs.registry.counter(
+                        "rpc.server.decode_defended").inc()
             if handler_span is not None:
                 handler_span.end(residual=True)
             if outlen:
@@ -251,11 +288,19 @@ class ServerSpecialization:
                     span.end(outcome="success", reply_bytes=len(reply))
                 return reply
         except BaseException as exc:
+            if drc_key is not None:
+                self.fallback.drc.abandon(drc_key)
             if span is not None:
                 span.end(outcome="error", error=type(exc).__name__)
             raise
         finally:
             self._out_buffers.release(out_buffer)
+        if drc_key is not None:
+            # Hand the claim back before delegating — the fallback
+            # registry re-claims atomically, so single execution still
+            # holds (a racing duplicate that claims first wins and the
+            # fallback drops this one).
+            self.fallback.drc.abandon(drc_key)
         if self.fallback is not None:
             self.fallback_hits += 1
             if _obs.enabled:

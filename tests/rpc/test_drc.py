@@ -40,7 +40,7 @@ class TestCacheUnit:
         assert cache.get(key) == b"reply-bytes"
         assert cache.summary() == {
             "capacity": 4, "entries": 1, "hits": 1, "misses": 1,
-            "stores": 1, "evictions": 0,
+            "stores": 1, "evictions": 0, "in_progress_drops": 0,
         }
 
     def test_lru_eviction_order(self):

@@ -1,0 +1,342 @@
+"""Failover, deadline, and reconnect behavior against live loopback
+servers: endpoint rotation, shared-xid discipline, breaker gating,
+deadline budgets shared across the whole retry surface, and the TCP
+reconnect path's span/pool hygiene."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    RpcConnectionError,
+    RpcDeadlineExceeded,
+    RpcTimeoutError,
+)
+from repro.rpc import (
+    FailoverClient,
+    STATUS_DRAINING,
+    STATUS_SERVING,
+    SvcRegistry,
+    TcpClient,
+    TcpServer,
+    UdpClient,
+    UdpServer,
+)
+from repro.xdr import xdr_u_long
+
+PROG, VERS = 0x20006666, 1
+
+
+def make_server(tag, workers=0):
+    registry = SvcRegistry(fastpath=True)
+    registry.enable_drc()
+    registry.install_health()
+    registry.register(PROG, VERS, 1, lambda v, tag=tag: v + tag,
+                      xdr_args=xdr_u_long, xdr_res=xdr_u_long)
+    server = UdpServer(registry, workers=workers)
+    server.start()
+    return server
+
+
+def make_failover(servers, **kwargs):
+    kwargs.setdefault("timeout", 0.3)
+    kwargs.setdefault("wait", 0.01)
+    kwargs.setdefault("jitter", 0.0)
+    kwargs.setdefault("breaker_recovery_s", 0.2)
+    return FailoverClient(
+        [("127.0.0.1", server.port) for server in servers],
+        PROG, VERS, transport="udp", **kwargs,
+    )
+
+
+class TestFailover:
+    def test_calls_stick_to_a_healthy_endpoint(self):
+        servers = [make_server(100), make_server(200)]
+        try:
+            with make_failover(servers) as client:
+                values = {client.call(1, 1, xdr_args=xdr_u_long,
+                                      xdr_res=xdr_u_long)
+                          for _ in range(5)}
+                assert len(values) == 1  # no gratuitous switching
+                assert client.failovers == 0
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_failover_on_endpoint_death(self):
+        servers = [make_server(100), make_server(200)]
+        try:
+            with make_failover(servers, call_budget_s=5.0) as client:
+                first = client.call(1, 1, xdr_args=xdr_u_long,
+                                    xdr_res=xdr_u_long)
+                assert first == 101
+                servers[0].stop()
+                second = client.call(1, 1, xdr_args=xdr_u_long,
+                                     xdr_res=xdr_u_long)
+                assert second == 201
+                assert client.failovers == 1
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_all_endpoints_dead_raises_within_deadline(self):
+        servers = [make_server(100), make_server(200)]
+        for server in servers:
+            server.stop()
+        with make_failover(servers, call_budget_s=0.8) as client:
+            started = time.monotonic()
+            with pytest.raises(RpcDeadlineExceeded):
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+            assert time.monotonic() - started < 0.8 + 0.5
+
+    def test_no_deadline_means_one_rotation(self):
+        servers = [make_server(100), make_server(200)]
+        for server in servers:
+            server.stop()
+        with make_failover(servers) as client:
+            with pytest.raises(RpcTimeoutError):
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+
+    def test_xids_are_shared_across_endpoints(self):
+        servers = [make_server(100), make_server(200)]
+        try:
+            with make_failover(servers, call_budget_s=5.0) as client:
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+                first_client = client._clients[client._index]
+                servers[client._index].stop()
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+                second_client = client._clients[client._index]
+                assert first_client is not second_client
+                # Both draw from one counter: no xid is ever reused
+                # for two different calls across endpoints.
+                assert first_client._xids is second_client._xids
+                assert first_client._xids is client._xids
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_breaker_opens_and_recovers(self):
+        servers = [make_server(100), make_server(200)]
+        try:
+            with make_failover(servers, call_budget_s=5.0,
+                               breaker_threshold=2) as client:
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+                dead = client._index
+                servers[dead].stop()
+                # After one failover the client sticks to the healthy
+                # endpoint; force the dead one to be retried so its
+                # breaker accumulates failures and opens.
+                for _ in range(2):
+                    client._index = dead
+                    client.call(1, 1, xdr_args=xdr_u_long,
+                                xdr_res=xdr_u_long)
+                assert client.breakers[dead].state == "open"
+                client._index = dead
+                # While open, calls skip the dead endpoint entirely and
+                # return fast from the healthy one.
+                started = time.monotonic()
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+                assert time.monotonic() - started < 0.25
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_health_queries_the_replica_set(self):
+        servers = [make_server(100)]
+        try:
+            with make_failover(servers, call_budget_s=2.0) as client:
+                assert client.health() == STATUS_SERVING
+                servers[0].registry.begin_drain()
+                assert client.health() == STATUS_DRAINING
+        finally:
+            for server in servers:
+                server.stop()
+
+
+class TestUdpDeadline:
+    def test_deadline_beats_timeout(self):
+        # No server: the per-call deadline (0.3s) must cut the 5s
+        # retransmission budget short and raise the typed error.
+        victim = make_server(0)
+        victim.stop()
+        client = UdpClient("127.0.0.1", victim.port, PROG, VERS,
+                           timeout=5.0, wait=0.02, jitter=0.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(RpcDeadlineExceeded):
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long, deadline=0.3)
+            assert time.monotonic() - started < 1.5
+        finally:
+            client.close()
+
+    def test_plain_timeout_still_raises_timeout(self):
+        victim = make_server(0)
+        victim.stop()
+        client = UdpClient("127.0.0.1", victim.port, PROG, VERS,
+                           timeout=0.2, wait=0.02, jitter=0.0)
+        try:
+            with pytest.raises(RpcTimeoutError) as info:
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+            assert not isinstance(info.value, RpcDeadlineExceeded)
+        finally:
+            client.close()
+
+
+def make_tcp_pair(registry=None):
+    if registry is None:
+        registry = SvcRegistry()
+        registry.register(PROG, VERS, 1, lambda v: v + 1,
+                          xdr_args=xdr_u_long, xdr_res=xdr_u_long)
+    server = TcpServer(registry)
+    server.start()
+    return server
+
+
+class TestTcpReconnect:
+    def test_reconnect_revives_the_client(self):
+        server = make_tcp_pair()
+        try:
+            client = TcpClient("127.0.0.1", server.port, PROG, VERS,
+                               timeout=5.0)
+            assert client.call(1, 1, xdr_args=xdr_u_long,
+                               xdr_res=xdr_u_long) == 2
+            # Kill the transport under the client.
+            client.sock.close()
+            with pytest.raises((RpcConnectionError, OSError)):
+                client.call(1, 2, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+            client.reconnect()
+            assert client.reconnects == 1
+            assert client.call(1, 3, xdr_args=xdr_u_long,
+                               xdr_res=xdr_u_long) == 4
+            client.close()
+        finally:
+            server.stop()
+
+    def test_reconnect_rebuilds_fastpath_pools(self):
+        server = make_tcp_pair()
+        try:
+            client = TcpClient("127.0.0.1", server.port, PROG, VERS,
+                               timeout=5.0, fastpath=True)
+            assert client.call(1, 1, xdr_args=xdr_u_long,
+                               xdr_res=xdr_u_long) == 2
+            old_send, old_recv = client._send_pool, client._recv_pool
+            client.sock.close()
+            with pytest.raises((RpcConnectionError, OSError)):
+                client.call(1, 2, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+            client.reconnect()
+            # A buffer that may hold a half-written request is never
+            # reused: the pools are fresh objects with the old sizing.
+            assert client._send_pool is not old_send
+            assert client._recv_pool is not old_recv
+            assert client._send_pool.size == old_send.size
+            assert client._send_pool.limit == old_send.limit
+            assert client.call(1, 3, xdr_args=xdr_u_long,
+                               xdr_res=xdr_u_long) == 4
+            client.close()
+        finally:
+            server.stop()
+
+    def test_retried_call_emits_one_encode_span_per_attempt(self):
+        server = make_tcp_pair()
+        prev_enabled, prev_sinks = obs.enabled, obs.tracer.sinks
+        sink = obs.MemorySink()
+        obs.registry.reset()
+        obs.enabled = True
+        obs.tracer.sinks = [sink]
+        try:
+            client = TcpClient("127.0.0.1", server.port, PROG, VERS,
+                               timeout=5.0)
+            client.sock.close()
+            with pytest.raises((RpcConnectionError, OSError)):
+                client.call(1, 1, xdr_args=xdr_u_long,
+                            xdr_res=xdr_u_long)
+            client.reconnect()
+            assert client.call(1, 2, xdr_args=xdr_u_long,
+                               xdr_res=xdr_u_long) == 3
+            client.close()
+            calls = [r for r in sink.records
+                     if r.get("name") == "client.call"]
+            encodes = [r for r in sink.records
+                       if r.get("name") == "client.encode"]
+            # Two call attempts, one encode span each — no span state
+            # leaked from the failed call into the retry.
+            assert len(calls) == 2
+            assert len(encodes) == 2
+            for record in calls + encodes:
+                assert "dur_us" in record
+        finally:
+            obs.enabled, obs.tracer.sinks = prev_enabled, prev_sinks
+            server.stop()
+
+    def test_reconnect_respects_deadline(self):
+        server = make_tcp_pair()
+        server.stop()
+        client = None
+        # Build a client against a live server, then point reconnect at
+        # a dead endpoint via a spent deadline: the typed deadline
+        # error must surface, not a hang.
+        live = make_tcp_pair()
+        try:
+            client = TcpClient("127.0.0.1", live.port, PROG, VERS,
+                               timeout=5.0)
+            from repro.rpc.resilience import Deadline
+
+            spent = Deadline(0.0)
+            with pytest.raises(RpcDeadlineExceeded):
+                client.reconnect(deadline=spent)
+        finally:
+            if client is not None:
+                client.close()
+            live.stop()
+
+
+class TestConcurrentFailover:
+    def test_threads_share_one_client_safely(self):
+        servers = [make_server(0, workers=2), make_server(0, workers=2)]
+        try:
+            with make_failover(servers, call_budget_s=5.0) as client:
+                failures = []
+                resolved = []
+
+                def worker():
+                    # Concurrent calls share one socket per endpoint, so
+                    # threads can consume (and discard) each other's
+                    # replies; the DRC replays them on retransmit.  The
+                    # invariant under test: every call resolves to the
+                    # right value or a *typed* error — never an untyped
+                    # exception or a wrong value.
+                    for i in range(5):
+                        try:
+                            value = client.call(1, i, xdr_args=xdr_u_long,
+                                                xdr_res=xdr_u_long)
+                            if value != i:
+                                failures.append(f"wrong value {value}")
+                            resolved.append(value)
+                        except RpcTimeoutError:
+                            resolved.append(None)
+                        except Exception as exc:  # pragma: no cover
+                            failures.append(repr(exc))
+
+                threads = [threading.Thread(target=worker, daemon=True)
+                           for _ in range(3)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=15.0)
+                assert not failures
+                assert len(resolved) == 15
+        finally:
+            for server in servers:
+                server.stop()
