@@ -24,6 +24,16 @@ Results go to ``BENCH_chaos.json``; the run fails loudly (raises
 ``AssertionError``) on any invariant violation so CI catches
 regressions.  ``REPRO_CHAOS_CALLS`` / ``REPRO_CHAOS_SEED`` override
 the soak size and the fault dice.
+
+``engine="mux"`` (CLI: ``python -m repro.bench chaos_mux`` →
+``BENCH_chaos_mux.json``) runs the identical schedule through the
+concurrent call engine: replicas serve via
+:class:`~repro.rpc.MuxUdpServer`, the failover client builds
+:class:`~repro.rpc.MuxUdpClient` endpoints (many in-flight xids per
+socket), and the burst phase keeps ~36 async calls in flight *per
+client* instead of a thread per call — proving that pipelining and
+batching preserve the exactly-once-per-incarnation DRC proof and the
+typed-resolution guarantee.
 """
 
 import json
@@ -41,6 +51,8 @@ from repro.rpc import (
     HEALTH_PROC_STATUS,
     HEALTH_PROG,
     HEALTH_VERS,
+    MuxUdpClient,
+    MuxUdpServer,
     STATUS_DRAINING,
     SvcRegistry,
     UdpClient,
@@ -49,6 +61,7 @@ from repro.rpc import (
 from repro.xdr import xdr_u_long
 
 DEFAULT_JSON = "BENCH_chaos.json"
+MUX_JSON = "BENCH_chaos_mux.json"
 DEFAULT_CALLS = 1000
 DEFAULT_SEED = 0xC4A05
 REPLICAS = 3
@@ -75,9 +88,10 @@ QUEUE_DEPTH = 32
 class Replica:
     """One restartable server replica on a stable port."""
 
-    def __init__(self, name, seed):
+    def __init__(self, name, seed, engine="threaded"):
         self.name = name
         self.seed = seed
+        self.engine = engine
         self.port = 0
         self.incarnation = 0
         self.server = None
@@ -105,7 +119,8 @@ class Replica:
         plan = FaultPlan(seed=self.seed + self.incarnation,
                          drop=LOSS_RATE, duplicate=DUPLICATE_RATE)
         self.registry = registry
-        self.server = UdpServer(
+        server_cls = MuxUdpServer if self.engine == "mux" else UdpServer
+        self.server = server_cls(
             registry, port=self.port, fastpath=True, drc=True,
             fault_plan=plan, workers=WORKERS, queue_depth=QUEUE_DEPTH,
         )
@@ -290,6 +305,68 @@ def _burst_phase(replica, seed, threads=None, calls_per_thread=3):
     }
 
 
+def _mux_burst_phase(replica, seed, clients=4, calls_per_client=36):
+    """Overload one replica with *pipelined* slow calls.
+
+    The threaded burst needs ~48 threads to hold 144 calls against the
+    server; the mux burst holds the same load with 4 sockets, each
+    carrying ``calls_per_client`` in-flight xids.  Same invariants:
+    every call resolves (value or typed error) within budget, and the
+    overflow is answered with sheds, not silence.
+    """
+    muxes = [
+        MuxUdpClient("127.0.0.1", replica.port, PROG, VERS,
+                     timeout=CALL_BUDGET_S, wait=0.05, jitter=0.0,
+                     max_inflight=calls_per_client)
+        for _ in range(clients)
+    ]
+    results = []
+    violations = []
+    try:
+        pending = []
+        for client_index, client in enumerate(muxes):
+            for i in range(calls_per_client):
+                pending.append(client.call_async(
+                    PROC_SLEEP, client_index * 100 + i,
+                    xdr_args=xdr_u_long, xdr_res=xdr_u_long,
+                ))
+        for call in pending:
+            try:
+                call.result(CALL_BUDGET_S + BUDGET_GRACE_S + 5.0)
+                outcome = "ok"
+            except RpcError as exc:
+                outcome = type(exc).__name__
+            except Exception as exc:  # untyped = invariant breach
+                outcome = f"UNTYPED:{type(exc).__name__}"
+            results.append((outcome, call.stats.elapsed_s))
+    finally:
+        for client in muxes:
+            client.close()
+    outcomes = {}
+    for outcome, _ in results:
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    expected = clients * calls_per_client
+    if len(results) != expected:
+        violations.append(
+            f"mux burst: {expected - len(results)} calls never resolved"
+        )
+    for outcome, elapsed in results:
+        if outcome.startswith("UNTYPED"):
+            violations.append(f"mux burst: untyped error {outcome}")
+        if elapsed > CALL_BUDGET_S + BUDGET_GRACE_S:
+            violations.append(
+                f"mux burst: call took {elapsed:.2f}s > budget"
+            )
+    return {
+        "clients": clients,
+        "inflight_per_client": calls_per_client,
+        "calls": len(results),
+        "outcomes": outcomes,
+        "server_sheds": replica.registry.sheds,
+        "violations": violations,
+    }
+
+
 def _health_of(port, deadline=2.0):
     """Direct health probe of one replica (STATUS_* or an error name)."""
     client = UdpClient("127.0.0.1", port, HEALTH_PROG, HEALTH_VERS,
@@ -302,18 +379,31 @@ def _health_of(port, deadline=2.0):
         client.close()
 
 
-def run(workload=None, calls=None, seed=None, json_path=DEFAULT_JSON):
+def run_mux(workload=None, calls=None, seed=None, json_path=MUX_JSON):
+    """The chaos soak over the mux stack (CLI: ``chaos_mux``)."""
+    return run(workload, calls=calls, seed=seed, json_path=json_path,
+               engine="mux")
+
+
+def run(workload=None, calls=None, seed=None, json_path=DEFAULT_JSON,
+        engine="threaded"):
     """Run the chaos soak, print the verdict table, write the JSON
     report, and raise ``AssertionError`` on any invariant violation.
 
     ``workload`` is accepted (and ignored) for CLI uniformity.
+    ``engine`` selects the stack under test: ``"threaded"`` (serial
+    clients, threaded servers) or ``"mux"`` (pipelined clients,
+    event-loop servers).
     """
     del workload
+    if engine not in ("threaded", "mux"):
+        raise ValueError(f"unknown engine {engine!r}")
     if calls is None:
         calls = int(os.environ.get("REPRO_CHAOS_CALLS", DEFAULT_CALLS))
     if seed is None:
         seed = int(os.environ.get("REPRO_CHAOS_SEED", DEFAULT_SEED))
-    replicas = [Replica(f"r{i}", seed=seed + 1000 * i).start()
+    replicas = [Replica(f"r{i}", seed=seed + 1000 * i,
+                        engine=engine).start()
                 for i in range(REPLICAS)]
     # The chaos schedule, by call index: two abrupt kill/restart
     # cycles on r0 and r1, one graceful drain of r2 that is never
@@ -334,19 +424,26 @@ def run(workload=None, calls=None, seed=None, json_path=DEFAULT_JSON):
     health_after_drain = None
     started_all = time.perf_counter()
     with _TracebackWatch() as watch:
-        burst = _burst_phase(replicas[0], seed)
+        if engine == "mux":
+            burst = _mux_burst_phase(replicas[0], seed)
+        else:
+            burst = _burst_phase(replicas[0], seed)
         violations.extend(burst["violations"])
         if not burst["server_sheds"]:
             violations.append(
                 "burst: overload produced zero sheds — queue bound"
                 " not exercised"
             )
+        factory = None
+        if engine == "mux":
+            def factory(host, port, prog, vers, **kwargs):
+                return MuxUdpClient(host, port, prog, vers, **kwargs)
         client = FailoverClient(
             [("127.0.0.1", replica.port) for replica in replicas],
             PROG, VERS, transport="udp",
             call_budget_s=CALL_BUDGET_S,
             breaker_threshold=3, breaker_recovery_s=0.3,
-            retry_pause_s=0.01,
+            retry_pause_s=0.01, client_factory=factory,
             timeout=0.4, wait=0.01, max_wait=0.1, jitter=0.25,
             retrans_seed=seed, fault_plan=client_plan,
         )
@@ -430,6 +527,7 @@ def run(workload=None, calls=None, seed=None, json_path=DEFAULT_JSON):
             "platform": platform.platform(),
             "calls": calls,
             "seed": seed,
+            "engine": engine,
             "replicas": REPLICAS,
             "loss": LOSS_RATE,
             "duplicate_rate": DUPLICATE_RATE,
@@ -469,7 +567,7 @@ def run(workload=None, calls=None, seed=None, json_path=DEFAULT_JSON):
         ("verdict", "PASS" if passed else "FAIL"),
     ]
     print(format_table(
-        f"Chaos soak — {calls} calls, {REPLICAS} replicas,"
+        f"Chaos soak ({engine}) — {calls} calls, {REPLICAS} replicas,"
         f" {int(LOSS_RATE * 100)}% loss, 2 kills, 1 drain",
         ("invariant", "value"),
         rows,

@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, chaos, codesize, faults, figure6, live, marshaling, roundtrip, unrolling
+from repro.bench import ablation, chaos, codesize, faults, figure6, live, marshaling, mux, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -20,10 +20,14 @@ EXPERIMENTS = {
                faults.run),
     "chaos": ("Chaos soak — resilience invariants under loss, kills,"
               " and drain", chaos.run),
+    "mux": ("Concurrent call engine — pipelined/batched goodput vs the"
+            " serial client", mux.run),
+    "chaos_mux": ("Chaos soak over the mux stack — pipelining preserves"
+                  " at-most-once", chaos.run_mux),
 }
 
 #: experiments whose runner takes only the workload (no sizes tuple)
-_NO_SIZES = ("table4", "ablation", "faults", "chaos")
+_NO_SIZES = ("table4", "ablation", "faults", "chaos", "mux", "chaos_mux")
 
 
 def main(argv=None):

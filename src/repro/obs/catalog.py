@@ -105,6 +105,26 @@ METRICS = {
     "rpc.server.connections": (
         "counter", "transport",
         "TCP connections accepted"),
+    # -- concurrent call engine (mux) -------------------------------------
+    "rpc.mux.calls": (
+        "counter", "transport",
+        "calls submitted through a mux client's call_async"),
+    "rpc.mux.inflight": (
+        "gauge", "transport",
+        "xids currently in flight on a mux client (set on every"
+        " submit/complete)"),
+    "rpc.mux.batch_size": (
+        "histogram", "transport, side",
+        "messages coalesced per transmit flush (client) or per"
+        " readiness wakeup (server); 1 = no batching happened"),
+    "rpc.mux.wakeups": (
+        "counter", "transport, side",
+        "demux/event-loop select returns — syscall pressure of the"
+        " readiness loop"),
+    "rpc.mux.unknown_xids": (
+        "counter", "transport",
+        "replies bearing an xid with no pending call (late retransmit"
+        " answers, duplicates after completion), discarded"),
     # -- duplicate-request cache ----------------------------------------
     "rpc.drc.hits": (
         "counter", "",
@@ -156,6 +176,8 @@ SPANS = {
                    " read loop (TCP)",
     "client.decode": "parsing one received payload against the"
                      " expected xid",
+    "mux.flush": "one coalesced transmit by a mux client's demux loop"
+                 " (fields: messages, bytes)",
     "server.dispatch": "one whole dispatch_bytes, root of the server's"
                        " trace",
     "server.drc_lookup": "duplicate-request cache probe",

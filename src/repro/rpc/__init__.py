@@ -10,7 +10,10 @@ A working pure-Python Sun RPC stack structured like the 1984 sources:
   :mod:`repro.rpc.svc_tcp` — service dispatch and transports;
 * :mod:`repro.rpc.pmap` — the portmapper (program 100000);
 * :mod:`repro.rpc.resilience` — deadlines, circuit breaking,
-  multi-endpoint failover, overload control, graceful drain.
+  multi-endpoint failover, overload control, graceful drain;
+* :mod:`repro.rpc.mux` / :mod:`repro.rpc.svc_mux` — the concurrent
+  call engine: xid-multiplexed pipelined clients (``call_async``),
+  call batching, and readiness-driven event-loop servers.
 
 Marshaling is pluggable per call: the generic path uses the
 :mod:`repro.xdr` micro-layers, the optimized path plugs in marshalers
@@ -24,6 +27,7 @@ from repro.rpc.drc import DuplicateRequestCache
 from repro.rpc.fastpath import BufferPool, CallHeaderTemplate, ReplyHeaderTemplate
 from repro.rpc.faults import FaultPlan, FaultySocket
 from repro.rpc.message import RPC_VERSION
+from repro.rpc.mux import MuxTcpClient, MuxUdpClient, PendingCall
 from repro.rpc.resilience import (
     CircuitBreaker,
     Deadline,
@@ -37,6 +41,7 @@ from repro.rpc.resilience import (
     WorkerPool,
 )
 from repro.rpc.server import SvcRegistry, rpc_service
+from repro.rpc.svc_mux import MuxTcpServer, MuxUdpServer, make_server
 from repro.rpc.svc_tcp import TcpServer
 from repro.rpc.svc_udp import UdpServer
 
@@ -56,9 +61,15 @@ __all__ = [
     "HEALTH_PROC_STATUS",
     "HEALTH_VERS",
     "InflightLimiter",
+    "MuxTcpClient",
+    "MuxTcpServer",
+    "MuxUdpClient",
+    "MuxUdpServer",
+    "PendingCall",
     "STATUS_DRAINING",
     "STATUS_SERVING",
     "WorkerPool",
+    "make_server",
     "OpaqueAuth",
     "make_auth_none",
     "make_auth_sys",

@@ -41,6 +41,7 @@ in-flight lifetime counters and the finished call's numbers.
 import random
 import select
 import socket
+import threading
 import time
 
 from repro import obs as _obs
@@ -107,6 +108,16 @@ class UdpClient(RpcClient):
     :attr:`retransmissions`, :attr:`stale_replies`,
     :attr:`garbage_datagrams` (also :meth:`stats_summary`), all updated
     once per finished call from that call's :class:`CallStats`.
+
+    **Single-reader ownership.** The receive loop assumes it is the
+    socket's only reader: concurrent :meth:`call` invocations are
+    serialized on an internal lock, so two threads sharing one client
+    take turns rather than racing ``select()`` for each other's
+    datagrams (the pre-serialization behavior: both threads woke, one
+    consumed the datagram, the other ate ``BlockingIOError`` and
+    busy-looped).  Callers that need genuine concurrency over one
+    socket should use :class:`~repro.rpc.mux.MuxUdpClient`, whose
+    demux loop is the sole reader for many in-flight xids.
     """
 
     def __init__(
@@ -138,6 +149,9 @@ class UdpClient(RpcClient):
         self._jitter_rng = random.Random(retrans_seed)
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.setblocking(False)
+        #: serializes calls: the receive loop owns the socket while a
+        #: call is in flight (single-reader ownership; see class doc).
+        self._serial_lock = threading.Lock()
         if fault_plan is not None:
             self.sock = FaultySocket(self.sock, fault_plan)
         #: calls finished (returned, timed out, or raised)
@@ -201,8 +215,12 @@ class UdpClient(RpcClient):
                 raise
             if encode_span is not None:
                 encode_span.end(bytes=len(request))
-            value = self._call_loop(request, xid, proc, xdr_res, span,
-                                    deadline)
+            # Single-reader ownership: one call owns the socket at a
+            # time; concurrent callers queue here instead of racing
+            # select() for each other's datagrams.
+            with self._serial_lock:
+                value = self._call_loop(request, xid, proc, xdr_res, span,
+                                        deadline)
         except BaseException as exc:
             if span is not None:
                 span.end(outcome="error", error=type(exc).__name__)
@@ -376,10 +394,12 @@ class UdpClient(RpcClient):
                     matched, value = self._parse_traced(data, xid, proc,
                                                         xdr_res, stats, span)
             except (BlockingIOError, InterruptedError):
-                # Select woke more than one reader of a shared socket
-                # (or the read was interrupted); the datagram went to
-                # another thread — keep waiting, never leak an OS-level
-                # error to the caller.
+                # Genuinely spurious readiness (e.g. the kernel dropped
+                # a datagram with a bad checksum after select returned)
+                # or an interrupted read.  Calls are serialized on
+                # _serial_lock, so this is *not* another thread winning
+                # the race — that failure mode is retired; concurrency
+                # over one socket belongs to MuxUdpClient's demux loop.
                 continue
             if matched:
                 return (value,)

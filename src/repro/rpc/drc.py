@@ -111,6 +111,39 @@ class DuplicateRequestCache:
             _obs.registry.counter("rpc.drc.hits").inc()
         return entry
 
+    def begin(self, key):
+        """Fused :meth:`get` + :meth:`claim` under one lock round-trip.
+
+        The staged residual routes (``SvcRegistry.stage_route``) decode
+        their arguments with one ``struct`` call, so the two separate
+        lock acquisitions of get-then-claim dominate the DRC's cost on
+        that path.  Semantics match the two-step protocol exactly:
+
+        * ``True`` — first sighting; the caller owns the key, must run
+          the handler and :meth:`put` (or :meth:`abandon`) the result;
+        * ``False`` — the original is still executing; drop;
+        * ``bytes`` — answered already; replay.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = _IN_PROGRESS
+                self.misses += 1
+                result = True
+            elif entry is _IN_PROGRESS:
+                self.in_progress_drops += 1
+                self.misses += 1
+                result = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                result = entry
+        if _obs.enabled:
+            name = ("rpc.drc.misses" if result is True or result is False
+                    else "rpc.drc.hits")
+            _obs.registry.counter(name).inc()
+        return result
+
     def abandon(self, key):
         """Release an unanswered claim (the dispatch died before
         producing a reply) so a retransmission can execute."""

@@ -71,6 +71,70 @@ def _read_exact(sock, size, context):
     return b"".join(chunks)
 
 
+class RecordAssembler:
+    """Incremental record reassembly for non-blocking streams.
+
+    The blocking :func:`read_record` owns the socket until a record
+    completes; an event loop cannot afford that.  Feed whatever bytes
+    the socket yielded and collect the records that completed::
+
+        for record in assembler.feed(chunk):
+            dispatch(record)
+
+    State (a partial fragment header, a partial fragment, fragments of
+    an unfinished record) carries over between ``feed`` calls.  The
+    same pathologies :func:`read_record` rejects raise
+    :class:`~repro.errors.RpcProtocolError` here: an oversized record
+    or an endless non-last fragment chain.
+    """
+
+    def __init__(self, max_size=1 << 24):
+        self.max_size = max_size
+        self._buffer = bytearray()
+        self._fragments = []
+        self._record_size = 0
+        self._fragment_count = 0
+
+    @property
+    def pending_bytes(self):
+        """Bytes buffered toward an incomplete record."""
+        return len(self._buffer) + self._record_size
+
+    def feed(self, data):
+        """Absorb ``data``; return the list of records it completed."""
+        self._buffer += data
+        records = []
+        while True:
+            if len(self._buffer) < 4:
+                return records
+            header = struct.unpack_from(">I", self._buffer, 0)[0]
+            last = bool(header & LAST_FRAGMENT)
+            length = header & MAX_FRAGMENT
+            if (length > self.max_size
+                    or self._record_size + length > self.max_size):
+                raise RpcProtocolError(
+                    f"record too large: fragment of {length} bytes,"
+                    f" {self._record_size + length} total"
+                    f" > {self.max_size}"
+                )
+            if len(self._buffer) < 4 + length:
+                return records
+            self._fragment_count += 1
+            if self._fragment_count > MAX_FRAGMENTS:
+                raise RpcProtocolError(
+                    f"record exceeds {MAX_FRAGMENTS} fragments"
+                )
+            if length:
+                self._fragments.append(bytes(self._buffer[4:4 + length]))
+                self._record_size += length
+            del self._buffer[:4 + length]
+            if last:
+                records.append(b"".join(self._fragments))
+                self._fragments = []
+                self._record_size = 0
+                self._fragment_count = 0
+
+
 def read_record(sock, max_size=1 << 24):
     """Receive one complete RPC record (all fragments).
 

@@ -57,6 +57,10 @@ _CALL_V2 = struct.pack(">II", 0, 2)
 _NULL_AUTHS = bytes(16)
 _FAST_HEADER_SIZE = 10 * 4
 
+#: sentinel a staged route returns to hand the request to the generic
+#: dispatcher (drain mode, undecodable arguments, ...).
+_TO_GENERIC = object()
+
 def _count_reply(outcome):
     _obs.registry.counter("rpc.server.replies", outcome=outcome).inc()
 
@@ -84,6 +88,9 @@ class SvcRegistry:
         #: buffer pool (see :mod:`repro.rpc.fastpath`).
         self._reply_template = None
         self._out_pool = None
+        #: staged residual routes (see :meth:`stage_route`): constant
+        #: header signature -> fused decode/handler/encode closure.
+        self._staged_routes = None
         #: duplicate-request reply cache (see :mod:`repro.rpc.drc`);
         #: active only for dispatches that identify their caller.
         self.drc = None
@@ -225,6 +232,107 @@ class SvcRegistry:
         entry.decode_args = decode_args
         entry.encode_res = encode_res
 
+    def stage_route(self, prog, vers, proc, unpack_args=None,
+                    pack_res=None):
+        """Stage one procedure's *entire* dispatch into a residual route.
+
+        The server-side dual of ``RpcClient.install_codec``: for the
+        registered procedure, the call header is recognized with one
+        slice compare against its constant signature words, the
+        arguments are unmarshaled straight off the datagram, the
+        handler runs, and the reply is assembled as ``xid + constant
+        accepted-SUCCESS header + results`` — no header decode, no XDR
+        streams, no buffer pool.  This is the dispatch specialization
+        of the paper applied to the live stack: everything that is
+        invariant for a (prog, vers, proc) binding is computed here,
+        once, and the residual per-call work is a dict probe and the
+        handler.
+
+        ``unpack_args(data, offset) -> args`` and
+        ``pack_res(result) -> bytes`` are the residual body marshalers
+        (e.g. one ``struct`` call each); either may be omitted to fall
+        back to the procedure's registered XDR filters run over a
+        stream, which still skips the header layers.
+
+        Semantics are preserved exactly: the DRC claim protocol (get →
+        claim → execute → put) runs inside the route with the same
+        cache keys as the generic dispatcher, handler failures answer
+        (and record) ``SYSTEM_ERR``, and anything off the fast shape —
+        drain mode, undecodable arguments, a non-NULL auth area —
+        falls through to the generic dispatcher, whose replies are
+        byte-identical.  With observability enabled, dispatch takes
+        the fully-instrumented generic path instead, so staged routes
+        never hide spans or counters.
+        """
+        procedure = self._programs[(prog, vers)][proc]
+        signature = struct.pack(">5I", 0, 2, prog, vers, proc)
+        ok_tail = ReplyHeaderTemplate(stat=AcceptStat.SUCCESS).prefix[4:]
+        err_tail = ReplyHeaderTemplate(stat=AcceptStat.SYSTEM_ERR).prefix[4:]
+        handler = procedure.handler
+        if unpack_args is None:
+            decode_args = procedure.decode_args
+            xdr_args = procedure.xdr_args
+
+            def unpack_args(data, offset):
+                stream = XdrMemStream(data, XdrOp.DECODE, offset=offset)
+                if decode_args is not None:
+                    return decode_args(stream)
+                if xdr_args is not None:
+                    return xdr_args(stream, None)
+                return None
+        if pack_res is None:
+            encode_res = procedure.encode_res
+            xdr_res = procedure.xdr_res
+            bufsize = self.bufsize
+
+            def pack_res(result):
+                stream = XdrMemStream(bytearray(bufsize), XdrOp.ENCODE)
+                if encode_res is not None:
+                    encode_res(stream, result)
+                elif xdr_res is not None:
+                    xdr_res(stream, result)
+                return stream.data()
+        registry = self
+
+        def route(data, caller):
+            if registry.draining:
+                return _TO_GENERIC
+            xid_bytes = bytes(data[0:4])
+            drc = registry.drc
+            drc_key = None
+            if drc is not None and caller is not None:
+                drc_key = (int.from_bytes(xid_bytes, "big"), caller,
+                           prog, vers, proc)
+                verdict = drc.begin(drc_key)
+                if verdict is False:
+                    return None  # original still executing: drop
+                if verdict is not True:
+                    return verdict  # replay the recorded reply
+            try:
+                args = unpack_args(data, _FAST_HEADER_SIZE)
+            except Exception:
+                # Generic path answers GARBAGE_ARGS; release the claim
+                # so its own get/claim protocol owns the key.
+                if drc_key is not None:
+                    drc.abandon(drc_key)
+                return _TO_GENERIC
+            try:
+                registry.handlers_invoked += 1
+                reply = xid_bytes + ok_tail + pack_res(handler(args))
+            except Exception:
+                logger.exception(
+                    "staged route for prog=%d proc=%d failed", prog, proc
+                )
+                reply = xid_bytes + err_tail
+            if drc_key is not None:
+                drc.put(drc_key, reply)
+            return reply
+
+        if self._staged_routes is None:
+            self._staged_routes = {}
+        self._staged_routes[signature] = route
+        return self
+
     def versions_of(self, prog):
         return sorted(vers for p, vers in self._programs if p == prog)
 
@@ -246,6 +354,14 @@ class SvcRegistry:
         """
         if _obs.enabled:
             return self._dispatch_observed(data, caller)
+        routes = self._staged_routes
+        if (routes is not None and len(data) >= _FAST_HEADER_SIZE
+                and data[24:40] == _NULL_AUTHS):
+            route = routes.get(bytes(data[4:24]))
+            if route is not None:
+                reply = route(data, caller)
+                if reply is not _TO_GENERIC:
+                    return reply
         if self._out_pool is not None:
             reply = self._out_pool.acquire()
             try:

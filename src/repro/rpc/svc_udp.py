@@ -4,6 +4,7 @@ import socket
 import threading
 
 from repro import obs as _obs
+from repro.errors import RpcProtocolError
 from repro.rpc.client import UDPMSGSIZE
 from repro.rpc.faults import FaultySocket
 from repro.rpc.resilience import InflightLimiter, WorkerPool
@@ -79,15 +80,29 @@ class UdpServer:
         return self._recv_buffer is not None
 
     def _process(self, data, addr):
-        """Dispatch one datagram and send the reply (any thread)."""
-        reply = self.registry.dispatch_bytes(data, caller=addr)
-        if reply is not None:
-            self.sock.sendto(reply, addr)
-        with self._counters_lock:
-            self.requests_handled += 1
-        if _obs.enabled:
-            _obs.registry.counter("rpc.server.datagrams",
-                                  transport="udp").inc()
+        """Dispatch one datagram and send the reply (any thread).
+
+        A datagram carrying the mux tier's batch envelope is unwrapped
+        and each inner call dispatched and answered individually, so a
+        pipelining :class:`~repro.rpc.mux.MuxUdpClient` works against
+        the threaded tier too (the event-loop tier additionally
+        re-batches the replies).
+        """
+        from repro.rpc.mux import unpack_batch
+
+        try:
+            messages = unpack_batch(data)
+        except RpcProtocolError:
+            return  # truncated envelope: drop like any garbage datagram
+        for message in ([data] if messages is None else messages):
+            reply = self.registry.dispatch_bytes(message, caller=addr)
+            if reply is not None:
+                self.sock.sendto(reply, addr)
+            with self._counters_lock:
+                self.requests_handled += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.server.datagrams",
+                                      transport="udp").inc()
 
     def _work(self, item):
         self._process(*item)

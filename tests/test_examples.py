@@ -10,6 +10,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 SCRIPTS = [
     "quickstart.py",
+    "async_quickstart.py",
     "specialize_xdr_pair.py",
     "parallel_matrix.py",
     "remote_stats.py",
