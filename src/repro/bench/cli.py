@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, chaos, codesize, faults, figure6, live, marshaling, mux, roundtrip, unrolling
+from repro.bench import ablation, chaos, cluster, codesize, faults, figure6, live, marshaling, mux, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -24,10 +24,13 @@ EXPERIMENTS = {
             " serial client", mux.run),
     "chaos_mux": ("Chaos soak over the mux stack — pipelining preserves"
                   " at-most-once", chaos.run_mux),
+    "cluster": ("Cluster soak — durable at-most-once across a"
+                " multi-process rolling restart", cluster.run),
 }
 
 #: experiments whose runner takes only the workload (no sizes tuple)
-_NO_SIZES = ("table4", "ablation", "faults", "chaos", "mux", "chaos_mux")
+_NO_SIZES = ("table4", "ablation", "faults", "chaos", "mux", "chaos_mux",
+             "cluster")
 
 
 def main(argv=None):

@@ -1,0 +1,183 @@
+"""One fleet node of the cluster soak (``repro.bench.cluster``).
+
+Run as a subprocess — ``python -m repro.bench.cluster_node --node-id 0
+--port 42001 ...`` — so the soak exercises real process boundaries:
+a SIGKILL here loses everything the durability tier did not persist,
+exactly like a production crash, which no thread-based harness can
+model.
+
+Each node is the full durable stack:
+
+* a :class:`~repro.rpc.SvcRegistry` with DRC + write-ahead journal
+  (``drc_dir``, ``fsync=always`` so even the hard-killed node loses
+  nothing journaled), health program, per-caller token-bucket quota;
+* a replication sink + a :class:`~repro.rpc.fleet.DrcReplicator`
+  pushing handler-produced entries to the ring successors;
+* a :class:`~repro.rpc.fleet.FleetMember` heartbeating the
+  orchestrator's directory;
+* a lossy server socket (:class:`~repro.rpc.FaultPlan`) so clients
+  retransmit and the DRC actually works for a living.
+
+**The execution witness.**  The orchestrator's core assertion — zero
+duplicate handler executions across restart boundaries — needs a
+record of executions that survives SIGKILL and cannot over- or
+under-report around the kill instant.  The node appends one line per
+*stored* reply to an ``O_APPEND`` exec log from the DRC's
+``on_store`` chain, **after** the journal append: a kill before the
+store loses both journal entry and log line (the retransmission
+re-executes and logs exactly once); a kill between journal append and
+log write leaves the entry journaled-but-unlogged (the restarted node
+*replays* it, logging zero times).  Either way a key can never be
+logged twice, so "every key at most once across all logs" is exact,
+not probabilistic.
+
+On SIGTERM the node drains (in-flight finishes, DRC replays and
+health keep answering), flushes the replicator, writes a summary JSON
+next to its exec log, and exits 0.  On SIGKILL it simply dies — that
+is the point.
+"""
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+
+from repro.rpc import FaultPlan, SvcRegistry, UdpServer
+from repro.rpc.fleet import (
+    DrcReplicator,
+    FleetMember,
+    Membership,
+    install_replication_sink,
+)
+from repro.rpc.pmap import IPPROTO_UDP
+from repro.xdr import xdr_u_long
+
+PROG = 0x20091235
+VERS = 1
+#: procedure 1 doubles its argument — cheap, deterministic, and wrong
+#: exactly once if it ever re-executes a cached request.
+PROC_DOUBLE = 1
+
+
+def _format_key(key):
+    xid, caller, prog, vers, proc = key
+    if isinstance(caller, tuple):
+        caller = f"{caller[0]}:{caller[1]}"
+    return f"{xid} {caller} {prog} {vers} {proc}"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro-cluster-node")
+    parser.add_argument("--node-id", type=int, required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--incarnation", type=int, required=True)
+    parser.add_argument("--directory-port", type=int, required=True)
+    parser.add_argument("--peers", default="",
+                        help="comma-separated replication peer ports")
+    parser.add_argument("--drc-dir", required=True)
+    parser.add_argument("--exec-log", required=True)
+    parser.add_argument("--summary", required=True)
+    parser.add_argument("--loss", type=float, default=0.2)
+    parser.add_argument("--duplicate", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quota-rate", type=float, default=500.0)
+    parser.add_argument("--quota-burst", type=float, default=64.0)
+    args = parser.parse_args(argv)
+
+    registry = SvcRegistry(drc=True)
+    registry.enable_drc(capacity=8192)
+    registry.register(PROG, VERS, PROC_DOUBLE, lambda v: (v * 2) & 0xFFFFFFFF,
+                      xdr_u_long, xdr_u_long)
+    registry.install_health()
+    sink = install_replication_sink(registry)
+    # Budget per client *socket*: every soak client shares 127.0.0.1,
+    # so the default per-host grouping would pool them into one bucket.
+    registry.install_quota(rate=args.quota_rate, burst=args.quota_burst,
+                           key=lambda caller: caller)
+
+    plan = FaultPlan(seed=args.seed + args.node_id * 131 + args.incarnation,
+                     drop=args.loss, duplicate=args.duplicate)
+    # fsync=always: the hard-killed node must not lose journaled
+    # replies; on loopback the fsync cost is irrelevant to the soak.
+    server = UdpServer(registry, port=args.port, workers=2, queue_depth=32,
+                       fault_plan=plan, drc_dir=args.drc_dir,
+                       drc_fsync="always")
+
+    peers = [("127.0.0.1", int(port))
+             for port in args.peers.split(",") if port]
+    replicator = None
+    if peers:
+        # catch_up: recovered entries are pushed too, so a restarted
+        # node re-warms peers that missed pushes while it was down.
+        replicator = DrcReplicator(
+            registry.drc, peers, origin=f"node{args.node_id}",
+            incarnation=args.incarnation, flush_interval_s=0.02,
+            catch_up=True,
+        )
+
+    # The execution witness hooks *after* journal + replicator (each
+    # wrapper runs its predecessor first), so the log line is the last
+    # effect of a store — see the module docstring for the kill-window
+    # argument.
+    exec_fd = os.open(args.exec_log,
+                      os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    previous = registry.drc.on_store
+
+    def witness(key, reply):
+        if previous is not None:
+            previous(key, reply)
+        os.write(exec_fd, (_format_key(key) + "\n").encode("ascii"))
+
+    registry.drc.on_store = witness
+
+    member = FleetMember(
+        ("127.0.0.1", args.directory_port),
+        Membership(f"node{args.node_id}", PROG, VERS, IPPROTO_UDP,
+                   "127.0.0.1", args.port, args.incarnation),
+        period_s=0.2,
+    )
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    server.start()
+    stop.wait()
+
+    # Graceful goodbye: drain, flush replication, persist the summary.
+    member.stop()
+    server.drain(timeout=5.0)
+    if replicator is not None:
+        replicator.stop(flush=True)
+    summary = {
+        "node_id": args.node_id,
+        "incarnation": args.incarnation,
+        "handlers_invoked": registry.handlers_invoked,
+        "sheds": registry.sheds,
+        "requests_handled": server.requests_handled,
+        "drc": registry.drc.summary(),
+        "journal": (server.journal.summary()
+                    if server.journal is not None else None),
+        "recovery": (getattr(server.journal, "recovery", None)
+                     if server.journal is not None else None),
+        "sink": sink.summary(),
+        "replicator": (replicator.summary()
+                       if replicator is not None else None),
+        "quota": registry.quota.summary(),
+        "member": {
+            "registrations_sent": member.registrations_sent,
+            "heartbeats_sent": member.heartbeats_sent,
+        },
+    }
+    tmp = args.summary + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    os.replace(tmp, args.summary)
+    server.stop()
+    os.close(exec_fd)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,7 @@ METRICS = {
     "rpc.server.sheds": (
         "counter", "reason",
         "requests answered with a SYSTEM_ERR shed reply, by reason"
-        " (queue_full, draining)"),
+        " (queue_full, draining, quota)"),
     "rpc.server.queue_depth": (
         "gauge", "",
         "bounded request queue occupancy after the last enqueue"),
@@ -141,6 +141,78 @@ METRICS = {
     "rpc.drc.entries": (
         "gauge", "",
         "current number of cached replies"),
+    "rpc.drc.absorbed": (
+        "counter", "",
+        "entries accepted from journal recovery or replication"
+        " (first-wins; never overwrite local state, never re-fire"
+        " on_store)"),
+    # -- DRC persistence (journal + snapshot) -----------------------------
+    "rpc.drc.journal.appends": (
+        "counter", "",
+        "handler-produced replies appended to the write-ahead journal"),
+    "rpc.drc.journal.errors": (
+        "counter", "",
+        "journal append/compaction failures (durability degraded,"
+        " dispatch unaffected)"),
+    "rpc.drc.journal.fsyncs": (
+        "counter", "",
+        "fsync syscalls issued by the journal, per the fsync policy"),
+    "rpc.drc.journal.compactions": (
+        "counter", "",
+        "snapshot rewrites that reset the journal tail"),
+    "rpc.drc.journal.recoveries": (
+        "counter", "",
+        "recover_into runs at startup (one per journal attach)"),
+    "rpc.drc.journal.recovered_entries": (
+        "counter", "",
+        "entries replayed from snapshot + journal into the cache"),
+    "rpc.drc.journal.torn_bytes": (
+        "counter", "",
+        "bytes dropped as a torn/corrupt journal suffix during"
+        " recovery"),
+    # -- fleet: membership + DRC replication ------------------------------
+    "rpc.fleet.registrations": (
+        "counter", "",
+        "member registrations accepted by a fleet directory"),
+    "rpc.fleet.heartbeats": (
+        "counter", "",
+        "member heartbeats accepted by a fleet directory"),
+    "rpc.fleet.expirations": (
+        "counter", "",
+        "members dropped for missing the liveness window"),
+    "rpc.fleet.members": (
+        "gauge", "",
+        "registered members after the last directory operation"),
+    "rpc.fleet.refreshes": (
+        "counter", "",
+        "fleet-watcher polls that changed a failover client's"
+        " endpoint set"),
+    "rpc.fleet.repl_pushes": (
+        "counter", "",
+        "replication batches delivered to a peer"),
+    "rpc.fleet.repl_push_errors": (
+        "counter", "",
+        "replication batches a peer failed to acknowledge (dropped;"
+        " anti-entropy catch-up or the peer's journal covers the gap)"),
+    "rpc.fleet.repl_entries": (
+        "counter", "",
+        "DRC entries received in replication pushes (absorbed or"
+        " skipped)"),
+    "rpc.fleet.repl_fenced": (
+        "counter", "",
+        "replication pushes rejected whole for carrying a stale"
+        " origin incarnation (zombie fencing)"),
+    # -- per-caller quotas ------------------------------------------------
+    "rpc.quota.admitted": (
+        "counter", "",
+        "calls that took a token from their caller's bucket"),
+    "rpc.quota.sheds": (
+        "counter", "",
+        "calls denied by an empty caller bucket (answered SYSTEM_ERR,"
+        " shed reason quota)"),
+    "rpc.quota.callers": (
+        "gauge", "",
+        "caller buckets tracked in the quota LRU"),
     # -- buffer pools ----------------------------------------------------
     "rpc.pool.reuses": (
         "counter", "",

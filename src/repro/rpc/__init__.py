@@ -13,7 +13,12 @@ A working pure-Python Sun RPC stack structured like the 1984 sources:
   multi-endpoint failover, overload control, graceful drain;
 * :mod:`repro.rpc.mux` / :mod:`repro.rpc.svc_mux` — the concurrent
   call engine: xid-multiplexed pipelined clients (``call_async``),
-  call batching, and readiness-driven event-loop servers.
+  call batching, and readiness-driven event-loop servers;
+* :mod:`repro.rpc.durable` — DRC persistence: a write-ahead journal
+  + compacted snapshots that make at-most-once hold across restarts;
+* :mod:`repro.rpc.fleet` — DRC replication (incarnation-fenced
+  anti-entropy) and fleet membership (heartbeats, liveness-based
+  endpoint lists feeding :class:`FailoverClient`).
 
 Marshaling is pluggable per call: the generic path uses the
 :mod:`repro.xdr` micro-layers, the optimized path plugs in marshalers
@@ -24,11 +29,21 @@ from repro.rpc.auth import AUTH_NONE, AUTH_SYS, OpaqueAuth, make_auth_none, make
 from repro.rpc.clnt_tcp import TcpClient
 from repro.rpc.clnt_udp import CallStats, UdpClient
 from repro.rpc.drc import DuplicateRequestCache
+from repro.rpc.durable import DrcJournal, attach_journal
 from repro.rpc.fastpath import BufferPool, CallHeaderTemplate, ReplyHeaderTemplate
 from repro.rpc.faults import FaultPlan, FaultySocket
+from repro.rpc.fleet import (
+    DrcReplicator,
+    FleetDirectory,
+    FleetMember,
+    FleetWatcher,
+    Membership,
+    install_replication_sink,
+)
 from repro.rpc.message import RPC_VERSION
 from repro.rpc.mux import MuxTcpClient, MuxUdpClient, PendingCall
 from repro.rpc.resilience import (
+    CallerQuota,
     CircuitBreaker,
     Deadline,
     FailoverClient,
@@ -38,6 +53,7 @@ from repro.rpc.resilience import (
     InflightLimiter,
     STATUS_DRAINING,
     STATUS_SERVING,
+    TokenBucket,
     WorkerPool,
 )
 from repro.rpc.server import SvcRegistry, rpc_service
@@ -51,10 +67,20 @@ __all__ = [
     "BufferPool",
     "CallHeaderTemplate",
     "CallStats",
+    "CallerQuota",
     "CircuitBreaker",
     "Deadline",
+    "DrcJournal",
+    "DrcReplicator",
     "DuplicateRequestCache",
     "FailoverClient",
+    "FleetDirectory",
+    "FleetMember",
+    "FleetWatcher",
+    "Membership",
+    "TokenBucket",
+    "attach_journal",
+    "install_replication_sink",
     "FaultPlan",
     "FaultySocket",
     "HEALTH_PROG",

@@ -48,6 +48,14 @@ class DuplicateRequestCache:
         #: (a worker pool can hold the original and a retransmission
         #: concurrently; the claim protocol runs the handler once)
         self.in_progress_drops = 0
+        #: replies inserted by :meth:`absorb` (replication, recovery) —
+        #: counted apart from :attr:`stores` so "stores == handler
+        #: executions" stays provable on a replicated fleet
+        self.absorbed = 0
+        #: optional ``callback(key, reply)`` fired after each handler-
+        #: produced :meth:`put` (never for absorbs, so a replicated
+        #: entry cannot echo back out through the replicator)
+        self.on_store = None
 
     @staticmethod
     def key(xid, caller, prog, vers, proc):
@@ -160,33 +168,76 @@ class DuplicateRequestCache:
         """
         if not isinstance(reply, bytes):
             reply = bytes(reply)
-        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = reply
             self.stores += 1
-            # Evict least-recently-used *answered* entries; a claimed
-            # key must survive until its owner calls put/abandon, or
-            # the single-execution guarantee breaks.
-            scanned = 0
-            while len(self._entries) > self.capacity:
-                if scanned >= len(self._entries):
-                    break
-                old_key, old_value = self._entries.popitem(last=False)
-                if old_value is _IN_PROGRESS:
-                    self._entries[old_key] = old_value
-                    self._entries.move_to_end(old_key)
-                    scanned += 1
-                    continue
-                self.evictions += 1
-                evicted += 1
+            evicted = self._evict_over_capacity()
             entries = len(self._entries)
         if _obs.enabled:
             _obs.registry.counter("rpc.drc.stores").inc()
             if evicted:
                 _obs.registry.counter("rpc.drc.evictions").inc(evicted)
             _obs.registry.gauge("rpc.drc.entries").set(entries)
+        if self.on_store is not None:
+            self.on_store(key, reply)
+
+    def _evict_over_capacity(self):
+        """Lock held by caller: evict least-recently-used *answered*
+        entries past capacity; a claimed key must survive until its
+        owner calls put/abandon, or the single-execution guarantee
+        breaks.  Returns the eviction count."""
+        evicted = 0
+        scanned = 0
+        while len(self._entries) > self.capacity:
+            if scanned >= len(self._entries):
+                break
+            old_key, old_value = self._entries.popitem(last=False)
+            if old_value is _IN_PROGRESS:
+                self._entries[old_key] = old_value
+                self._entries.move_to_end(old_key)
+                scanned += 1
+                continue
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
+    def absorb(self, key, reply):
+        """Insert a reply produced *elsewhere* — by a replicating peer
+        or by journal recovery — without counting it as a store.
+
+        A key already present (answered or claimed) wins over the
+        absorbed copy: the local protocol state is authoritative.
+        Returns True when the entry was inserted.
+        """
+        if not isinstance(reply, bytes):
+            reply = bytes(reply)
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = reply
+            self.absorbed += 1
+            evicted = self._evict_over_capacity()
+            entries = len(self._entries)
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.absorbed").inc()
+            if evicted:
+                _obs.registry.counter("rpc.drc.evictions").inc(evicted)
+            _obs.registry.gauge("rpc.drc.entries").set(entries)
+        return True
+
+    def snapshot_entries(self):
+        """A point-in-time list of every *answered* ``(key, reply)``.
+
+        Claimed-but-unanswered keys are skipped — a claim is protocol
+        state of one incarnation, not a durable fact.  Used by journal
+        compaction (:mod:`repro.rpc.durable`) and replication catch-up
+        (:mod:`repro.rpc.fleet`).
+        """
+        with self._lock:
+            return [(key, value) for key, value in self._entries.items()
+                    if value is not _IN_PROGRESS]
 
     def clear(self):
         with self._lock:
@@ -211,6 +262,7 @@ class DuplicateRequestCache:
                 "stores": self.stores,
                 "evictions": self.evictions,
                 "in_progress_drops": self.in_progress_drops,
+                "absorbed": self.absorbed,
             }
 
     def __repr__(self):

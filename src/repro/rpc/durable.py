@@ -1,0 +1,536 @@
+"""``repro.rpc.durable`` — the DRC persistence tier.
+
+The duplicate-request cache (:mod:`repro.rpc.drc`) upgrades UDP's
+at-least-once delivery toward at-most-once — but only *per server
+incarnation*: the cache lives in process memory, so a restart forgets
+every answered request and a client retransmitting across the restart
+re-executes the handler (the documented at-least-once window of
+DESIGN §10.4).  This module closes that window with a write-ahead
+journal of the cache:
+
+* :class:`DrcJournal` — an append-only journal of ``(key → raw reply
+  bytes)`` records plus a periodically rewritten *compacted snapshot*.
+  Every handler-produced reply is appended (via the DRC's ``on_store``
+  hook) before the server's reply datagram can be retransmitted-past,
+  so a restarted server finds the reply on disk and **replays it
+  instead of re-executing the handler**.
+* **Crash-safe recovery** — records are length-prefixed and CRC-framed;
+  :meth:`DrcJournal.recover_into` replays snapshot + journal into a
+  fresh cache, silently dropping a torn tail (a record cut short by a
+  crash mid-write).  Recovery never raises on journal damage: whatever
+  decodes is replayed, the rest of the file is truncated away, and the
+  loss is only a return to the at-least-once window for the dropped
+  entries.
+* **Fsync policy** (``always`` / ``interval`` / ``off``): every append
+  is written *and flushed to the OS* unconditionally, so entries
+  survive a process kill (SIGKILL) under every policy; the policy
+  decides how often ``fsync`` pushes them to the platter, i.e. what an
+  *operating-system* crash can lose.  ``always`` fsyncs per append
+  (at-most-once even across an OS crash), ``interval`` fsyncs at most
+  every ``fsync_interval_s`` seconds (bounded OS-crash window), and
+  ``off`` leaves flushing to the OS entirely.
+
+The transports wire this up from one knob: constructing any server
+tier with ``drc_dir=...`` (or exporting ``REPRO_DRC_DIR``) attaches a
+journal to the registry's DRC, *recovering first* so the restarted
+incarnation starts with its predecessor's replies already cached.
+Off by default: without the knob nothing here runs and the delivery
+guarantee stays per-incarnation, exactly as before.
+
+Wire format
+-----------
+
+Both files (``<name>.journal``, ``<name>.snapshot``) open with an
+8-byte header (magic + version) followed by self-delimiting records::
+
+    >I payload_length   >I crc32(payload)   payload
+
+``payload`` encodes one cache entry: the DRC key — xid, the caller
+identity (a tagged union: transport ``(host, port)`` tuple, ``str``,
+or ``bytes``), prog, vers, proc — followed by the raw reply bytes.
+A record whose length prefix is insane, whose payload is cut short,
+or whose CRC disagrees ends recovery at the last good offset.
+Duplicate keys can appear (a snapshot plus journal appends, or an
+overwritten entry); **the last record wins**, matching the in-memory
+cache's overwrite semantics.
+"""
+
+import io
+import os
+import struct
+import threading
+import zlib
+
+from repro import obs as _obs
+
+__all__ = [
+    "DrcJournal",
+    "FSYNC_POLICIES",
+    "attach_journal",
+    "decode_entry",
+    "encode_entry",
+    "journal_dir_from_env",
+]
+
+#: accepted values for the fsync policy knob.
+FSYNC_POLICIES = ("always", "interval", "off")
+
+#: file headers: 4 magic bytes + >I format version.
+_JOURNAL_MAGIC = b"DRCJ"
+_SNAPSHOT_MAGIC = b"DRCS"
+_FORMAT_VERSION = 1
+_HEADER = struct.Struct(">4sI")
+#: per-record prefix: payload length + crc32 of the payload.
+_RECORD = struct.Struct(">II")
+#: sanity cap on one record's payload (a reply can never be near this).
+_MAX_PAYLOAD = 1 << 26
+
+#: caller-identity tags inside an encoded entry.
+_CALLER_ADDR = 0
+_CALLER_STR = 1
+_CALLER_BYTES = 2
+
+
+def journal_dir_from_env():
+    """The ``REPRO_DRC_DIR`` knob, or None when durability is off."""
+    value = os.environ.get("REPRO_DRC_DIR", "").strip()
+    return value or None
+
+
+# -- entry codec -----------------------------------------------------------
+
+def _encode_caller(caller):
+    if (isinstance(caller, tuple) and len(caller) == 2
+            and isinstance(caller[1], int)):
+        host = str(caller[0]).encode("utf-8")
+        return struct.pack(">BH", _CALLER_ADDR, len(host)) + host + \
+            struct.pack(">I", caller[1] & 0xFFFFFFFF)
+    if isinstance(caller, str):
+        blob = caller.encode("utf-8")
+        return struct.pack(">BH", _CALLER_STR, len(blob)) + blob
+    if isinstance(caller, (bytes, bytearray)):
+        blob = bytes(caller)
+        return struct.pack(">BH", _CALLER_BYTES, len(blob)) + blob
+    raise ValueError(f"unjournalable caller identity: {caller!r}")
+
+
+def _decode_caller(payload, offset):
+    tag, size = struct.unpack_from(">BH", payload, offset)
+    offset += 3
+    blob = bytes(payload[offset:offset + size])
+    if len(blob) != size:
+        raise ValueError("caller blob cut short")
+    offset += size
+    if tag == _CALLER_ADDR:
+        (port,) = struct.unpack_from(">I", payload, offset)
+        return (blob.decode("utf-8"), port), offset + 4
+    if tag == _CALLER_STR:
+        return blob.decode("utf-8"), offset
+    if tag == _CALLER_BYTES:
+        return blob, offset
+    raise ValueError(f"unknown caller tag {tag}")
+
+
+def encode_entry(key, reply):
+    """One DRC entry — ``key = (xid, caller, prog, vers, proc)`` plus
+    the raw reply — as a record payload.
+
+    The same codec frames journal records, snapshot records, and the
+    entries streamed by the replication program
+    (:mod:`repro.rpc.fleet`), so a replica's absorbed entry is bit-
+    for-bit what recovery would have produced locally.
+    """
+    xid, caller, prog, vers, proc = key
+    return (struct.pack(">I", xid & 0xFFFFFFFF)
+            + _encode_caller(caller)
+            + struct.pack(">III", prog, vers, proc)
+            + (reply if isinstance(reply, bytes) else bytes(reply)))
+
+
+def decode_entry(payload):
+    """Invert :func:`encode_entry`; raises ``ValueError``/
+    ``struct.error`` on any malformation (recovery treats that as the
+    torn tail)."""
+    (xid,) = struct.unpack_from(">I", payload, 0)
+    caller, offset = _decode_caller(payload, 4)
+    prog, vers, proc = struct.unpack_from(">III", payload, offset)
+    offset += 12
+    reply = bytes(payload[offset:])
+    return (xid, caller, prog, vers, proc), reply
+
+
+def _frame(payload):
+    return _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _header_ok(path, magic, size):
+    if size < _HEADER.size:
+        return False
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(_HEADER.size)
+        file_magic, version = _HEADER.unpack(head)
+    except (OSError, struct.error):
+        return False
+    return file_magic == magic and version == _FORMAT_VERSION
+
+
+def _read_records(path, magic):
+    """Yield ``(payload, good_offset)`` for every intact record.
+
+    Stops — without raising — at the first sign of damage: a missing
+    or foreign header, a short prefix, an insane length, a truncated
+    payload, or a CRC mismatch.  ``good_offset`` after the last yield
+    is where the intact prefix ends (callers truncate there).
+    """
+    try:
+        data = path.read_bytes() if hasattr(path, "read_bytes") else None
+    except OSError:
+        return
+    if data is None:
+        return
+    if len(data) < _HEADER.size:
+        return
+    file_magic, version = _HEADER.unpack_from(data, 0)
+    if file_magic != magic or version != _FORMAT_VERSION:
+        return
+    offset = _HEADER.size
+    total = len(data)
+    while True:
+        if offset + _RECORD.size > total:
+            return
+        length, crc = _RECORD.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD:
+            return
+        start = offset + _RECORD.size
+        end = start + length
+        if end > total:
+            return
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield payload, end
+        offset = end
+
+
+class DrcJournal:
+    """Durable backing for one :class:`~repro.rpc.drc.
+    DuplicateRequestCache`.
+
+    ``directory`` holds two files named after ``name``:
+    ``<name>.journal`` (the append-only tail) and ``<name>.snapshot``
+    (the last compaction).  ``fsync`` is one of
+    :data:`FSYNC_POLICIES`; ``compact_every`` journal appends trigger
+    a compaction — the cache's current entries are rewritten as a
+    fresh snapshot (atomic rename) and the journal is reset to empty.
+
+    All methods are thread-safe: ``on_store`` fires from whatever
+    worker thread answered the request.
+    """
+
+    def __init__(self, directory, name="drc", fsync=None,
+                 fsync_interval_s=0.05, compact_every=4096,
+                 clock=None):
+        if fsync is None:
+            fsync = os.environ.get("REPRO_DRC_FSYNC", "interval")
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        import time as _time
+
+        self.directory = str(directory)
+        self.name = name
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.compact_every = compact_every
+        self._clock = clock if clock is not None else _time.monotonic
+        os.makedirs(self.directory, exist_ok=True)
+        self.journal_path = os.path.join(self.directory, f"{name}.journal")
+        self.snapshot_path = os.path.join(self.directory, f"{name}.snapshot")
+        self._lock = threading.Lock()
+        self._file = None
+        self._last_sync = self._clock()
+        self._appends_since_compact = 0
+        self._drc = None
+        #: lifetime counters, mirrored into the obs registry
+        self.appends = 0
+        self.append_errors = 0
+        self.fsyncs = 0
+        self.compactions = 0
+        self.recovered_entries = 0
+        self.torn_bytes = 0
+
+    # -- recovery ----------------------------------------------------------
+
+    def _scan(self, path, magic):
+        """Intact entries of one file, last-wins, plus the good size."""
+        entries = {}
+        good = 0
+        damaged = False
+
+        class _P:
+            @staticmethod
+            def read_bytes():
+                with open(path, "rb") as handle:
+                    return handle.read()
+
+        if not os.path.exists(path):
+            return entries, None
+        size = os.path.getsize(path)
+        for payload, end in _read_records(_P, magic):
+            try:
+                key, reply = decode_entry(payload)
+            except (ValueError, struct.error, UnicodeDecodeError,
+                    IndexError):
+                damaged = True
+                break
+            entries[key] = reply
+            good = end
+        if not entries and good == 0:
+            # An intact header with no intact records keeps the header;
+            # a damaged or foreign header forfeits the whole file, so
+            # truncation resets it and the next append writes a fresh
+            # header (appending after a bad one would be unrecoverable).
+            good = _HEADER.size if _header_ok(path, magic, size) else 0
+        torn = size - good if (good or damaged or size) else 0
+        return entries, (good, max(0, torn))
+
+    def recover_into(self, drc):
+        """Replay snapshot + journal into ``drc`` (via
+        :meth:`~repro.rpc.drc.DuplicateRequestCache.absorb`), truncate
+        any torn journal tail, and return a stats dict.
+
+        Never raises on file damage: the intact prefix is what
+        recovery yields, and a fully unreadable file yields nothing.
+        """
+        recovered = {}
+        torn_total = 0
+        for path, magic in ((self.snapshot_path, _SNAPSHOT_MAGIC),
+                            (self.journal_path, _JOURNAL_MAGIC)):
+            entries, extent = self._scan(path, magic)
+            recovered.update(entries)
+            if extent is not None:
+                good, torn = extent
+                torn_total += torn
+                if torn and path == self.journal_path:
+                    # Drop the torn suffix so the next append starts
+                    # at a record boundary.
+                    try:
+                        with open(path, "r+b") as handle:
+                            handle.truncate(good if good else 0)
+                    except OSError:
+                        pass
+        absorbed = 0
+        for key, reply in recovered.items():
+            if drc.absorb(key, reply):
+                absorbed += 1
+        self.recovered_entries += len(recovered)
+        self.torn_bytes += torn_total
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.journal.recoveries").inc()
+            if recovered:
+                _obs.registry.counter(
+                    "rpc.drc.journal.recovered_entries").inc(len(recovered))
+            if torn_total:
+                _obs.registry.counter(
+                    "rpc.drc.journal.torn_bytes").inc(torn_total)
+        return {
+            "entries": len(recovered),
+            "absorbed": absorbed,
+            "torn_bytes": torn_total,
+        }
+
+    # -- appending ---------------------------------------------------------
+
+    def _open_for_append(self):
+        """Lock held by caller."""
+        if self._file is not None:
+            return self._file
+        fresh = (not os.path.exists(self.journal_path)
+                 or os.path.getsize(self.journal_path) < _HEADER.size)
+        self._file = open(self.journal_path, "ab")
+        if fresh:
+            self._file.truncate(0)
+            self._file.write(_HEADER.pack(_JOURNAL_MAGIC, _FORMAT_VERSION))
+            self._file.flush()
+        return self._file
+
+    def _sync(self, handle, force=False):
+        """Lock held by caller: apply the fsync policy."""
+        if self.fsync == "off" and not force:
+            return
+        now = self._clock()
+        if (not force and self.fsync == "interval"
+                and now - self._last_sync < self.fsync_interval_s):
+            return
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            return
+        self._last_sync = now
+        self.fsyncs += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.journal.fsyncs").inc()
+
+    def append(self, key, reply):
+        """Record one handler-produced reply; never raises (a journal
+        failure degrades durability, it must not fail the dispatch
+        that already answered the client)."""
+        try:
+            record = _frame(encode_entry(key, reply))
+        except (ValueError, struct.error) as exc:
+            self.append_errors += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.drc.journal.errors").inc()
+            del exc
+            return False
+        compact_due = False
+        with self._lock:
+            try:
+                handle = self._open_for_append()
+                handle.write(record)
+                # Always reach the OS: a SIGKILL'd process loses only
+                # what sat in *process* buffers, so flush per append.
+                handle.flush()
+                self._sync(handle)
+            except (OSError, ValueError):
+                self.append_errors += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.drc.journal.errors").inc()
+                return False
+            self.appends += 1
+            self._appends_since_compact += 1
+            if (self._drc is not None
+                    and self._appends_since_compact >= self.compact_every):
+                compact_due = True
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.journal.appends").inc()
+        if compact_due:
+            self.compact()
+        return True
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, drc=None):
+        """Rewrite the snapshot from the cache's current entries and
+        reset the journal.
+
+        The snapshot is built in a temp file and renamed into place
+        (atomic on POSIX), and is fsynced regardless of policy — a
+        compaction that lost both the snapshot and the journal would
+        be worse than no compaction.  Returns the snapshot entry
+        count, or None when no cache is attached.
+        """
+        drc = drc if drc is not None else self._drc
+        if drc is None:
+            return None
+        entries = drc.snapshot_entries()
+        buffer = io.BytesIO()
+        buffer.write(_HEADER.pack(_SNAPSHOT_MAGIC, _FORMAT_VERSION))
+        written = 0
+        for key, reply in entries:
+            try:
+                buffer.write(_frame(encode_entry(key, reply)))
+            except (ValueError, struct.error):
+                continue
+            written += 1
+        tmp_path = self.snapshot_path + ".tmp"
+        with self._lock:
+            try:
+                with open(tmp_path, "wb") as handle:
+                    handle.write(buffer.getvalue())
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.snapshot_path)
+                # The snapshot now covers everything; restart the
+                # journal from its header.
+                handle = self._open_for_append()
+                handle.truncate(_HEADER.size)
+                handle.flush()
+                self._sync(handle, force=self.fsync != "off")
+            except OSError:
+                self.append_errors += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.drc.journal.errors").inc()
+                return None
+            self._appends_since_compact = 0
+            self.compactions += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.drc.journal.compactions").inc()
+        return written
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, drc):
+        """Hook ``drc.on_store`` so every handler-produced reply is
+        journaled; chains any previously installed callback (the
+        journal appends first, then the earlier hook runs)."""
+        self._drc = drc
+        previous = drc.on_store
+
+        def journal_then_previous(key, reply):
+            self.append(key, reply)
+            if previous is not None:
+                previous(key, reply)
+
+        drc.on_store = journal_then_previous
+        return self
+
+    def close(self):
+        with self._lock:
+            if self._file is None:
+                return
+            try:
+                self._file.flush()
+                self._sync(self._file, force=self.fsync != "off")
+                self._file.close()
+            except (OSError, ValueError):
+                pass
+            self._file = None
+
+    def summary(self):
+        with self._lock:
+            return {
+                "fsync": self.fsync,
+                "appends": self.appends,
+                "append_errors": self.append_errors,
+                "fsyncs": self.fsyncs,
+                "compactions": self.compactions,
+                "recovered_entries": self.recovered_entries,
+                "torn_bytes": self.torn_bytes,
+            }
+
+    def __repr__(self):
+        return (f"DrcJournal({self.journal_path!r}, fsync={self.fsync},"
+                f" appends={self.appends})")
+
+
+def attach_journal(registry, drc_dir=None, fsync=None, name="drc",
+                   compact_every=4096):
+    """Attach a journal to a registry's DRC: recover, then hook.
+
+    ``drc_dir`` defaults to the ``REPRO_DRC_DIR`` environment knob;
+    when neither is set (the default) this returns None and the DRC
+    stays memory-only.  The server transports call this during
+    construction, so a restarted server replays its predecessor's
+    replies instead of re-executing handlers.
+    """
+    if drc_dir is None:
+        drc_dir = journal_dir_from_env()
+    if not drc_dir:
+        return None
+    drc = getattr(registry, "drc", None)
+    if drc is None:
+        return None
+    existing = getattr(registry, "drc_journal", None)
+    if existing is not None:
+        # Two transports over one registry (or a restart-in-place)
+        # share the journal; a second hook would double-append.
+        return existing
+    journal = DrcJournal(drc_dir, name=name, fsync=fsync,
+                         compact_every=compact_every)
+    journal.recovery = journal.recover_into(drc)
+    journal.attach(drc)
+    registry.drc_journal = journal
+    return journal

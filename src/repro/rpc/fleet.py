@@ -1,0 +1,728 @@
+"""``repro.rpc.fleet`` — DRC replication and fleet membership.
+
+:mod:`repro.rpc.durable` makes at-most-once survive a *restart* of one
+server; this module makes it survive a *failover* between servers, and
+gives clients a live view of which servers exist at all:
+
+* **DRC replication** — a small anti-entropy protocol on an internal
+  RPC program (:data:`REPL_PROG`, the same user-number-space pattern
+  as the health program).  A :class:`DrcReplicator` hooks the cache's
+  ``on_store`` callback and streams every handler-produced reply to N
+  peer replicas in batches; the receiving side
+  (:func:`install_replication_sink`) *absorbs* each entry —
+  :meth:`~repro.rpc.drc.DuplicateRequestCache.absorb` never overwrites
+  local protocol state and never re-fires ``on_store``, so a
+  replicated entry cannot echo back out.  A duplicate request landing
+  on a peer replica is then replayed byte-identically instead of
+  re-executed.  Pushes carry the origin's **incarnation** number and
+  the sink *fences* them: once it has seen incarnation *k* from an
+  origin, pushes from any incarnation < *k* (a zombie process, a
+  delayed datagram from before a crash) are dropped whole.
+
+* **Fleet membership** — :class:`FleetDirectory` builds on the
+  portmapper (:mod:`repro.rpc.pmap`): members *register* an endpoint
+  (which also takes a portmapper binding) and then *heartbeat* it;
+  the directory answers ``MEMBERS`` queries with only the endpoints
+  whose heartbeat is fresher than the liveness window.
+  :class:`FleetMember` is the server-side heartbeat loop and
+  :class:`FleetWatcher` the client-side consumer: it polls the
+  directory and feeds the live endpoint list into
+  :meth:`~repro.rpc.resilience.FailoverClient.set_endpoints`, so a
+  failover client stops probing dead replicas and picks up restarted
+  ones without reconfiguration.
+
+Entries on the wire use the exact journal codec
+(:func:`repro.rpc.durable.encode_entry`), so a replica's absorbed
+entry is bit-for-bit what local journal recovery would have produced.
+
+Telemetry: ``rpc.fleet.*`` (see :mod:`repro.obs.catalog`).
+"""
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import obs as _obs
+from repro.errors import RpcError, XdrError
+from repro.rpc.durable import decode_entry, encode_entry
+from repro.rpc.pmap import IPPROTO_UDP, PortMapper
+from repro.xdr import XdrOp, xdr_bool, xdr_bytes, xdr_string, xdr_u_long
+
+__all__ = [
+    "DrcReplicator",
+    "FLEET_PROG",
+    "FLEET_VERS",
+    "FLEETPROC_HEARTBEAT",
+    "FLEETPROC_MEMBERS",
+    "FLEETPROC_REGISTER",
+    "FleetDirectory",
+    "FleetMember",
+    "FleetWatcher",
+    "Membership",
+    "REPL_PROG",
+    "REPL_VERS",
+    "REPLPROC_PUSH",
+    "ReplicationSink",
+    "fleet_members",
+    "install_replication_sink",
+]
+
+#: the internal DRC-replication program (user-defined number space,
+#: next to HEALTH_PROG = 0x20FFFFFF).
+REPL_PROG = 0x20FFFFFE
+REPL_VERS = 1
+#: procedure 1 pushes a batch of DRC entries; returns absorbed count.
+REPLPROC_PUSH = 1
+
+#: the fleet-membership directory program.
+FLEET_PROG = 0x20FFFFFD
+FLEET_VERS = 1
+FLEETPROC_REGISTER = 1
+FLEETPROC_HEARTBEAT = 2
+FLEETPROC_MEMBERS = 3
+
+#: sanity bound on entries per replication push.
+_MAX_PUSH_ENTRIES = 4096
+#: sanity bound on members in one directory reply.
+_MAX_MEMBERS = 4096
+
+
+# -- XDR filters -----------------------------------------------------------
+
+def xdr_repl_push(xdrs, value):
+    """``(origin, incarnation, [entry blobs])`` on the wire."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        origin, incarnation, blobs = value
+        xdr_string(xdrs, origin)
+        xdr_u_long(xdrs, incarnation)
+        xdr_u_long(xdrs, len(blobs))
+        for blob in blobs:
+            xdr_bytes(xdrs, blob)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        origin = xdr_string(xdrs, None)
+        incarnation = xdr_u_long(xdrs, None)
+        count = xdr_u_long(xdrs, None)
+        if count > _MAX_PUSH_ENTRIES:
+            raise XdrError(f"replication push of {count} entries")
+        blobs = [xdr_bytes(xdrs, None) for _ in range(count)]
+        return (origin, incarnation, blobs)
+    return value
+
+
+@dataclass(frozen=True)
+class Membership:
+    """One member's registration: who serves what, where."""
+
+    member_id: str
+    prog: int
+    vers: int
+    prot: int
+    host: str
+    port: int
+    incarnation: int
+
+
+def xdr_membership(xdrs, value):
+    if xdrs.x_op == XdrOp.ENCODE:
+        xdr_string(xdrs, value.member_id)
+        xdr_u_long(xdrs, value.prog)
+        xdr_u_long(xdrs, value.vers)
+        xdr_u_long(xdrs, value.prot)
+        xdr_string(xdrs, value.host)
+        xdr_u_long(xdrs, value.port)
+        xdr_u_long(xdrs, value.incarnation)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        return Membership(
+            xdr_string(xdrs, None),
+            xdr_u_long(xdrs, None),
+            xdr_u_long(xdrs, None),
+            xdr_u_long(xdrs, None),
+            xdr_string(xdrs, None),
+            xdr_u_long(xdrs, None),
+            xdr_u_long(xdrs, None),
+        )
+    return value
+
+
+def xdr_member_query(xdrs, value):
+    """``(prog, vers, prot)`` — which serving set to list."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        prog, vers, prot = value
+        xdr_u_long(xdrs, prog)
+        xdr_u_long(xdrs, vers)
+        xdr_u_long(xdrs, prot)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        return (xdr_u_long(xdrs, None), xdr_u_long(xdrs, None),
+                xdr_u_long(xdrs, None))
+    return value
+
+
+def xdr_endpoint_list(xdrs, value):
+    """A list of ``(host, port)`` endpoints."""
+    if xdrs.x_op == XdrOp.ENCODE:
+        xdr_u_long(xdrs, len(value))
+        for host, port in value:
+            xdr_string(xdrs, host)
+            xdr_u_long(xdrs, port)
+        return value
+    if xdrs.x_op == XdrOp.DECODE:
+        count = xdr_u_long(xdrs, None)
+        if count > _MAX_MEMBERS:
+            raise XdrError(f"member list of {count} endpoints")
+        return [(xdr_string(xdrs, None), xdr_u_long(xdrs, None))
+                for _ in range(count)]
+    return value
+
+
+# -- replication: the receiving side ---------------------------------------
+
+class ReplicationSink:
+    """Absorbs replication pushes into a local DRC with incarnation
+    fencing.
+
+    Per origin member, the sink remembers the highest incarnation it
+    has accepted; a push from a lower incarnation — a zombie of a
+    process the fleet already restarted, or a datagram delayed from
+    before a crash — is rejected whole (returns 0 absorbed).  Within
+    an accepted push, each entry is absorbed individually; a key the
+    local cache already holds (answered here first, or mid-claim)
+    keeps its local value.
+    """
+
+    def __init__(self, drc):
+        self.drc = drc
+        self._lock = threading.Lock()
+        #: origin member id -> highest incarnation accepted
+        self.fences = {}
+        self.pushes = 0
+        self.entries_absorbed = 0
+        self.entries_skipped = 0
+        self.fenced = 0
+        self.undecodable = 0
+
+    def push(self, value):
+        origin, incarnation, blobs = value
+        with self._lock:
+            known = self.fences.get(origin, 0)
+            if incarnation < known:
+                self.fenced += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.fleet.repl_fenced").inc()
+                return 0
+            self.fences[origin] = max(known, incarnation)
+            self.pushes += 1
+        absorbed = 0
+        for blob in blobs:
+            try:
+                key, reply = decode_entry(blob)
+            except Exception:
+                self.undecodable += 1
+                continue
+            if self.drc.absorb(key, reply):
+                absorbed += 1
+            else:
+                self.entries_skipped += 1
+        with self._lock:
+            self.entries_absorbed += absorbed
+        if _obs.enabled:
+            _obs.registry.counter("rpc.fleet.repl_entries").inc(len(blobs))
+        return absorbed
+
+    def summary(self):
+        with self._lock:
+            return {
+                "pushes": self.pushes,
+                "entries_absorbed": self.entries_absorbed,
+                "entries_skipped": self.entries_skipped,
+                "fenced": self.fenced,
+                "undecodable": self.undecodable,
+                "origins": dict(self.fences),
+            }
+
+
+def install_replication_sink(registry, drc=None):
+    """Mount the replication program on a registry; returns the sink.
+
+    Uses the registry's own DRC by default (enable it first).  The
+    program is drain-exempt like health: a draining replica keeps
+    absorbing its peers' entries, so the failover target stays warm.
+    """
+    drc = drc if drc is not None else registry.drc
+    if drc is None:
+        raise ValueError("enable the registry's DRC before replication")
+    sink = ReplicationSink(drc)
+    registry.register(REPL_PROG, REPL_VERS, REPLPROC_PUSH, sink.push,
+                      xdr_args=xdr_repl_push, xdr_res=xdr_u_long)
+    if hasattr(registry, "_drain_exempt"):
+        registry._drain_exempt.add((REPL_PROG, REPL_VERS))
+    registry.replication_sink = sink
+    return sink
+
+
+# -- replication: the pushing side -----------------------------------------
+
+class DrcReplicator:
+    """Streams handler-produced DRC entries to N peer replicas.
+
+    Hooks ``drc.on_store`` (chaining any earlier hook, e.g. the
+    journal's — the journal appends first, then the entry is queued
+    for its peers) and drains the queue from one background thread:
+    entries are batched up to ``batch_max`` per push and sent to every
+    peer over UDP.  A peer that is down just drops its copy — counted,
+    never fatal, and the next anti-entropy catch-up or the peer's own
+    journal covers the gap.
+
+    ``catch_up=True`` seeds the queue with the cache's current
+    entries, so a replicator attached after recovery pushes the
+    recovered state too.
+    """
+
+    def __init__(self, drc, peers, origin, incarnation=1, batch_max=64,
+                 flush_interval_s=0.05, timeout=1.0, catch_up=False):
+        self.drc = drc
+        self.peers = [tuple(peer) for peer in peers]
+        self.origin = origin
+        self.incarnation = incarnation
+        self.batch_max = batch_max
+        self.flush_interval_s = flush_interval_s
+        self.timeout = timeout
+        self._queue = []
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._stopping = False
+        self._clients = {}
+        self.pushes = 0
+        self.push_errors = 0
+        self.entries_sent = 0
+        self.dropped = 0
+        if catch_up:
+            with self._lock:
+                self._queue.extend(
+                    (key, reply) for key, reply in drc.snapshot_entries()
+                    if key[2] != REPL_PROG
+                )
+        previous = drc.on_store
+
+        def previous_then_replicate(key, reply):
+            if previous is not None:
+                previous(key, reply)
+            # Never replicate the replication program's own replies:
+            # a push's cached reply firing on_store would queue a push,
+            # whose reply would store and queue another — chatter that
+            # sustains itself forever and evicts real entries.
+            if key[2] != REPL_PROG:
+                self.offer(key, reply)
+
+        drc.on_store = previous_then_replicate
+        self._thread = threading.Thread(
+            target=self._run, name=f"drc-repl:{origin}", daemon=True
+        )
+        self._thread.start()
+
+    def offer(self, key, reply):
+        """Queue one entry for the peers (on_store hook; never blocks
+        dispatch)."""
+        with self._lock:
+            if self._stopping:
+                self.dropped += 1
+                return
+            self._queue.append((key, reply))
+            self._ready.notify()
+
+    def _client(self, peer):
+        client = self._clients.get(peer)
+        if client is None:
+            from repro.rpc.clnt_udp import UdpClient
+
+            host, port = peer
+            client = UdpClient(host, port, REPL_PROG, REPL_VERS,
+                               timeout=self.timeout, wait=0.05, jitter=0.0)
+            self._clients[peer] = client
+        return client
+
+    def _push_batch(self, batch):
+        blobs = []
+        for key, reply in batch:
+            try:
+                blobs.append(encode_entry(key, reply))
+            except Exception:
+                self.dropped += 1
+        if not blobs:
+            return
+        payload = (self.origin, self.incarnation, blobs)
+        for peer in self.peers:
+            try:
+                self._client(peer).call(
+                    REPLPROC_PUSH, payload,
+                    xdr_args=xdr_repl_push, xdr_res=xdr_u_long,
+                )
+                self.pushes += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.fleet.repl_pushes").inc()
+            except (RpcError, OSError):
+                self.push_errors += 1
+                if _obs.enabled:
+                    _obs.registry.counter(
+                        "rpc.fleet.repl_push_errors").inc()
+                # A broken client stays broken; rebuild next batch.
+                client = self._clients.pop(peer, None)
+                if client is not None:
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+        self.entries_sent += len(blobs)
+
+    def _run(self):
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._ready.wait(self.flush_interval_s)
+                    if not self._queue and self._stopping:
+                        return
+                if not self._queue and self._stopping:
+                    return
+                batch = self._queue[:self.batch_max]
+                del self._queue[:self.batch_max]
+            self._push_batch(batch)
+
+    def flush(self, timeout=2.0):
+        """Block until the queue has drained (best effort)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._queue:
+                    return True
+            time.sleep(0.01)
+        return False
+
+    def stop(self, flush=True):
+        if flush:
+            self.flush()
+        with self._lock:
+            self._stopping = True
+            self._ready.notify_all()
+        self._thread.join(timeout=2.0)
+        for client in self._clients.values():
+            try:
+                client.close()
+            except OSError:
+                pass
+        self._clients.clear()
+
+    def summary(self):
+        with self._lock:
+            queued = len(self._queue)
+        return {
+            "peers": len(self.peers),
+            "pushes": self.pushes,
+            "push_errors": self.push_errors,
+            "entries_sent": self.entries_sent,
+            "queued": queued,
+            "dropped": self.dropped,
+        }
+
+
+# -- membership: the directory ---------------------------------------------
+
+@dataclass
+class _MemberRecord:
+    membership: Membership
+    last_seen: float
+
+
+class FleetDirectory:
+    """The membership service: register, heartbeat, list-the-living.
+
+    Built on the portmapper: every registration also takes a
+    portmapper binding (first registrant wins, classic pmap
+    semantics), so ordinary ``pmap_getport`` clients resolve *a*
+    member while fleet-aware clients ask ``MEMBERS`` for *all live*
+    members.  A member is live while its last heartbeat (or
+    registration) is fresher than ``liveness_s``; expired members
+    drop out of ``MEMBERS`` answers and must re-register (their
+    heartbeat answers False).
+
+    Registration is incarnation-fenced like replication: a
+    registration bearing a lower incarnation than the one on file for
+    that member id is refused — a restarted member always announces a
+    higher incarnation, so only zombies are turned away.
+    """
+
+    def __init__(self, liveness_s=3.0, clock=time.monotonic):
+        self.liveness_s = liveness_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: member_id -> _MemberRecord
+        self._members = {}
+        self.pmap = PortMapper()
+        self.registrations = 0
+        self.heartbeats = 0
+        self.expirations = 0
+
+    def mount(self, registry):
+        """Register the fleet procedures (and the portmapper's) on a
+        registry."""
+        self.pmap.mount(registry)
+        registry.register(FLEET_PROG, FLEET_VERS, FLEETPROC_REGISTER,
+                          self._register, xdr_args=xdr_membership,
+                          xdr_res=xdr_bool)
+        registry.register(FLEET_PROG, FLEET_VERS, FLEETPROC_HEARTBEAT,
+                          self._heartbeat, xdr_args=xdr_string,
+                          xdr_res=xdr_bool)
+        registry.register(FLEET_PROG, FLEET_VERS, FLEETPROC_MEMBERS,
+                          self._list_members, xdr_args=xdr_member_query,
+                          xdr_res=xdr_endpoint_list)
+        return registry
+
+    def _prune(self, now):
+        """Lock held by caller: forget members past the liveness
+        window."""
+        expired = [member_id for member_id, record in self._members.items()
+                   if now - record.last_seen > self.liveness_s]
+        for member_id in expired:
+            del self._members[member_id]
+            self.expirations += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.fleet.expirations").inc()
+
+    def _register(self, membership):
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            record = self._members.get(membership.member_id)
+            if (record is not None
+                    and membership.incarnation
+                    < record.membership.incarnation):
+                return False  # zombie: an older incarnation re-announcing
+            self._members[membership.member_id] = _MemberRecord(
+                membership, now
+            )
+            self.registrations += 1
+            members = len(self._members)
+        self.pmap.bindings.setdefault(
+            (membership.prog, membership.vers, membership.prot),
+            membership.port,
+        )
+        if _obs.enabled:
+            _obs.registry.counter("rpc.fleet.registrations").inc()
+            _obs.registry.gauge("rpc.fleet.members").set(members)
+        return True
+
+    def _heartbeat(self, member_id):
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            record = self._members.get(member_id)
+            if record is None:
+                return False  # expired or never registered: re-register
+            record.last_seen = now
+            self.heartbeats += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.fleet.heartbeats").inc()
+        return True
+
+    def _list_members(self, query):
+        prog, vers, prot = query
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            endpoints = sorted(
+                (record.membership.host, record.membership.port)
+                for record in self._members.values()
+                if record.membership.prog == prog
+                and record.membership.vers == vers
+                and (prot == 0 or record.membership.prot == prot)
+            )
+            members = len(self._members)
+        if _obs.enabled:
+            _obs.registry.gauge("rpc.fleet.members").set(members)
+        return endpoints
+
+    def live_members(self, prog, vers, prot=0):
+        """In-process convenience mirror of the MEMBERS procedure."""
+        return self._list_members((prog, vers, prot))
+
+
+# -- membership: the member and the consumers ------------------------------
+
+def fleet_members(directory, prog, vers, prot=IPPROTO_UDP, timeout=2.0):
+    """Ask a remote directory for the live endpoints of a program."""
+    from repro.rpc.clnt_udp import UdpClient
+
+    host, port = directory
+    with UdpClient(host, port, FLEET_PROG, FLEET_VERS, timeout=timeout,
+                   wait=0.05, jitter=0.0) as client:
+        return [tuple(endpoint) for endpoint in client.call(
+            FLEETPROC_MEMBERS, (prog, vers, prot),
+            xdr_args=xdr_member_query, xdr_res=xdr_endpoint_list,
+        )]
+
+
+class FleetMember:
+    """The server-side registration + heartbeat loop.
+
+    Registers ``membership`` with the directory, then heartbeats every
+    ``period_s``; a heartbeat answered False (the directory expired or
+    restarted) triggers re-registration.  Directory unreachability is
+    retried forever — a member never gives up its seat voluntarily.
+    """
+
+    def __init__(self, directory, membership, period_s=0.5, timeout=1.0,
+                 start=True):
+        self.directory = tuple(directory)
+        self.membership = membership
+        self.period_s = period_s
+        self.timeout = timeout
+        self._stop = threading.Event()
+        self._client = None
+        self._thread = None
+        self.registrations_sent = 0
+        self.heartbeats_sent = 0
+        self.errors = 0
+        if start:
+            self.start()
+
+    def _directory_client(self):
+        if self._client is None:
+            from repro.rpc.clnt_udp import UdpClient
+
+            host, port = self.directory
+            self._client = UdpClient(host, port, FLEET_PROG, FLEET_VERS,
+                                     timeout=self.timeout, wait=0.05,
+                                     jitter=0.0)
+        return self._client
+
+    def _drop_client(self):
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:
+                pass
+            self._client = None
+
+    def register_once(self):
+        """One registration attempt; True when the directory said yes."""
+        try:
+            accepted = self._directory_client().call(
+                FLEETPROC_REGISTER, self.membership,
+                xdr_args=xdr_membership, xdr_res=xdr_bool,
+            )
+        except (RpcError, OSError):
+            self.errors += 1
+            self._drop_client()
+            return False
+        self.registrations_sent += 1
+        return bool(accepted)
+
+    def heartbeat_once(self):
+        """One heartbeat; re-registers when the directory forgot us."""
+        try:
+            known = self._directory_client().call(
+                FLEETPROC_HEARTBEAT, self.membership.member_id,
+                xdr_args=xdr_string, xdr_res=xdr_bool,
+            )
+        except (RpcError, OSError):
+            self.errors += 1
+            self._drop_client()
+            return False
+        self.heartbeats_sent += 1
+        if not known:
+            return self.register_once()
+        return True
+
+    def _run(self):
+        self.register_once()
+        while not self._stop.wait(self.period_s):
+            self.heartbeat_once()
+
+    def start(self):
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"fleet-member:{self.membership.member_id}", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._drop_client()
+
+
+class FleetWatcher:
+    """Feeds a directory's live endpoint list into a
+    :class:`~repro.rpc.resilience.FailoverClient`.
+
+    Polls ``MEMBERS`` every ``period_s`` and calls
+    ``failover.set_endpoints`` whenever the list changed.  An empty
+    answer (directory draining, every member between heartbeats) is
+    *not* applied — a failover client with zero endpoints could never
+    recover, so the watcher keeps the last non-empty view.
+    """
+
+    def __init__(self, failover, directory, prog=None, vers=None,
+                 prot=IPPROTO_UDP, period_s=0.25, timeout=1.0,
+                 start=True):
+        self.failover = failover
+        self.directory = tuple(directory)
+        self.prog = prog if prog is not None else failover.prog
+        self.vers = vers if vers is not None else failover.vers
+        self.prot = prot
+        self.period_s = period_s
+        self.timeout = timeout
+        self._stop = threading.Event()
+        self._thread = None
+        self.polls = 0
+        self.refreshes = 0
+        self.errors = 0
+        self.last_view = list(failover.endpoints)
+        if start:
+            self.start()
+
+    def poll_once(self):
+        """One directory poll; True when the endpoint set changed."""
+        try:
+            endpoints = fleet_members(self.directory, self.prog, self.vers,
+                                      prot=self.prot, timeout=self.timeout)
+        except (RpcError, OSError):
+            self.errors += 1
+            return False
+        self.polls += 1
+        if not endpoints or endpoints == self.last_view:
+            return False
+        self.last_view = endpoints
+        changed = self.failover.set_endpoints(endpoints)
+        if changed:
+            self.refreshes += 1
+            if _obs.enabled:
+                _obs.registry.counter("rpc.fleet.refreshes").inc()
+        return changed
+
+    def _run(self):
+        while not self._stop.wait(self.period_s):
+            self.poll_once()
+
+    def start(self):
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-watcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

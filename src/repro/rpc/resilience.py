@@ -43,6 +43,7 @@ import queue
 import struct
 import threading
 import time
+from collections import OrderedDict
 
 from repro import obs as _obs
 from repro.errors import (
@@ -57,7 +58,9 @@ from repro.errors import (
 __all__ = [
     "Deadline",
     "CircuitBreaker",
+    "CallerQuota",
     "FailoverClient",
+    "TokenBucket",
     "WorkerPool",
     "InflightLimiter",
     "HEALTH_PROG",
@@ -282,6 +285,117 @@ class InflightLimiter:
             return True
 
 
+class TokenBucket:
+    """One caller's refillable call allowance.
+
+    Classic token bucket: ``rate`` tokens/second accrue up to
+    ``burst``; a call costs one token.  Not thread-safe on its own —
+    :class:`CallerQuota` serializes access.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate, burst, now):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated_at = now
+
+    def try_take(self, now):
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class CallerQuota:
+    """Per-caller token-bucket admission, layered under the queue-depth
+    and in-flight overload controls.
+
+    Those controls bound *total* load; this one bounds *each caller's
+    share*, so one greedy client cannot starve the fleet for everyone
+    behind the same replica set.  The caller identity is the transport
+    peer's host (not the ephemeral port — a client that reconnects
+    keeps drawing from the same budget).  Buckets live in a bounded
+    LRU: a long tail of one-shot callers cannot grow memory without
+    bound, at the cost that a caller idle long enough to be evicted
+    returns to a full burst.
+
+    A denied call is *answered* (``SYSTEM_ERR``, shed reason
+    ``quota``), mirroring the overload path — the client fails over or
+    backs off instead of burning its deadline on retransmits.
+    """
+
+    def __init__(self, rate, burst=None, max_callers=4096,
+                 clock=time.monotonic, key=None):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, rate)
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1")
+        self.max_callers = max_callers
+        self._clock = clock
+        #: caller -> bucket identity; default groups by host.  Pass
+        #: ``key=lambda caller: caller`` to budget each socket
+        #: separately (e.g. loopback fleets, where every peer shares
+        #: one host).
+        self._key = key if key is not None else self.identity
+        self._lock = threading.Lock()
+        self._buckets = OrderedDict()
+        self.admitted = 0
+        self.shed = 0
+        self.evicted = 0
+
+    @staticmethod
+    def identity(caller):
+        """The quota identity of a transport caller: host for address
+        tuples, the value itself otherwise."""
+        if isinstance(caller, tuple) and caller:
+            return caller[0]
+        return caller
+
+    def admit(self, caller):
+        """Charge one call to ``caller``'s bucket; False means shed."""
+        ident = self._key(caller)
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(ident)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[ident] = bucket
+                while len(self._buckets) > self.max_callers:
+                    self._buckets.popitem(last=False)
+                    self.evicted += 1
+            else:
+                self._buckets.move_to_end(ident)
+            admitted = bucket.try_take(now)
+            if admitted:
+                self.admitted += 1
+            else:
+                self.shed += 1
+            callers = len(self._buckets)
+        if _obs.enabled:
+            name = "rpc.quota.admitted" if admitted else "rpc.quota.sheds"
+            _obs.registry.counter(name).inc()
+            _obs.registry.gauge("rpc.quota.callers").set(callers)
+        return admitted
+
+    def summary(self):
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "callers": len(self._buckets),
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "evicted": self.evicted,
+            }
+
+
 _STOP = object()
 
 
@@ -402,7 +516,7 @@ class FailoverClient:
                  **client_kwargs):
         if not endpoints:
             raise ValueError("need at least one endpoint")
-        if transport not in ("udp", "tcp"):
+        if transport not in ("udp", "tcp", "mux-udp", "mux-tcp"):
             raise ValueError(f"unknown transport {transport!r}")
         self.endpoints = [tuple(endpoint) for endpoint in endpoints]
         self.prog = prog
@@ -413,11 +527,11 @@ class FailoverClient:
         self._clock = clock
         self._client_factory = client_factory
         self._client_kwargs = dict(client_kwargs)
+        self._breaker_threshold = breaker_threshold
+        self._breaker_recovery_s = breaker_recovery_s
         self._clients = [None] * len(self.endpoints)
         self.breakers = [
-            CircuitBreaker(failure_threshold=breaker_threshold,
-                           recovery_s=breaker_recovery_s, clock=clock,
-                           name=f"{host}:{port}")
+            self._make_breaker(host, port)
             for host, port in self.endpoints
         ]
         self._index = 0
@@ -433,6 +547,11 @@ class FailoverClient:
 
     # -- endpoint/client management --------------------------------------
 
+    def _make_breaker(self, host, port):
+        return CircuitBreaker(failure_threshold=self._breaker_threshold,
+                              recovery_s=self._breaker_recovery_s,
+                              clock=self._clock, name=f"{host}:{port}")
+
     def _make_client(self, index, deadline):
         host, port = self.endpoints[index]
         if self._client_factory is not None:
@@ -443,13 +562,21 @@ class FailoverClient:
             from repro.rpc.clnt_udp import UdpClient
 
             return UdpClient(host, port, self.prog, self.vers, **kwargs)
-        from repro.rpc.clnt_tcp import TcpClient
+        if self.transport == "mux-udp":
+            from repro.rpc.mux import MuxUdpClient
 
+            return MuxUdpClient(host, port, self.prog, self.vers, **kwargs)
         if deadline is not None:
             kwargs["timeout"] = min(
                 kwargs.get("timeout", 25.0), max(deadline.check("connect"),
                                                  1e-3)
             )
+        if self.transport == "mux-tcp":
+            from repro.rpc.mux import MuxTcpClient
+
+            return MuxTcpClient(host, port, self.prog, self.vers, **kwargs)
+        from repro.rpc.clnt_tcp import TcpClient
+
         return TcpClient(host, port, self.prog, self.vers, **kwargs)
 
     def _client(self, index, deadline=None):
@@ -472,15 +599,59 @@ class FailoverClient:
             except OSError:
                 pass
 
+    def set_endpoints(self, endpoints):
+        """Replace the replica set in place (the fleet watcher's hook).
+
+        Endpoints present in both the old and new sets keep their
+        underlying client and breaker state; departed endpoints'
+        clients are closed; new endpoints start cold.  The current
+        rotation position follows the endpoint it pointed at when that
+        endpoint survives.  Returns True when the set actually
+        changed; an empty list is rejected — a failover client with
+        zero endpoints could never recover.
+        """
+        fresh = []
+        for endpoint in endpoints:
+            endpoint = tuple(endpoint)
+            if endpoint not in fresh:
+                fresh.append(endpoint)
+        if not fresh:
+            raise ValueError("need at least one endpoint")
+        with self._lock:
+            if fresh == self.endpoints:
+                return False
+            clients = dict(zip(self.endpoints, self._clients))
+            breakers = dict(zip(self.endpoints, self.breakers))
+            current = (self.endpoints[self._index]
+                       if self._index < len(self.endpoints) else None)
+            keep = set(fresh)
+            retired = [client for endpoint, client in clients.items()
+                       if client is not None and endpoint not in keep]
+            self.endpoints = fresh
+            self._clients = [clients.get(endpoint) for endpoint in fresh]
+            self.breakers = [
+                breakers.get(endpoint) or self._make_breaker(*endpoint)
+                for endpoint in fresh
+            ]
+            self._index = (fresh.index(current) if current in keep else 0)
+        for client in retired:
+            try:
+                client.close()
+            except OSError:
+                pass
+        return True
+
     # -- the call loop ----------------------------------------------------
 
     def call(self, proc, args=None, xdr_args=None, xdr_res=None,
              deadline=None):
         budget = deadline if deadline is not None else self.call_budget_s
         deadline = Deadline.coerce(budget, clock=self._clock)
-        count = len(self.endpoints)
         last_error = None
         while True:
+            # Recomputed per rotation: set_endpoints() may swap the
+            # replica set between (or during) rotations.
+            count = len(self.endpoints)
             if deadline is not None:
                 try:
                     deadline.check(f"proc={proc}")
@@ -495,14 +666,19 @@ class FailoverClient:
             attempted = False
             for offset in range(count):
                 index = (self._index + offset) % count
-                if not self.breakers[index].allow():
-                    continue
-                if deadline is not None and deadline.expired:
+                try:
+                    if not self.breakers[index].allow():
+                        continue
+                    if deadline is not None and deadline.expired:
+                        break
+                    attempted = True
+                    value, failed = self._try_endpoint(
+                        index, proc, args, xdr_args, xdr_res, deadline
+                    )
+                except IndexError:
+                    # The replica set shrank mid-rotation; restart with
+                    # the fresh view.
                     break
-                attempted = True
-                value, failed = self._try_endpoint(
-                    index, proc, args, xdr_args, xdr_res, deadline
-                )
                 if not failed:
                     with self._lock:
                         if self._index != index:

@@ -41,6 +41,7 @@ from repro.rpc.resilience import (
     HEALTH_VERS,
     STATUS_DRAINING,
     STATUS_SERVING,
+    CallerQuota,
 )
 from repro.xdr import XdrMemStream, XdrOp, xdr_u_long
 
@@ -97,6 +98,10 @@ class SvcRegistry:
         #: handler executions (DRC replays do not count) — lets tests
         #: assert "invocations == unique requests" under retransmission.
         self.handlers_invoked = 0
+        #: optional per-caller token-bucket admission (see
+        #: :meth:`install_quota`); DRC replays and drain-exempt
+        #: programs are never charged.
+        self.quota = None
         #: graceful-drain mode: DRC replays and health checks are still
         #: answered; everything else is shed with SYSTEM_ERR.
         self.draining = False
@@ -188,6 +193,33 @@ class SvcRegistry:
         )
         self._drain_exempt.add((prog, vers))
         return self
+
+    def install_quota(self, rate, burst=None, max_callers=4096,
+                      clock=time.time, key=None):
+        """Layer per-caller token-bucket admission onto dispatch.
+
+        Each caller (transport peer host) accrues ``rate`` calls/second
+        up to a ``burst`` allowance; a caller over budget is answered
+        with a shed reply (``SYSTEM_ERR``, reason ``quota``) exactly
+        like the overload paths.  DRC replays are never charged — a
+        retransmission of an answered call costs the server a cache
+        probe, not handler work, and charging it would punish the
+        retry behavior the DRC exists to absorb.  Drain-exempt
+        programs (health, replication) are exempt here too.
+
+        ``clock=time.time`` by default so buckets refill in wall time;
+        tests inject a fake clock.
+        """
+        self.quota = CallerQuota(rate, burst=burst,
+                                 max_callers=max_callers, clock=clock,
+                                 key=key)
+        return self
+
+    def _over_quota(self, caller, prog, vers):
+        """Should this request be quota-shed?  (Charges the bucket.)"""
+        return (self.quota is not None and caller is not None
+                and (prog, vers) not in self._drain_exempt
+                and not self.quota.admit(caller))
 
     def shed_reply_bytes(self, data, reason="queue_full"):
         """A ``SYSTEM_ERR`` reply for a request refused before dispatch
@@ -308,6 +340,16 @@ class SvcRegistry:
                     return None  # original still executing: drop
                 if verdict is not True:
                     return verdict  # replay the recorded reply
+            if registry._over_quota(caller, prog, vers):
+                # Shed, releasing the claim: the shed reply is never
+                # cached, so the caller's post-refill retry executes.
+                if drc_key is not None:
+                    drc.abandon(drc_key)
+                registry.sheds += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.server.sheds",
+                                          reason="quota").inc()
+                return xid_bytes + err_tail
             try:
                 args = unpack_args(data, _FAST_HEADER_SIZE)
             except Exception:
@@ -507,6 +549,10 @@ class SvcRegistry:
             # Draining: replays (above) and health (exempt) still
             # answer; new work is refused with a typed error reply.
             return self._shed(out, header, "draining", span)
+        if self._over_quota(caller, header.prog, header.vers):
+            # Over the caller's token budget: answered (never cached),
+            # so a retry after the bucket refills reaches the handler.
+            return self._shed(out, header, "quota", span)
         key = (header.prog, header.vers)
         if key not in self._programs:
             versions = self.versions_of(header.prog)

@@ -41,6 +41,7 @@ import threading
 from repro import obs as _obs
 from repro.errors import FaultInjected, RpcProtocolError
 from repro.rpc.client import UDPMSGSIZE
+from repro.rpc.durable import attach_journal
 from repro.rpc.faults import FaultySocket
 from repro.rpc.mux import batch_overhead, mark_record, pack_batch, \
     unpack_batch
@@ -144,7 +145,8 @@ class MuxUdpServer(_EventLoopMixin):
 
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
-                 fault_plan=None, workers=0, queue_depth=64):
+                 fault_plan=None, workers=0, queue_depth=64,
+                 drc_dir=None, drc_fsync=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -162,6 +164,10 @@ class MuxUdpServer(_EventLoopMixin):
         if drc and hasattr(registry, "enable_drc"):
             if getattr(registry, "drc", None) is None:
                 registry.enable_drc()
+        #: DRC persistence: recover, then journal (off unless
+        #: ``drc_dir`` / ``REPRO_DRC_DIR`` is set).
+        self.journal = attach_journal(registry, drc_dir=drc_dir,
+                                      fsync=drc_fsync)
         self._inflight = InflightLimiter()
         self._pool = None
         #: worker-produced replies routed back to the loop for sending
@@ -329,6 +335,8 @@ class MuxUdpServer(_EventLoopMixin):
         self._stop_loop()
         if self._pool is not None:
             self._pool.stop()
+        if self.journal is not None:
+            self.journal.close()
         self.sock.close()
 
 
@@ -361,7 +369,7 @@ class MuxTcpServer(_EventLoopMixin):
     def __init__(self, registry, host="127.0.0.1", port=0, backlog=128,
                  fastpath=False, drc=True, fault_plan=None,
                  max_inflight=None, workers=0, queue_depth=64,
-                 max_record=1 << 24):
+                 max_record=1 << 24, drc_dir=None, drc_fsync=None):
         self.registry = registry
         self.max_record = max_record
         self._limiter = InflightLimiter(max_inflight)
@@ -373,6 +381,10 @@ class MuxTcpServer(_EventLoopMixin):
         if drc and hasattr(registry, "enable_drc"):
             if getattr(registry, "drc", None) is None:
                 registry.enable_drc()
+        #: DRC persistence: recover, then journal (off unless
+        #: ``drc_dir`` / ``REPRO_DRC_DIR`` is set).
+        self.journal = attach_journal(registry, drc_dir=drc_dir,
+                                      fsync=drc_fsync)
         self.fault_plan = fault_plan
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -567,6 +579,8 @@ class MuxTcpServer(_EventLoopMixin):
         self._stop_loop()
         if self._pool is not None:
             self._pool.stop()
+        if self.journal is not None:
+            self.journal.close()
         for conn in list(self._conns.values()):
             try:
                 conn.sock.shutdown(socket.SHUT_RDWR)

@@ -5,6 +5,7 @@ import threading
 
 from repro import obs as _obs
 from repro.errors import FaultInjected, RpcProtocolError
+from repro.rpc.durable import attach_journal
 from repro.rpc.faults import FaultySocket
 from repro.rpc.record import read_record, write_record
 from repro.rpc.resilience import InflightLimiter
@@ -35,7 +36,7 @@ class TcpServer:
 
     def __init__(self, registry, host="127.0.0.1", port=0, backlog=16,
                  fastpath=False, drc=True, fault_plan=None,
-                 max_inflight=None):
+                 max_inflight=None, drc_dir=None, drc_fsync=None):
         self.registry = registry
         self._limiter = InflightLimiter(max_inflight)
         #: requests answered with an over-cap shed reply
@@ -47,6 +48,10 @@ class TcpServer:
         if drc and hasattr(registry, "enable_drc"):
             if getattr(registry, "drc", None) is None:
                 registry.enable_drc()
+        #: DRC persistence: recover, then journal (off unless
+        #: ``drc_dir`` / ``REPRO_DRC_DIR`` is set).
+        self.journal = attach_journal(registry, drc_dir=drc_dir,
+                                      fsync=drc_fsync)
         self.fault_plan = fault_plan
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -163,6 +168,8 @@ class TcpServer:
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
+        if self.journal is not None:
+            self.journal.close()
         self.sock.close()
 
     def __enter__(self):

@@ -6,6 +6,7 @@ import threading
 from repro import obs as _obs
 from repro.errors import RpcProtocolError
 from repro.rpc.client import UDPMSGSIZE
+from repro.rpc.durable import attach_journal
 from repro.rpc.faults import FaultySocket
 from repro.rpc.resilience import InflightLimiter, WorkerPool
 
@@ -41,7 +42,8 @@ class UdpServer:
 
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
-                 fault_plan=None, workers=0, queue_depth=64):
+                 fault_plan=None, workers=0, queue_depth=64,
+                 drc_dir=None, drc_fsync=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -68,6 +70,12 @@ class UdpServer:
         if drc and hasattr(registry, "enable_drc"):
             if getattr(registry, "drc", None) is None:
                 registry.enable_drc()
+        #: DRC persistence (see :mod:`repro.rpc.durable`): recover the
+        #: predecessor's replies, then journal this incarnation's.
+        #: Off unless ``drc_dir`` (or ``REPRO_DRC_DIR``) names a
+        #: directory.
+        self.journal = attach_journal(registry, drc_dir=drc_dir,
+                                      fsync=drc_fsync)
         self._pool = None
         if workers:
             self._pool = WorkerPool(
@@ -190,6 +198,8 @@ class UdpServer:
             self._thread = None
         if self._pool is not None:
             self._pool.stop()
+        if self.journal is not None:
+            self.journal.close()
         self.sock.close()
 
     def __enter__(self):

@@ -41,6 +41,7 @@ class TestCacheUnit:
         assert cache.summary() == {
             "capacity": 4, "entries": 1, "hits": 1, "misses": 1,
             "stores": 1, "evictions": 0, "in_progress_drops": 0,
+            "absorbed": 0,
         }
 
     def test_lru_eviction_order(self):

@@ -15,6 +15,7 @@ SCRIPTS = [
     "parallel_matrix.py",
     "remote_stats.py",
     "nfs_lite.py",
+    "fleet_quickstart.py",
 ]
 
 
