@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, chaos, cluster, codesize, faults, figure6, live, marshaling, mux, roundtrip, unrolling
+from repro.bench import ablation, chaos, cluster, codesize, faults, figure6, live, marshaling, mux, online, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -26,11 +26,13 @@ EXPERIMENTS = {
                   " at-most-once", chaos.run_mux),
     "cluster": ("Cluster soak — durable at-most-once across a"
                 " multi-process rolling restart", cluster.run),
+    "online": ("Online specialization — convergence curve of the"
+               " profile-guided hot swap", online.run),
 }
 
 #: experiments whose runner takes only the workload (no sizes tuple)
 _NO_SIZES = ("table4", "ablation", "faults", "chaos", "mux", "chaos_mux",
-             "cluster")
+             "cluster", "online")
 
 
 def main(argv=None):

@@ -225,6 +225,40 @@ METRICS = {
         "counter", "kind",
         "faults applied by FaultPlan, by kind (drop/duplicate/reorder/"
         "delay/corrupt/truncate/skipped)"),
+    # -- online specialization (repro.specialized.online) -----------------
+    "rpc.spec.online.observed": (
+        "counter", "side",
+        "calls sampled by the dispatch/codec profilers while generic"
+        " (the evidence pool promotions are decided from)"),
+    "rpc.spec.online.hits": (
+        "counter", "side",
+        "calls answered by a hot-swapped online-specialized route or"
+        " codec"),
+    "rpc.spec.online.violations": (
+        "counter", "side",
+        "invariant-guard misses: messages outside the specialized"
+        " length set, answered by the generic codec on that call"),
+    "rpc.spec.online.promotions": (
+        "counter", "side",
+        "procedures auto-specialized and hot-swapped into dispatch"),
+    "rpc.spec.online.respecializations": (
+        "counter", "side",
+        "routes widened with a new stable length after the violation"
+        " threshold"),
+    "rpc.spec.online.demotions": (
+        "counter", "side",
+        "routes removed back to generic (size distribution shifted or"
+        " width cap reached)"),
+    "rpc.spec.online.skips": (
+        "counter", "reason",
+        "refused builds, by reason (unroll_cap, unsupported,"
+        " build_error)"),
+    "rpc.spec.online.active": (
+        "gauge", "side",
+        "online-specialized routes/codecs currently installed"),
+    "rpc.spec.online.build_s": (
+        "histogram", "",
+        "background Tempo + compile time per online build, seconds"),
     # -- specialization cache -------------------------------------------
     "spec.cache.hits": (
         "counter", "",
@@ -259,4 +293,4 @@ SPANS = {
 }
 
 #: every label value the ``tier`` field/label may take.
-TIERS = ("generic", "fastpath", "specialized")
+TIERS = ("generic", "fastpath", "specialized", "online")

@@ -92,6 +92,15 @@ class SvcRegistry:
         #: staged residual routes (see :meth:`stage_route`): constant
         #: header signature -> fused decode/handler/encode closure.
         self._staged_routes = None
+        #: online-specialized routes (see
+        #: :mod:`repro.specialized.online`): constant header signature
+        #: -> :class:`~repro.specialized.online.OnlineServerRoute`.
+        #: Swapped copy-on-write so concurrent dispatchers see either
+        #: the old or the new table, never a mid-mutation one.
+        self._online_routes = None
+        #: optional :class:`~repro.specialized.online.DispatchProfiler`
+        #: sampling (prog, vers, proc) call counts and message sizes.
+        self.profiler = None
         #: duplicate-request reply cache (see :mod:`repro.rpc.drc`);
         #: active only for dispatches that identify their caller.
         self.drc = None
@@ -375,6 +384,41 @@ class SvcRegistry:
         self._staged_routes[signature] = route
         return self
 
+    # -- online specialization plug points --------------------------------
+
+    def install_profiler(self, profiler):
+        """Tap dispatch with a traffic profiler (``profiler.record(data,
+        reply)`` after every generically-answered request).  Installed
+        by :meth:`repro.specialized.online.OnlineSpecializer.attach_server`.
+        """
+        self.profiler = profiler
+        return self
+
+    def install_online_route(self, prog, vers, proc, route):
+        """Atomically hot-swap an online-specialized route into dispatch.
+
+        ``route(data, caller)`` answers requests matching the constant
+        header signature for (prog, vers, proc); it may return the
+        ``_TO_GENERIC`` sentinel to hand a request back (invariant
+        violation, drain).  Unlike staged routes, online routes stay
+        active with observability enabled — they carry their own
+        counters/spans, so the obs contract still holds.
+        """
+        signature = struct.pack(">5I", 0, 2, prog, vers, proc)
+        routes = dict(self._online_routes or {})
+        routes[signature] = route
+        self._online_routes = routes
+        return self
+
+    def remove_online_route(self, prog, vers, proc):
+        """Demote (prog, vers, proc) back to the generic dispatcher;
+        returns the removed route, or None."""
+        signature = struct.pack(">5I", 0, 2, prog, vers, proc)
+        routes = dict(self._online_routes or {})
+        removed = routes.pop(signature, None)
+        self._online_routes = routes or None
+        return removed
+
     def versions_of(self, prog):
         return sorted(vers for p, vers in self._programs if p == prog)
 
@@ -394,6 +438,23 @@ class SvcRegistry:
         retransmitted requests are answered from the reply cache
         without re-invoking the handler.
         """
+        online = self._online_routes
+        if (online is not None and len(data) >= _FAST_HEADER_SIZE
+                and data[24:40] == _NULL_AUTHS):
+            route = online.get(bytes(data[4:24]))
+            if route is not None:
+                reply = route(data, caller)
+                if reply is not _TO_GENERIC:
+                    return reply
+        profiler = self.profiler
+        if profiler is not None:
+            reply = self._dispatch_generic(data, caller)
+            profiler.record(data, reply)
+            return reply
+        return self._dispatch_generic(data, caller)
+
+    def _dispatch_generic(self, data, caller=None):
+        """Dispatch below the online-route/profiler layer."""
         if _obs.enabled:
             return self._dispatch_observed(data, caller)
         routes = self._staged_routes

@@ -146,7 +146,7 @@ class MuxUdpServer(_EventLoopMixin):
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
                  fault_plan=None, workers=0, queue_depth=64,
-                 drc_dir=None, drc_fsync=None):
+                 drc_dir=None, drc_fsync=None, online_spec=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -168,6 +168,12 @@ class MuxUdpServer(_EventLoopMixin):
         #: ``drc_dir`` / ``REPRO_DRC_DIR`` is set).
         self.journal = attach_journal(registry, drc_dir=drc_dir,
                                       fsync=drc_fsync)
+        #: profile-guided online specialization (caller-owned; see
+        #: :mod:`repro.specialized.online`).
+        if online_spec is not None and hasattr(registry,
+                                               "install_profiler"):
+            online_spec.attach_server(registry)
+            online_spec.ensure_started()
         self._inflight = InflightLimiter()
         self._pool = None
         #: worker-produced replies routed back to the loop for sending
@@ -369,7 +375,8 @@ class MuxTcpServer(_EventLoopMixin):
     def __init__(self, registry, host="127.0.0.1", port=0, backlog=128,
                  fastpath=False, drc=True, fault_plan=None,
                  max_inflight=None, workers=0, queue_depth=64,
-                 max_record=1 << 24, drc_dir=None, drc_fsync=None):
+                 max_record=1 << 24, drc_dir=None, drc_fsync=None,
+                 online_spec=None):
         self.registry = registry
         self.max_record = max_record
         self._limiter = InflightLimiter(max_inflight)
@@ -385,6 +392,12 @@ class MuxTcpServer(_EventLoopMixin):
         #: ``drc_dir`` / ``REPRO_DRC_DIR`` is set).
         self.journal = attach_journal(registry, drc_dir=drc_dir,
                                       fsync=drc_fsync)
+        #: profile-guided online specialization (caller-owned; see
+        #: :mod:`repro.specialized.online`).
+        if online_spec is not None and hasattr(registry,
+                                               "install_profiler"):
+            online_spec.attach_server(registry)
+            online_spec.ensure_started()
         self.fault_plan = fault_plan
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

@@ -36,7 +36,8 @@ class TcpServer:
 
     def __init__(self, registry, host="127.0.0.1", port=0, backlog=16,
                  fastpath=False, drc=True, fault_plan=None,
-                 max_inflight=None, drc_dir=None, drc_fsync=None):
+                 max_inflight=None, drc_dir=None, drc_fsync=None,
+                 online_spec=None):
         self.registry = registry
         self._limiter = InflightLimiter(max_inflight)
         #: requests answered with an over-cap shed reply
@@ -52,6 +53,12 @@ class TcpServer:
         #: ``drc_dir`` / ``REPRO_DRC_DIR`` is set).
         self.journal = attach_journal(registry, drc_dir=drc_dir,
                                       fsync=drc_fsync)
+        #: profile-guided online specialization (caller-owned; see
+        #: :mod:`repro.specialized.online`).
+        if online_spec is not None and hasattr(registry,
+                                               "install_profiler"):
+            online_spec.attach_server(registry)
+            online_spec.ensure_started()
         self.fault_plan = fault_plan
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

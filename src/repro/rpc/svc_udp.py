@@ -43,7 +43,7 @@ class UdpServer:
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
                  fault_plan=None, workers=0, queue_depth=64,
-                 drc_dir=None, drc_fsync=None):
+                 drc_dir=None, drc_fsync=None, online_spec=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -76,6 +76,14 @@ class UdpServer:
         #: directory.
         self.journal = attach_journal(registry, drc_dir=drc_dir,
                                       fsync=drc_fsync)
+        #: profile-guided online specialization (see
+        #: :mod:`repro.specialized.online`): off unless an
+        #: OnlineSpecializer is passed; its lifetime belongs to the
+        #: caller (``REPRO_ONLINE_SPEC=0`` is a global kill switch).
+        if online_spec is not None and hasattr(registry,
+                                               "install_profiler"):
+            online_spec.attach_server(registry)
+            online_spec.ensure_started()
         self._pool = None
         if workers:
             self._pool = WorkerPool(

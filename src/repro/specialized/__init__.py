@@ -10,6 +10,13 @@ The resulting marshalers plug into the live RPC stack
 """
 
 from repro.specialized.cache import SpecializationCache, content_key
+from repro.specialized.online import (
+    DispatchProfiler,
+    OnlineClientCodec,
+    OnlinePolicy,
+    OnlineServerRoute,
+    OnlineSpecializer,
+)
 from repro.specialized.pipeline import (
     ClientSpecialization,
     ResidualCodec,
@@ -20,6 +27,11 @@ from repro.specialized.pipeline import (
 __all__ = [
     "ClientSpecialization",
     "content_key",
+    "DispatchProfiler",
+    "OnlineClientCodec",
+    "OnlinePolicy",
+    "OnlineServerRoute",
+    "OnlineSpecializer",
     "ResidualCodec",
     "ServerSpecialization",
     "SpecializationCache",

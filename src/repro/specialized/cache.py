@@ -29,9 +29,13 @@ from collections import OrderedDict
 
 from repro import obs as _obs
 
-#: bump when the cached payload layout changes — old disk entries are
-#: then simply never looked up again.
-CACHE_FORMAT = 1
+#: bump when the cached payload layout changes.  The format version is
+#: both part of the file name (old entries are never looked up again)
+#: and stamped *inside* each entry (an entry whose stamp disagrees —
+#: e.g. copied or symlinked across cache generations, or written by a
+#: future format under a colliding name — is treated as a miss rather
+#: than loaded as stale residual code).
+CACHE_FORMAT = 2
 
 
 def content_key(**parts):
@@ -123,11 +127,18 @@ class SpecializationCache:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                entry = pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError):
             # Missing, truncated, or stale-format entries are misses.
             return None
+        # Schema guard: entries are {"format": CACHE_FORMAT, "payload":
+        # ...}; anything else (pre-v2 raw payloads, a mismatched stamp)
+        # is a miss — never revive residual code across format changes.
+        if (not isinstance(entry, dict)
+                or entry.get("format") != CACHE_FORMAT):
+            return None
+        return entry.get("payload")
 
     def _disk_write(self, key, payload):
         if not self.cache_dir:
@@ -137,7 +148,8 @@ class SpecializationCache:
             path = self._path(key)
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump({"format": CACHE_FORMAT, "payload": payload},
+                            handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
             # A read-only or full cache dir never fails the pipeline.

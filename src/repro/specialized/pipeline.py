@@ -198,6 +198,37 @@ class ServerSpecialization:
         )
         return drc.key(xid, caller, prog, vers, proc)
 
+    def residual_reply(self, data):
+        """Run the residual dispatcher alone: the reply bytes for
+        ``data``, or None when the residual program declined (bytes
+        that crash it, a reply that does not fit).
+
+        No DRC, drain, quota, or fallback logic — callers compose
+        those policies themselves (:meth:`dispatch_bytes` does for the
+        offline wrapper; :class:`repro.specialized.online
+        .OnlineServerRoute` does for hot-swapped routes)."""
+        in_buffer = sr.fresh_buffer(data)
+        out_buffer = self._out_buffers.acquire()
+        try:
+            values = {
+                "inbuf": sr.buffer_cursor(in_buffer),
+                "inlen": len(data),
+                "outbuf": sr.buffer_cursor(out_buffer),
+                "outsize": self.bufsize,
+            }
+            try:
+                outlen = self._module.call(
+                    self._entry, *[values[name] for name in self._params]
+                )
+            except Exception:
+                outlen = 0
+            if outlen:
+                self.fast_path_hits += 1
+                return bytes(out_buffer.data[:outlen])
+            return None
+        finally:
+            self._out_buffers.release(out_buffer)
+
     def dispatch_bytes(self, data, caller=None):
         span = None
         if _obs.enabled:

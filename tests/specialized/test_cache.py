@@ -174,3 +174,50 @@ class TestDiskTier:
         pipeline = make_pipeline(cache_dir=None)
         pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
         assert list(tmp_path.iterdir()) == []
+
+
+class TestFormatStamp:
+    """Entries carry a schema stamp; any disagreement is a miss."""
+
+    def test_entries_are_stamped_with_the_format(self, tmp_path):
+        import pickle
+
+        from repro.specialized.cache import CACHE_FORMAT
+
+        pipeline = make_pipeline(str(tmp_path))
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        paths = list(tmp_path.iterdir())
+        assert paths and all(f"-v{CACHE_FORMAT}-" in p.name
+                             for p in paths)
+        entry = pickle.loads(paths[0].read_bytes())
+        assert entry["format"] == CACHE_FORMAT
+        assert "payload" in entry
+
+    def test_mismatched_stamp_is_a_miss(self, tmp_path):
+        import pickle
+
+        pipeline = make_pipeline(str(tmp_path))
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        for path in tmp_path.iterdir():
+            entry = pickle.loads(path.read_bytes())
+            entry["format"] = 999  # a future (or corrupted) generation
+            path.write_bytes(pickle.dumps(entry))
+        fresh = make_pipeline(str(tmp_path))
+        fresh.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        assert fresh.cache.disk_hits == 0
+        assert fresh.cache.misses == 1
+
+    def test_unstamped_payload_is_a_miss(self, tmp_path):
+        """A pre-stamp raw payload under the current file name (e.g.
+        copied across cache generations) must not be revived."""
+        import pickle
+
+        pipeline = make_pipeline(str(tmp_path))
+        pipeline.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        for path in tmp_path.iterdir():
+            entry = pickle.loads(path.read_bytes())
+            path.write_bytes(pickle.dumps(entry["payload"]))
+        fresh = make_pipeline(str(tmp_path))
+        fresh.specialize_client("BOUNCE", arg_lens=LENS, res_lens=LENS)
+        assert fresh.cache.disk_hits == 0
+        assert fresh.cache.misses == 1
