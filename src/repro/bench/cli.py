@@ -5,7 +5,7 @@ import argparse
 import sys
 import time
 
-from repro.bench import ablation, chaos, cluster, codesize, faults, figure6, live, marshaling, mux, online, roundtrip, unrolling
+from repro.bench import ablation, chaos, cluster, codesize, faults, figure6, live, marshaling, mux, online, overload, roundtrip, unrolling
 from repro.bench.workloads import ARRAY_SIZES, IntArrayWorkload
 
 EXPERIMENTS = {
@@ -28,11 +28,14 @@ EXPERIMENTS = {
                 " multi-process rolling restart", cluster.run),
     "online": ("Online specialization — convergence curve of the"
                " profile-guided hot swap", online.run),
+    "overload": ("Overload soak — metastability with vs without deadline"
+                 " propagation, retry budgets, hedging, and CoDel",
+                 overload.run),
 }
 
 #: experiments whose runner takes only the workload (no sizes tuple)
 _NO_SIZES = ("table4", "ablation", "faults", "chaos", "mux", "chaos_mux",
-             "cluster", "online")
+             "cluster", "online", "overload")
 
 
 def main(argv=None):

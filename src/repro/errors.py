@@ -74,6 +74,21 @@ class RpcDeadlineExceeded(RpcTimeoutError):
     """
 
 
+class RpcRetryBudgetExhausted(RpcTimeoutError):
+    """Raised when the client *retry budget* denies a retransmission
+    or a failover rotation.
+
+    A :class:`~repro.rpc.overload.RetryBudget` caps retries to a
+    fraction of recent calls; once the bucket is dry the call fails
+    fast with this typed error instead of feeding a retry storm.
+    Subclasses :class:`RpcTimeoutError` so existing handlers that
+    treat any client-side expiry uniformly keep working — but a
+    budget denial is deliberately *not* counted as an endpoint
+    failure by :class:`~repro.rpc.resilience.FailoverClient`'s
+    circuit breakers.
+    """
+
+
 class RpcCircuitOpenError(RpcError):
     """Raised when a circuit breaker refuses a call locally.
 

@@ -44,6 +44,34 @@ METRICS = {
         "counter", "",
         "successful calls that landed on a different endpoint than the"
         " previous one (FailoverClient endpoint switches)"),
+    # -- overload control (repro.rpc.overload) ----------------------------
+    "rpc.retry_budget.granted": (
+        "counter", "",
+        "retransmission/failover attempts the retry budget paid for"),
+    "rpc.retry_budget.denied": (
+        "counter", "",
+        "retransmission/failover attempts refused by an empty retry"
+        " budget (the call fails typed instead of amplifying load)"),
+    "rpc.hedge.attempts": (
+        "counter", "",
+        "hedged requests issued (a second replica raced after the"
+        " adaptive p95 trigger fired)"),
+    "rpc.hedge.wins": (
+        "counter", "winner",
+        "settled hedged races, by which leg answered first"
+        " (primary/hedge)"),
+    "rpc.deadline.doomed": (
+        "counter", "",
+        "requests dropped before dispatch because their propagated"
+        " deadline budget had already expired (doomed work)"),
+    "rpc.queue.sojourn_s": (
+        "histogram", "",
+        "request queue wait (enqueue to dequeue) in seconds, per"
+        " worker-pool pop"),
+    "rpc.queue.sojourn_sheds": (
+        "counter", "",
+        "requests shed by the CoDel controller for sustained"
+        " over-target sojourn times"),
     # -- circuit breaker -------------------------------------------------
     "rpc.breaker.transitions": (
         "counter", "to",
@@ -65,7 +93,7 @@ METRICS = {
     "rpc.server.sheds": (
         "counter", "reason",
         "requests answered with a SYSTEM_ERR shed reply, by reason"
-        " (queue_full, draining, quota)"),
+        " (queue_full, draining, quota, sojourn)"),
     "rpc.server.queue_depth": (
         "gauge", "",
         "bounded request queue occupancy after the last enqueue"),
@@ -224,7 +252,8 @@ METRICS = {
     "faults.injected": (
         "counter", "kind",
         "faults applied by FaultPlan, by kind (drop/duplicate/reorder/"
-        "delay/corrupt/truncate/skipped)"),
+        "delay/corrupt/truncate/skipped, plus the timed phases"
+        " spike/partition)"),
     # -- online specialization (repro.specialized.online) -----------------
     "rpc.spec.online.observed": (
         "counter", "side",

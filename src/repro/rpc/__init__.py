@@ -11,6 +11,9 @@ A working pure-Python Sun RPC stack structured like the 1984 sources:
 * :mod:`repro.rpc.pmap` — the portmapper (program 100000);
 * :mod:`repro.rpc.resilience` — deadlines, circuit breaking,
   multi-endpoint failover, overload control, graceful drain;
+* :mod:`repro.rpc.overload` — end-to-end overload control: deadline
+  propagation (doomed-work drops), retry budgets, hedged-request
+  triggers, and CoDel-style adaptive queue management;
 * :mod:`repro.rpc.mux` / :mod:`repro.rpc.svc_mux` — the concurrent
   call engine: xid-multiplexed pipelined clients (``call_async``),
   call batching, and readiness-driven event-loop servers;
@@ -42,6 +45,15 @@ from repro.rpc.fleet import (
 )
 from repro.rpc.message import RPC_VERSION
 from repro.rpc.mux import MuxTcpClient, MuxUdpClient, PendingCall
+from repro.rpc.overload import (
+    CodelQueue,
+    HedgeTrigger,
+    RetryBudget,
+    make_deadline_cred,
+    propagation_enabled,
+    remaining_from_cred,
+    stamp_deadline,
+)
 from repro.rpc.resilience import (
     CallerQuota,
     CircuitBreaker,
@@ -69,6 +81,7 @@ __all__ = [
     "CallStats",
     "CallerQuota",
     "CircuitBreaker",
+    "CodelQueue",
     "Deadline",
     "DrcJournal",
     "DrcReplicator",
@@ -86,16 +99,22 @@ __all__ = [
     "HEALTH_PROG",
     "HEALTH_PROC_STATUS",
     "HEALTH_VERS",
+    "HedgeTrigger",
     "InflightLimiter",
     "MuxTcpClient",
     "MuxTcpServer",
     "MuxUdpClient",
     "MuxUdpServer",
     "PendingCall",
+    "RetryBudget",
     "STATUS_DRAINING",
     "STATUS_SERVING",
     "WorkerPool",
     "make_server",
+    "make_deadline_cred",
+    "propagation_enabled",
+    "remaining_from_cred",
+    "stamp_deadline",
     "OpaqueAuth",
     "make_auth_none",
     "make_auth_sys",

@@ -36,6 +36,7 @@ from repro.rpc.message import (
     encode_call_header,
     raise_for_reply,
 )
+from repro.rpc.overload import make_deadline_cred, propagation_enabled
 from repro.xdr import XdrMemStream, XdrOp
 
 #: Sun's UDP transfer-unit default.
@@ -56,12 +57,17 @@ class RpcClient:
     """Base class: message building, reply validation, call plumbing."""
 
     def __init__(self, prog, vers, cred=NULL_AUTH, verf=NULL_AUTH,
-                 bufsize=UDPMSGSIZE):
+                 bufsize=UDPMSGSIZE, propagate_deadline=None):
         self.prog = prog
         self.vers = vers
         self.cred = cred
         self.verf = verf
         self.bufsize = bufsize
+        #: opt-in deadline propagation (REPRO_DEADLINE_PROPAGATION):
+        #: calls carrying a Deadline ride their remaining budget in an
+        #: opaque cred so servers can drop doomed work.  Off → the cred
+        #: stays NULL_AUTH and the wire is byte-identical.
+        self.propagate_deadline = propagation_enabled(propagate_deadline)
         start = struct.unpack(">I", os.urandom(4))[0]
         self._xids = itertools.count(start)
         #: optional (encode_fn, decode_fn) overrides per proc number —
@@ -171,6 +177,25 @@ class RpcClient:
         encode_call_header(stream, header)
         self._encode_body(stream, proc, args, xdr_args)
         return stream.data()
+
+    def build_call_deadline(self, xid, proc, args, xdr_args, deadline):
+        """Serialize a call carrying ``deadline``'s remaining budget in
+        the opaque deadline cred (:mod:`repro.rpc.overload`).
+
+        Deliberately bypasses the header template and whole-message
+        codecs — those are specialized for the constant NULL-cred
+        shape — and returns a mutable ``bytearray`` so the transports
+        can re-stamp a shrunken budget into retransmissions with
+        :func:`~repro.rpc.overload.stamp_deadline`.
+        """
+        buffer = bytearray(self.bufsize)
+        stream = XdrMemStream(buffer, XdrOp.ENCODE)
+        header = CallHeader(xid, self.prog, self.vers, proc,
+                            make_deadline_cred(deadline), self.verf)
+        encode_call_header(stream, header)
+        length = self._encode_body(stream, proc, args, xdr_args)
+        del buffer[length:]
+        return buffer
 
     def _encode_into(self, buffer, xid, proc, args, xdr_args):
         offset = self._template_for(proc).write_into(buffer, xid)

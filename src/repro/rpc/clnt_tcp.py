@@ -188,7 +188,13 @@ class TcpClient(RpcClient):
         encode_span = (span.child("client.encode")
                        if span is not None else None)
         try:
-            if self.fastpath_enabled and proc not in self._codecs:
+            if (self.propagate_deadline and deadline is not None
+                    and proc not in self._codecs):
+                # Deadline propagation: carry the remaining budget in
+                # the deadline cred so the server can drop doomed work.
+                request = self.build_call_deadline(xid, proc, args,
+                                                   xdr_args, deadline)
+            elif self.fastpath_enabled and proc not in self._codecs:
                 send_buffer, length = self.build_call_pooled(
                     xid, proc, args, xdr_args
                 )

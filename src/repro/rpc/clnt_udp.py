@@ -48,11 +48,13 @@ from repro import obs as _obs
 from repro.errors import (
     RpcDeadlineExceeded,
     RpcProtocolError,
+    RpcRetryBudgetExhausted,
     RpcTimeoutError,
     XdrError,
 )
 from repro.rpc.client import RpcClient, UDPMSGSIZE
 from repro.rpc.faults import FaultySocket
+from repro.rpc.overload import stamp_deadline
 from repro.rpc.resilience import Deadline
 
 
@@ -135,9 +137,15 @@ class UdpClient(RpcClient):
         bufsize=UDPMSGSIZE,
         fastpath=False,
         fault_plan=None,
+        retry_budget=None,
         **kwargs,
     ):
         super().__init__(prog, vers, bufsize=bufsize, **kwargs)
+        #: optional :class:`~repro.rpc.overload.RetryBudget` gating
+        #: retransmissions: calls deposit, retransmits withdraw, and a
+        #: dry bucket fails the call with RpcRetryBudgetExhausted
+        #: instead of feeding a retry storm.
+        self.retry_budget = retry_budget
         self.address = (host, port)
         self.timeout = timeout
         self.wait = wait
@@ -201,7 +209,15 @@ class UdpClient(RpcClient):
             encode_span = (span.child("client.encode")
                            if span is not None else None)
             try:
-                if self.fastpath_enabled and proc not in self._codecs:
+                if (self.propagate_deadline and deadline is not None
+                        and proc not in self._codecs):
+                    # Deadline propagation: a mutable request carrying
+                    # the remaining budget in the deadline cred
+                    # (re-stamped on every retransmission).
+                    request = self.build_call_deadline(
+                        xid, proc, args, xdr_args, deadline
+                    )
+                elif self.fastpath_enabled and proc not in self._codecs:
                     send_buffer, length = self.build_call_pooled(
                         xid, proc, args, xdr_args
                     )
@@ -294,6 +310,9 @@ class UdpClient(RpcClient):
             hard_end = min(budget_end, deadline.expires_at)
         window = min(self.wait, self.max_wait)
         outcome = "timeout"
+        budget = self.retry_budget
+        if budget is not None:
+            budget.note_call()
         try:
             while True:
                 now = time.monotonic()
@@ -302,7 +321,18 @@ class UdpClient(RpcClient):
                         outcome = "deadline"
                     break
                 if stats.attempts:
+                    if budget is not None and not budget.try_retry():
+                        raise RpcRetryBudgetExhausted(
+                            f"retry budget exhausted for RPC call"
+                            f" (prog={self.prog}, proc={proc}) after"
+                            f" {stats.attempts} attempt(s)"
+                        )
                     stats.retransmissions += 1
+                    if deadline is not None:
+                        # Honest budget on the wire: the retransmission
+                        # carries what *remains*, not the build-time
+                        # value (no-op for non-propagated requests).
+                        stamp_deadline(request, deadline)
                 send_span = (span.child("client.send",
                                         attempt=stats.attempts + 1,
                                         bytes=len(request))

@@ -41,6 +41,16 @@ layer: ``drop`` aborts the connection (the local sender gets
 :class:`~repro.errors.RpcConnectionError`), ``truncate`` sends a
 partial record then closes (the peer sees an EOF mid-record), and
 ``duplicate``/``reorder`` are no-ops (counted as ``skipped``).
+
+On top of the probabilistic schedule a plan supports two *timed
+phases* driven by the overload bench (``python -m repro.bench
+overload``): a **latency spike** (:meth:`FaultPlan.begin_spike` —
+every faulted datagram sleeps an extra fixed delay) and a **one-way
+partition** (:meth:`FaultPlan.begin_partition` — the faulted
+direction(s) drop every payload; wrap only the server socket to drop
+replies while requests still arrive).  Both phases consume *no* RNG
+draws and don't count against ``max_faults``, so the seeded fault
+sequence stays byte-for-byte identical with or without them.
 """
 
 import socket
@@ -55,6 +65,11 @@ from repro.errors import FaultInjected
 #: scheduling faults (delay, reorder, duplicate).
 FAULT_KINDS = ("drop", "duplicate", "reorder", "delay", "corrupt",
                "truncate")
+
+#: stat keys that never count against the ``max_faults`` budget:
+#: ``skipped`` records a no-op, ``spike``/``partition`` record timed
+#: phases (explicitly begun, not drawn from the seeded schedule).
+_UNBUDGETED = frozenset(("skipped", "spike", "partition"))
 
 
 class _DeterministicRandom:
@@ -112,13 +127,20 @@ class FaultPlan:
         #: faults actually applied, per kind (skips included)
         self.injected = {kind: 0 for kind in FAULT_KINDS}
         self.injected["skipped"] = 0
+        self.injected["spike"] = 0
+        self.injected["partition"] = 0
+        #: timed-phase state (see begin_spike / begin_partition)
+        self._spike_delay_s = None
+        self._spike_until = None
+        self._partitioned = False
+        self._partition_until = None
 
     # -- decisions --------------------------------------------------------
 
     @property
     def total_injected(self):
         return sum(count for kind, count in self.injected.items()
-                   if kind != "skipped")
+                   if kind not in _UNBUDGETED)
 
     def decide(self):
         """The fault actions for the next datagram.
@@ -145,6 +167,54 @@ class FaultPlan:
         self.injected[kind] += 1
         if _obs.enabled:
             _obs.registry.counter("faults.injected", kind=kind).inc()
+
+    # -- timed phases ------------------------------------------------------
+
+    def begin_spike(self, delay_s, duration_s=None):
+        """Enter a latency-spike phase: every faulted datagram sleeps
+        ``delay_s`` on top of the probabilistic faults.  The phase ends
+        after ``duration_s`` seconds, or at :meth:`end_spike` when no
+        duration is given.  Consumes no RNG draws — the seeded fault
+        sequence is unchanged."""
+        self._spike_delay_s = float(delay_s)
+        self._spike_until = (None if duration_s is None
+                             else time.monotonic() + duration_s)
+
+    def end_spike(self):
+        self._spike_delay_s = None
+        self._spike_until = None
+
+    def spike_delay(self):
+        """The spike phase's injected latency, or None outside it."""
+        if self._spike_delay_s is None:
+            return None
+        if (self._spike_until is not None
+                and time.monotonic() >= self._spike_until):
+            self.end_spike()
+            return None
+        return self._spike_delay_s
+
+    def begin_partition(self, duration_s=None):
+        """Enter a one-way partition: the faulted direction(s) drop
+        *every* payload.  Wrap only the server socket (the default
+        ``on_send``) to drop replies while requests still arrive —
+        the shape that makes clients retransmit into a black hole."""
+        self._partitioned = True
+        self._partition_until = (None if duration_s is None
+                                 else time.monotonic() + duration_s)
+
+    def end_partition(self):
+        self._partitioned = False
+        self._partition_until = None
+
+    def partition_active(self):
+        if not self._partitioned:
+            return False
+        if (self._partition_until is not None
+                and time.monotonic() >= self._partition_until):
+            self.end_partition()
+            return False
+        return True
 
     def summary(self):
         """Counts for reports: decisions, per-kind injections."""
@@ -234,8 +304,18 @@ class FaultySocket:
     def sendto(self, data, addr):
         if not self.on_send:
             return self._sock.sendto(data, addr)
+        # decide() runs unconditionally — timed phases must not shift
+        # the seeded draw sequence.
         decision = self.plan.decide()
         size = len(data)
+        if self.plan.partition_active():
+            self.plan.note("partition")
+            self._flush_held()
+            return size
+        spike = self.plan.spike_delay()
+        if spike is not None:
+            self.plan.note("spike")
+            time.sleep(spike)
         if "drop" in decision:
             self.plan.note("drop")
             self._flush_held()
@@ -273,6 +353,13 @@ class FaultySocket:
         if not self.on_recv:
             return data, addr
         decision = self.plan.decide()
+        if self.plan.partition_active():
+            self.plan.note("partition")
+            return b"", addr
+        spike = self.plan.spike_delay()
+        if spike is not None:
+            self.plan.note("spike")
+            time.sleep(spike)
         if "drop" in decision:
             # Deliver an empty datagram: both the client loop and the
             # server dispatcher discard undecodable payloads, so this
@@ -307,6 +394,17 @@ class FaultySocket:
         if not (self.on_send and self.stream):
             return self._sock.sendall(data)
         decision = self.plan.decide()
+        if self.plan.partition_active():
+            # One-way partition on a stream: the bytes silently vanish
+            # but the connection stays up — the peer just never hears
+            # back, exactly the black-hole shape the overload bench
+            # needs.
+            self.plan.note("partition")
+            return None
+        spike = self.plan.spike_delay()
+        if spike is not None:
+            self.plan.note("spike")
+            time.sleep(spike)
         if "drop" in decision:
             # TCP hides datagram loss; an application-visible "drop"
             # is a dead connection.

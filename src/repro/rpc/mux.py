@@ -65,12 +65,14 @@ from repro.errors import (
     RpcDeadlineExceeded,
     RpcError,
     RpcProtocolError,
+    RpcRetryBudgetExhausted,
     RpcTimeoutError,
     XdrError,
 )
 from repro.rpc.client import UDPMSGSIZE
 from repro.rpc.clnt_tcp import TcpClient
 from repro.rpc.clnt_udp import CallStats, UdpClient
+from repro.rpc.overload import stamp_deadline
 from repro.rpc.record import (
     DEFAULT_FRAGMENT_SIZE,
     LAST_FRAGMENT,
@@ -336,7 +338,17 @@ class _MuxEngine:
         if deadline is not None:
             budget = min(budget, deadline.check(f"proc={proc}"))
         xid = self.next_xid()
-        request = self.build_call(xid, proc, args, xdr_args)
+        if (self.propagate_deadline and deadline is not None
+                and proc not in self._codecs):
+            # Deadline propagation: a mutable request carrying the
+            # remaining budget, re-stamped on every retransmission.
+            request = self.build_call_deadline(xid, proc, args,
+                                               xdr_args, deadline)
+        else:
+            request = self.build_call(xid, proc, args, xdr_args)
+        retry_budget = getattr(self, "retry_budget", None)
+        if retry_budget is not None:
+            retry_budget.note_call()
         now = time.monotonic()
         hard_end = now + self.timeout
         if deadline is not None:
@@ -415,10 +427,19 @@ class _MuxEngine:
             hard_end = min(hard_end, deadline.expires_at)
         window = self._initial_window()
         cond = self._cond
+        retry_budget = getattr(self, "retry_budget", None)
+        propagate = (self.propagate_deadline and deadline is not None
+                     and proc not in self._codecs)
         calls = []
         for args in args_list:
             xid = self.next_xid()
-            request = self.build_call(xid, proc, args, xdr_args)
+            if propagate:
+                request = self.build_call_deadline(xid, proc, args,
+                                                   xdr_args, deadline)
+            else:
+                request = self.build_call(xid, proc, args, xdr_args)
+            if retry_budget is not None:
+                retry_budget.note_call()
             calls.append(PendingCall(cond, xid, proc, request, xdr_res,
                                      deadline, now, hard_end, window))
         if not calls:
@@ -842,11 +863,27 @@ class MuxUdpClient(_MuxEngine, UdpClient):
                 self._complete(call, error=error, outcome=outcome)
                 continue
             if call.stats.attempts and now >= call.next_send_at:
+                budget = self.retry_budget
+                if budget is not None and not budget.try_retry():
+                    self._complete(
+                        call,
+                        error=RpcRetryBudgetExhausted(
+                            f"retry budget exhausted for mux call"
+                            f" (prog={self.prog}, proc={call.proc})"
+                            f" after {call.stats.attempts} attempt(s)"
+                        ),
+                        outcome="RpcRetryBudgetExhausted",
+                    )
+                    continue
                 call.stats.retransmissions += 1
                 call.stats.attempts += 1
                 call.window = self._next_window(call.window)
                 call.stats.backoff_schedule.append(call.window)
                 call.next_send_at = now + call.window
+                if call.deadline is not None:
+                    # Honest budget on the wire for propagated calls
+                    # (no-op when the request carries no deadline cred).
+                    stamp_deadline(call.request, call.deadline)
                 try:
                     # Retransmissions are always raw single messages —
                     # the batch a call first rode in is not replayed.

@@ -52,8 +52,10 @@ from repro.errors import (
     RpcDeadlineExceeded,
     RpcDeniedError,
     RpcError,
+    RpcRetryBudgetExhausted,
     RpcTimeoutError,
 )
+from repro.rpc.overload import CodelQueue, HedgeTrigger, RetryBudget
 
 __all__ = [
     "Deadline",
@@ -404,22 +406,36 @@ class WorkerPool:
 
     ``submit`` never blocks: a full queue returns False and the caller
     sheds the request with a proper RPC error reply instead of letting
-    it pile up.  Worker exceptions are contained (counted, never
-    propagated), so a hostile request cannot kill a worker.  Graceful
-    drain waits on ``wait_idle`` — queue empty *and* no handler mid-
-    flight.
+    it pile up.  The queue itself is a
+    :class:`~repro.rpc.overload.CodelQueue`: under sustained sojourn
+    above the CoDel target, dequeued items are *shed* (handed to
+    ``shed_handler`` so the owner can answer them with a SYSTEM_ERR
+    reply) instead of executed, and the ``codel-lifo`` policy serves
+    newest-first while overloaded.  ``queue_policy="fifo"`` restores
+    the legacy never-shed bounded queue.  Worker exceptions are
+    contained (counted, never propagated), so a hostile request cannot
+    kill a worker.  Graceful drain waits on ``wait_idle`` — queue
+    empty *and* no handler mid-flight.
     """
 
-    def __init__(self, workers, queue_depth, handler, name="rpc-worker"):
+    def __init__(self, workers, queue_depth, handler, name="rpc-worker",
+                 queue_policy=None, queue_target_s=None,
+                 queue_interval_s=None, shed_handler=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.handler = handler
-        self._queue = queue.Queue(maxsize=max(1, queue_depth))
+        #: called with a dequeued-but-shed item; the owner answers it
+        self.shed_handler = shed_handler
+        self._queue = CodelQueue(max(1, queue_depth),
+                                 target_s=queue_target_s,
+                                 interval_s=queue_interval_s,
+                                 policy=queue_policy)
         self._limiter = InflightLimiter()
         self._stopped = threading.Event()
         self.worker_errors = 0
         self.submitted = 0
         self.shed = 0
+        self.sojourn_shed = 0
         self._threads = [
             threading.Thread(target=self._run, name=f"{name}-{i}",
                              daemon=True)
@@ -427,6 +443,13 @@ class WorkerPool:
         ]
         for thread in self._threads:
             thread.start()
+
+    @property
+    def queue_policy(self):
+        return self._queue.policy
+
+    def queue_summary(self):
+        return self._queue.summary()
 
     def submit(self, item):
         """Enqueue one request; False means the queue is full (shed)."""
@@ -450,7 +473,7 @@ class WorkerPool:
     def _run(self):
         while True:
             try:
-                item = self._queue.get(timeout=0.2)
+                item, _sojourn, shed = self._queue.pop(timeout=0.2)
             except queue.Empty:
                 if self._stopped.is_set():
                     return
@@ -458,7 +481,16 @@ class WorkerPool:
             if item is _STOP:
                 return
             try:
-                self.handler(item)
+                if shed:
+                    # The CoDel controller says this item sat too long:
+                    # answer it (shed_handler sends SYSTEM_ERR) rather
+                    # than execute work whose caller has likely moved
+                    # on — executing it would only prolong the queue.
+                    self.sojourn_shed += 1
+                    if self.shed_handler is not None:
+                        self.shed_handler(item)
+                else:
+                    self.handler(item)
             except Exception:
                 # Contain everything: a worker must survive any
                 # request.  (The dispatcher already answers malformed
@@ -507,12 +539,36 @@ class FailoverClient:
     ``call_budget_s`` is the default per-call deadline (None = no
     deadline: one rotation through the replica set, then the last
     error propagates).
+
+    **Retry budget:** ``retry_budget_ratio`` > 0 (or the
+    ``REPRO_RETRY_BUDGET`` knob) installs a
+    :class:`~repro.rpc.overload.RetryBudget` shared by the rotation
+    loop — after the first failed attempt, every further attempt
+    (rotation or re-cycle) must withdraw a token, and exhaustion
+    raises the typed
+    :class:`~repro.errors.RpcRetryBudgetExhausted` instead of feeding
+    a retry storm.  UDP transports also get a per-endpoint budget
+    gating their in-call retransmissions.
+
+    **Hedging:** ``hedge=True`` (or ``REPRO_HEDGE``) arms hedged
+    requests on transports with an async surface (``mux-udp`` /
+    ``mux-tcp``): once the :class:`~repro.rpc.overload.HedgeTrigger`
+    has a latency profile, a call that outlives the adaptive p95 delay
+    issues a second request to another replica; the first reply wins.
+    The hedge is a *new call with a fresh xid* from the shared
+    counter, so the PR 4 xid discipline plus the server DRC guarantee
+    the loser coalesces or executes at-most-once — never a duplicate
+    execution of the same xid.
     """
 
     def __init__(self, endpoints, prog, vers, transport="udp",
                  call_budget_s=None, breaker_threshold=3,
                  breaker_recovery_s=1.0, retry_pause_s=0.02,
                  clock=time.monotonic, client_factory=None,
+                 retry_budget_ratio=None, retry_budget_burst=10.0,
+                 retry_budget_min_rate=1.0, hedge=None,
+                 hedge_trigger=None, hedge_quantile=None,
+                 hedge_min_delay_s=None, hedge_min_samples=16,
                  **client_kwargs):
         if not endpoints:
             raise ValueError("need at least one endpoint")
@@ -529,6 +585,43 @@ class FailoverClient:
         self._client_kwargs = dict(client_kwargs)
         self._breaker_threshold = breaker_threshold
         self._breaker_recovery_s = breaker_recovery_s
+        if retry_budget_ratio is None:
+            retry_budget_ratio = float(
+                os.environ.get("REPRO_RETRY_BUDGET", "0") or 0.0
+            )
+        self._retry_budget_ratio = retry_budget_ratio
+        self._retry_budget_burst = retry_budget_burst
+        self._retry_budget_min_rate = retry_budget_min_rate
+        #: gates rotation/re-cycle attempts after the first failure
+        self._rotation_budget = self._make_retry_budget()
+        #: per-endpoint budgets handed to UDP clients (retransmit gate)
+        self._retry_budgets = [
+            self._make_retry_budget() for _ in self.endpoints
+        ]
+        if hedge is None:
+            hedge = os.environ.get(
+                "REPRO_HEDGE", ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        self.hedge_enabled = bool(hedge)
+        if hedge_trigger is not None:
+            self._hedge_trigger = hedge_trigger
+            self.hedge_enabled = True
+        elif self.hedge_enabled:
+            if hedge_quantile is None:
+                hedge_quantile = float(
+                    os.environ.get("REPRO_HEDGE_QUANTILE", 0.95)
+                )
+            if hedge_min_delay_s is None:
+                hedge_min_delay_s = float(
+                    os.environ.get("REPRO_HEDGE_MIN_DELAY_MS", 1.0)
+                ) / 1e3
+            self._hedge_trigger = HedgeTrigger(
+                quantile=hedge_quantile,
+                min_samples=hedge_min_samples,
+                min_delay_s=hedge_min_delay_s,
+            )
+        else:
+            self._hedge_trigger = None
         self._clients = [None] * len(self.endpoints)
         self.breakers = [
             self._make_breaker(host, port)
@@ -542,6 +635,9 @@ class FailoverClient:
         self.failovers = 0
         self.calls_completed = 0
         self.deadline_exceeded = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.retry_budget_exhausted = 0
         #: (endpoint, error-type-name) of failures seen, newest last
         self.last_errors = []
 
@@ -552,12 +648,27 @@ class FailoverClient:
                               recovery_s=self._breaker_recovery_s,
                               clock=self._clock, name=f"{host}:{port}")
 
+    def _make_retry_budget(self):
+        if self._retry_budget_ratio <= 0:
+            return None
+        return RetryBudget(self._retry_budget_ratio,
+                           burst=self._retry_budget_burst,
+                           min_rate=self._retry_budget_min_rate,
+                           clock=self._clock)
+
     def _make_client(self, index, deadline):
         host, port = self.endpoints[index]
         if self._client_factory is not None:
             return self._client_factory(host, port, self.prog, self.vers,
                                         **self._client_kwargs)
         kwargs = dict(self._client_kwargs)
+        if self.transport in ("udp", "mux-udp"):
+            # UDP transports retransmit: hand them this endpoint's
+            # retry budget so in-call retransmissions draw from the
+            # same accounting as rotation attempts.
+            budget = self._retry_budgets[index]
+            if budget is not None:
+                kwargs.setdefault("retry_budget", budget)
         if self.transport == "udp":
             from repro.rpc.clnt_udp import UdpClient
 
@@ -622,6 +733,7 @@ class FailoverClient:
                 return False
             clients = dict(zip(self.endpoints, self._clients))
             breakers = dict(zip(self.endpoints, self.breakers))
+            budgets = dict(zip(self.endpoints, self._retry_budgets))
             current = (self.endpoints[self._index]
                        if self._index < len(self.endpoints) else None)
             keep = set(fresh)
@@ -631,6 +743,10 @@ class FailoverClient:
             self._clients = [clients.get(endpoint) for endpoint in fresh]
             self.breakers = [
                 breakers.get(endpoint) or self._make_breaker(*endpoint)
+                for endpoint in fresh
+            ]
+            self._retry_budgets = [
+                budgets.get(endpoint) or self._make_retry_budget()
                 for endpoint in fresh
             ]
             self._index = (fresh.index(current) if current in keep else 0)
@@ -648,6 +764,10 @@ class FailoverClient:
         budget = deadline if deadline is not None else self.call_budget_s
         deadline = Deadline.coerce(budget, clock=self._clock)
         last_error = None
+        rotation_budget = self._rotation_budget
+        if rotation_budget is not None:
+            rotation_budget.note_call()
+        tried = 0
         while True:
             # Recomputed per rotation: set_endpoints() may swap the
             # replica set between (or during) rotations.
@@ -671,7 +791,19 @@ class FailoverClient:
                         continue
                     if deadline is not None and deadline.expired:
                         break
+                    if (tried and rotation_budget is not None
+                            and not rotation_budget.try_retry()):
+                        # Every attempt after the first is a retry in
+                        # the budget's eyes: a dry bucket fails the
+                        # call typed instead of feeding the storm.
+                        self.retry_budget_exhausted += 1
+                        raise RpcRetryBudgetExhausted(
+                            f"retry budget exhausted calling"
+                            f" proc={proc} after {tried} attempt(s);"
+                            f" last endpoint error: {last_error!r}"
+                        ) from last_error
                     attempted = True
+                    tried += 1
                     value, failed = self._try_endpoint(
                         index, proc, args, xdr_args, xdr_res, deadline
                     )
@@ -719,14 +851,31 @@ class FailoverClient:
         failure that should rotate to the next endpoint.  Deadline
         exhaustion propagates — the budget is global, not
         per-endpoint.
+
+        Breaker discipline: only failures that are evidence the
+        *endpoint* is unhealthy (connection death, silence, deadline
+        burn) charge its :class:`CircuitBreaker`.  An *answered*
+        denial — a SYSTEM_ERR overload shed, a quota shed, an auth
+        refusal — proves the endpoint is alive and deliberately
+        refusing, so it rotates without a breaker charge; otherwise
+        load shedding would cascade into spurious circuit opens.
+        Retry-budget denials are local policy, never endpoint
+        evidence.
         """
         breaker = self.breakers[index]
+        trigger = self._hedge_trigger
         try:
             client = self._client(index, deadline)
         except (RpcConnectionError, OSError) as exc:
             breaker.record_failure()
             self._note_failure(index, exc)
             return self._as_rpc_error(exc), True
+        if (self.hedge_enabled and trigger is not None
+                and len(self.endpoints) > 1
+                and hasattr(client, "call_async")):
+            return self._call_hedged(index, client, proc, args,
+                                     xdr_args, xdr_res, deadline)
+        started = self._clock() if trigger is not None else None
         try:
             value = client.call(proc, args, xdr_args=xdr_args,
                                 xdr_res=xdr_res, deadline=deadline)
@@ -734,14 +883,181 @@ class FailoverClient:
             breaker.record_failure()
             self.deadline_exceeded += 1
             raise
-        except (RpcConnectionError, RpcTimeoutError, RpcDeniedError) as exc:
+        except RpcRetryBudgetExhausted as exc:
+            # Local budget policy, not endpoint evidence: no breaker.
+            self._note_failure(index, exc)
+            return exc, True
+        except RpcDeniedError as exc:
+            # The endpoint answered (shed/quota/auth): alive, no
+            # breaker charge — just rotate.
+            self._note_failure(index, exc)
+            return exc, True
+        except (RpcConnectionError, RpcTimeoutError) as exc:
             breaker.record_failure()
             self._note_failure(index, exc)
             if isinstance(exc, RpcConnectionError):
                 self._drop_client(index)
             return exc, True
         breaker.record_success()
+        if started is not None:
+            trigger.observe(self._clock() - started)
         return value, False
+
+    # -- hedged requests ---------------------------------------------------
+
+    def _call_hedged(self, index, client, proc, args, xdr_args,
+                     xdr_res, deadline):
+        """One attempt on endpoint ``index`` with a hedge race.
+
+        The primary goes out immediately; if it outlives the adaptive
+        trigger delay, a *second, fresh-xid* call goes to another
+        replica and the first successful reply wins.  The loser is
+        left to resolve in the background — the mux engine guarantees
+        every pending call a typed outcome, and the server DRC
+        coalesces any late retransmission, so no xid ever executes
+        twice.
+        """
+        breaker = self.breakers[index]
+        trigger = self._hedge_trigger
+        started = self._clock()
+        try:
+            primary = client.call_async(proc, args, xdr_args=xdr_args,
+                                        xdr_res=xdr_res,
+                                        deadline=deadline)
+        except RpcDeadlineExceeded:
+            breaker.record_failure()
+            self.deadline_exceeded += 1
+            raise
+        except RpcRetryBudgetExhausted as exc:
+            self._note_failure(index, exc)
+            return exc, True
+        except (RpcConnectionError, RpcTimeoutError) as exc:
+            breaker.record_failure()
+            self._note_failure(index, exc)
+            if isinstance(exc, RpcConnectionError):
+                self._drop_client(index)
+            return exc, True
+        delay = trigger.delay()
+        if delay is None or primary.wait(delay):
+            # No latency profile yet, or the primary answered inside
+            # the hedge window: no hedge needed.
+            return self._settle_alone(index, primary, started)
+        hedge_index = self._hedge_target(index)
+        if hedge_index is None:
+            return self._settle_alone(index, primary, started)
+        try:
+            hedge_client = self._client(hedge_index, deadline)
+            if not hasattr(hedge_client, "call_async"):
+                return self._settle_alone(index, primary, started)
+            # A fresh xid from the shared counter — this is a new
+            # call, not a retransmission, so the two replicas can
+            # never confuse their DRC entries.
+            secondary = hedge_client.call_async(
+                proc, args, xdr_args=xdr_args, xdr_res=xdr_res,
+                deadline=deadline
+            )
+        except RpcDeadlineExceeded:
+            return self._settle_alone(index, primary, started)
+        except (RpcConnectionError, RpcTimeoutError,
+                RpcDeniedError) as exc:
+            self._fail_racer(hedge_index, exc)
+            return self._settle_alone(index, primary, started)
+        except OSError as exc:
+            self.breakers[hedge_index].record_failure()
+            self._note_failure(hedge_index, self._as_rpc_error(exc))
+            return self._settle_alone(index, primary, started)
+        self.hedges += 1
+        if _obs.enabled:
+            _obs.registry.counter("rpc.hedge.attempts").inc()
+        racers = ((index, primary), (hedge_index, secondary))
+        while True:
+            resolved = [(i, call) for i, call in racers if call.done()]
+            winners = [(i, call) for i, call in resolved
+                       if call.exception(0) is None]
+            if winners:
+                win_index, win_call = winners[0]
+                value = win_call.result(0)
+                self.breakers[win_index].record_success()
+                trigger.observe(self._clock() - started)
+                won_by_hedge = win_index != index
+                if won_by_hedge:
+                    self.hedge_wins += 1
+                if _obs.enabled:
+                    _obs.registry.counter(
+                        "rpc.hedge.wins",
+                        winner="hedge" if won_by_hedge else "primary",
+                    ).inc()
+                return value, False
+            if len(resolved) == len(racers):
+                for racer_index, call in racers:
+                    self._fail_racer(racer_index, call.exception(0))
+                primary_error = primary.exception(0)
+                if isinstance(primary_error, RpcDeadlineExceeded):
+                    self.deadline_exceeded += 1
+                    raise primary_error
+                return primary_error, True
+            # Block briefly on whichever racer is still pending; a
+            # completion on either side wakes the next loop turn.
+            for _racer_index, call in racers:
+                if not call.done():
+                    call.wait(0.002)
+                    break
+
+    def _settle_alone(self, index, call, started):
+        """Wait out a pending call with no hedge in flight, mapping
+        its outcome exactly like the synchronous attempt path."""
+        breaker = self.breakers[index]
+        trigger = self._hedge_trigger
+        try:
+            value = call.result()
+        except RpcDeadlineExceeded:
+            breaker.record_failure()
+            self.deadline_exceeded += 1
+            raise
+        except RpcRetryBudgetExhausted as exc:
+            self._note_failure(index, exc)
+            return exc, True
+        except RpcDeniedError as exc:
+            self._note_failure(index, exc)
+            return exc, True
+        except (RpcConnectionError, RpcTimeoutError) as exc:
+            breaker.record_failure()
+            self._note_failure(index, exc)
+            if isinstance(exc, RpcConnectionError):
+                self._drop_client(index)
+            return exc, True
+        breaker.record_success()
+        if trigger is not None:
+            trigger.observe(self._clock() - started)
+        return value, False
+
+    def _hedge_target(self, index):
+        """The next live endpoint to hedge to (never ``index``), or
+        None when every other breaker refuses."""
+        count = len(self.endpoints)
+        for offset in range(1, count):
+            candidate = (index + offset) % count
+            try:
+                if self.breakers[candidate].allow():
+                    return candidate
+            except IndexError:
+                return None
+        return None
+
+    def _fail_racer(self, index, exc):
+        """Charge one hedge racer's failure with the same breaker
+        discipline as the synchronous path."""
+        if exc is None:
+            return
+        self._note_failure(index, exc)
+        if isinstance(exc, (RpcRetryBudgetExhausted, RpcDeniedError)):
+            return  # answered/local: no breaker charge
+        try:
+            self.breakers[index].record_failure()
+            if isinstance(exc, RpcConnectionError):
+                self._drop_client(index)
+        except IndexError:
+            pass
 
     def _note_failure(self, index, exc):
         self.last_errors.append(
@@ -782,12 +1098,18 @@ class FailoverClient:
             self._clients = clients
 
     def stats_summary(self):
-        return {
+        summary = {
             "calls_completed": self.calls_completed,
             "failovers": self.failovers,
             "deadline_exceeded": self.deadline_exceeded,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "retry_budget_exhausted": self.retry_budget_exhausted,
             "breakers": [breaker.summary() for breaker in self.breakers],
         }
+        if self._rotation_budget is not None:
+            summary["retry_budget"] = self._rotation_budget.summary()
+        return summary
 
     def close(self):
         for index in range(len(self._clients)):

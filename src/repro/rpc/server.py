@@ -35,6 +35,7 @@ from repro.rpc.message import (
     encode_accepted_reply,
     encode_denied_reply,
 )
+from repro.rpc.overload import remaining_from_cred
 from repro.rpc.resilience import (
     HEALTH_PROG,
     HEALTH_PROC_STATUS,
@@ -118,6 +119,10 @@ class SvcRegistry:
         self._drain_exempt = set()
         #: requests answered with a shed (overload/drain) reply.
         self.sheds = 0
+        #: requests dropped because their propagated deadline budget
+        #: (see :mod:`repro.rpc.overload`) had already expired — the
+        #: caller is gone, so executing them would be pure waste.
+        self.doomed_dropped = 0
         #: non-RpcError exceptions the defensive decode converted into
         #: drops instead of letting them crash dispatch.
         self.decode_defended = 0
@@ -424,7 +429,7 @@ class SvcRegistry:
 
     # -- the dispatcher ---------------------------------------------------
 
-    def dispatch_bytes(self, data, caller=None):
+    def dispatch_bytes(self, data, caller=None, received_at=None):
         """Process one call message; returns the reply message bytes, or
         None when the request is unparseable garbage (dropped, like the
         C svc code drops undecodable datagrams).
@@ -437,6 +442,12 @@ class SvcRegistry:
         address, TCP peer name); when given and the DRC is enabled,
         retransmitted requests are answered from the reply cache
         without re-invoking the handler.
+
+        ``received_at`` is the ``time.monotonic()`` instant the
+        transport *received* the message (before any queueing); with
+        deadline propagation it anchors the doomed-work check, so a
+        request whose budget expired while it sat in the worker queue
+        is dropped instead of executed.
         """
         online = self._online_routes
         if (online is not None and len(data) >= _FAST_HEADER_SIZE
@@ -448,15 +459,15 @@ class SvcRegistry:
                     return reply
         profiler = self.profiler
         if profiler is not None:
-            reply = self._dispatch_generic(data, caller)
+            reply = self._dispatch_generic(data, caller, received_at)
             profiler.record(data, reply)
             return reply
-        return self._dispatch_generic(data, caller)
+        return self._dispatch_generic(data, caller, received_at)
 
-    def _dispatch_generic(self, data, caller=None):
+    def _dispatch_generic(self, data, caller=None, received_at=None):
         """Dispatch below the online-route/profiler layer."""
         if _obs.enabled:
-            return self._dispatch_observed(data, caller)
+            return self._dispatch_observed(data, caller, received_at)
         routes = self._staged_routes
         if (routes is not None and len(data) >= _FAST_HEADER_SIZE
                 and data[24:40] == _NULL_AUTHS):
@@ -468,12 +479,14 @@ class SvcRegistry:
         if self._out_pool is not None:
             reply = self._out_pool.acquire()
             try:
-                return self._dispatch_into(data, reply, caller)
+                return self._dispatch_into(data, reply, caller,
+                                           received_at=received_at)
             finally:
                 self._out_pool.release(reply)
-        return self._dispatch_into(data, bytearray(self.bufsize), caller)
+        return self._dispatch_into(data, bytearray(self.bufsize), caller,
+                                   received_at=received_at)
 
-    def _dispatch_observed(self, data, caller):
+    def _dispatch_observed(self, data, caller, received_at=None):
         """:meth:`dispatch_bytes` with metrics + an optional span."""
         _obs.registry.counter("rpc.server.requests").inc()
         started = time.monotonic()
@@ -483,12 +496,13 @@ class SvcRegistry:
             if self._out_pool is not None:
                 reply = self._out_pool.acquire()
                 try:
-                    result = self._dispatch_into(data, reply, caller, span)
+                    result = self._dispatch_into(data, reply, caller, span,
+                                                 received_at)
                 finally:
                     self._out_pool.release(reply)
             else:
                 result = self._dispatch_into(
-                    data, bytearray(self.bufsize), caller, span
+                    data, bytearray(self.bufsize), caller, span, received_at
                 )
         except BaseException as exc:
             if span is not None:
@@ -519,7 +533,8 @@ class SvcRegistry:
         xid, _, _, prog, vers, proc = struct.unpack_from(">6I", data, 0)
         return CallHeader(xid, prog, vers, proc, NULL_AUTH, NULL_AUTH)
 
-    def _dispatch_into(self, data, reply, caller=None, span=None):
+    def _dispatch_into(self, data, reply, caller=None, span=None,
+                       received_at=None):
         if self._reply_template is not None:
             header = self._fast_parse_header(data)
             if header is not None:
@@ -532,7 +547,7 @@ class SvcRegistry:
                                       offset=_FAST_HEADER_SIZE)
                 out = XdrMemStream(reply, XdrOp.ENCODE)
                 return self._dispatch_call(header, stream, out, caller,
-                                           span)
+                                           span, received_at)
             if _obs.enabled:
                 _obs.registry.counter("rpc.server.fastpath_fallbacks").inc()
         if span is not None:
@@ -570,7 +585,8 @@ class SvcRegistry:
                 _obs.registry.counter("rpc.server.decode_defended").inc()
             logger.debug("defended undecodable call: %r", exc)
             return None
-        return self._dispatch_call(header, stream, out, caller, span)
+        return self._dispatch_call(header, stream, out, caller, span,
+                                   received_at)
 
     def _record_reply(self, drc_key, reply):
         """Cache a handler-produced reply for retransmission replay.
@@ -591,7 +607,25 @@ class SvcRegistry:
             span.add(xid=header.xid, prog=header.prog, vers=header.vers,
                      proc=header.proc, outcome=outcome)
 
-    def _dispatch_call(self, header, stream, out, caller=None, span=None):
+    def _dispatch_call(self, header, stream, out, caller=None, span=None,
+                       received_at=None):
+        remaining = remaining_from_cred(header.cred)
+        if remaining is not None:
+            # Deadline propagation: the cred carries the budget that
+            # remained when the client *built* this message.  Anchored
+            # at the transport's receive instant, an expired budget
+            # means the caller has already timed out — doomed work is
+            # dropped (not answered: there is nobody left to read the
+            # reply), before the DRC spends a probe on it.
+            now = time.monotonic()
+            arrived = received_at if received_at is not None else now
+            if arrived + remaining <= now:
+                self.doomed_dropped += 1
+                if _obs.enabled:
+                    _obs.registry.counter("rpc.deadline.doomed").inc()
+                if span is not None:
+                    span.add(xid=header.xid, outcome="doomed")
+                return None
         drc_key = None
         if self.drc is not None and caller is not None:
             drc_key = DuplicateRequestCache.key(

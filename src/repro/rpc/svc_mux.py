@@ -37,6 +37,7 @@ import collections
 import selectors
 import socket
 import threading
+import time
 
 from repro import obs as _obs
 from repro.errors import FaultInjected, RpcProtocolError
@@ -146,7 +147,9 @@ class MuxUdpServer(_EventLoopMixin):
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
                  fault_plan=None, workers=0, queue_depth=64,
-                 drc_dir=None, drc_fsync=None, online_spec=None):
+                 drc_dir=None, drc_fsync=None, online_spec=None,
+                 queue_policy=None, queue_target_s=None,
+                 queue_interval_s=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -182,6 +185,10 @@ class MuxUdpServer(_EventLoopMixin):
             self._pool = WorkerPool(
                 workers, queue_depth, self._work,
                 name=f"svcmux-udp:{self.port}",
+                queue_policy=queue_policy,
+                queue_target_s=queue_target_s,
+                queue_interval_s=queue_interval_s,
+                shed_handler=self._shed_sojourn,
             )
         self._init_loop()
         self._selector.register(self.sock, selectors.EVENT_READ,
@@ -199,9 +206,10 @@ class MuxUdpServer(_EventLoopMixin):
 
     # -- dispatch ----------------------------------------------------------
 
-    def _dispatch(self, data, addr):
+    def _dispatch(self, data, addr, received_at=None):
         """One RPC message → reply bytes (or None); any thread."""
-        reply = self.registry.dispatch_bytes(data, caller=addr)
+        reply = self.registry.dispatch_bytes(data, caller=addr,
+                                             received_at=received_at)
         with self._counters_lock:
             self.requests_handled += 1
         if _obs.enabled:
@@ -210,21 +218,29 @@ class MuxUdpServer(_EventLoopMixin):
         return reply
 
     def _work(self, item):
-        data, addr = item
-        reply = self._dispatch(data, addr)
+        data, addr, received_at = item
+        reply = self._dispatch(data, addr, received_at)
         if reply is not None:
             # sendto on a datagram socket is atomic and thread-safe;
             # workers answer directly instead of round-tripping through
             # the loop (single messages only — batches are loop-side).
             self._send(reply, addr)
 
-    def _shed(self, data, addr):
+    def _shed(self, data, addr, reason="queue_full"):
         shed = None
         if hasattr(self.registry, "shed_reply_bytes"):
-            shed = self.registry.shed_reply_bytes(data, reason="queue_full")
+            shed = self.registry.shed_reply_bytes(data, reason=reason)
         with self._counters_lock:
             self.requests_shed += 1
         return shed
+
+    def _shed_sojourn(self, item):
+        """Answer a request the CoDel controller shed after queueing
+        (worker thread; sendto is atomic and thread-safe)."""
+        data, addr, _received_at = item
+        reply = self._shed(data, addr, reason="sojourn")
+        if reply is not None:
+            self._send(reply, addr)
 
     def _send(self, payload, addr):
         try:
@@ -244,32 +260,33 @@ class MuxUdpServer(_EventLoopMixin):
             except OSError:
                 return
             data = memoryview(self._recv_buffer)[:nbytes]
+            received_at = time.monotonic()
             try:
                 messages = unpack_batch(data)
             except RpcProtocolError:
                 continue  # truncated envelope: drop like garbage
             if messages is None:
-                self._handle_single(data, addr)
+                self._handle_single(data, addr, received_at)
             else:
-                self._handle_batch(messages, addr)
+                self._handle_batch(messages, addr, received_at)
 
-    def _handle_single(self, data, addr):
+    def _handle_single(self, data, addr, received_at=None):
         if self._pool is not None:
             # The receive buffer is reused; workers need their own copy.
-            if not self._pool.submit((bytes(data), addr)):
+            if not self._pool.submit((bytes(data), addr, received_at)):
                 reply = self._shed(data, addr)
                 if reply is not None:
                     self._send(reply, addr)
             return
         self._inflight.try_acquire()
         try:
-            reply = self._dispatch(data, addr)
+            reply = self._dispatch(data, addr, received_at)
         finally:
             self._inflight.release()
         if reply is not None:
             self._send(reply, addr)
 
-    def _handle_batch(self, messages, addr):
+    def _handle_batch(self, messages, addr, received_at=None):
         """Dispatch a batched request datagram; batch the replies.
 
         With workers, each inner message is queued (or shed)
@@ -282,7 +299,8 @@ class MuxUdpServer(_EventLoopMixin):
                                     transport="udp").observe(len(messages))
         if self._pool is not None:
             for message in messages:
-                if not self._pool.submit((bytes(message), addr)):
+                if not self._pool.submit((bytes(message), addr,
+                                          received_at)):
                     reply = self._shed(message, addr)
                     if reply is not None:
                         self._send(reply, addr)
@@ -295,7 +313,8 @@ class MuxUdpServer(_EventLoopMixin):
         self._inflight.try_acquire()
         try:
             for message in messages:
-                reply = dispatch(message, caller=addr)
+                reply = dispatch(message, caller=addr,
+                                 received_at=received_at)
                 if reply is not None:
                     replies.append(reply)
         finally:
@@ -376,7 +395,8 @@ class MuxTcpServer(_EventLoopMixin):
                  fastpath=False, drc=True, fault_plan=None,
                  max_inflight=None, workers=0, queue_depth=64,
                  max_record=1 << 24, drc_dir=None, drc_fsync=None,
-                 online_spec=None):
+                 online_spec=None, queue_policy=None,
+                 queue_target_s=None, queue_interval_s=None):
         self.registry = registry
         self.max_record = max_record
         self._limiter = InflightLimiter(max_inflight)
@@ -414,6 +434,10 @@ class MuxTcpServer(_EventLoopMixin):
             self._pool = WorkerPool(
                 workers, queue_depth, self._work,
                 name=f"svcmux-tcp:{self.port}",
+                queue_policy=queue_policy,
+                queue_target_s=queue_target_s,
+                queue_interval_s=queue_interval_s,
+                shed_handler=self._shed_sojourn,
             )
         self._init_loop()
         self._selector.register(self.sock, selectors.EVENT_READ,
@@ -479,14 +503,15 @@ class MuxTcpServer(_EventLoopMixin):
                 _obs.registry.histogram(
                     "rpc.mux.batch_size", side="server", transport="tcp"
                 ).observe(len(records))
+            received_at = time.monotonic()
             for record in records:
-                self._handle_record(conn, record)
+                self._handle_record(conn, record, received_at)
             if len(chunk) < (1 << 16):
                 return
 
-    def _handle_record(self, conn, record):
+    def _handle_record(self, conn, record, received_at=None):
         if self._pool is not None:
-            if not self._pool.submit((conn, record)):
+            if not self._pool.submit((conn, record, received_at)):
                 reply = self._shed(record)
                 if reply is not None:
                     self._queue_reply(conn, reply)
@@ -495,31 +520,41 @@ class MuxTcpServer(_EventLoopMixin):
             reply = self._shed(record)
         else:
             try:
-                reply = self._dispatch(record, conn.peer)
+                reply = self._dispatch(record, conn.peer, received_at)
             finally:
                 self._limiter.release()
         if reply is not None:
             self._queue_reply(conn, reply)
 
-    def _dispatch(self, record, peer):
-        reply = self.registry.dispatch_bytes(record, caller=peer)
+    def _dispatch(self, record, peer, received_at=None):
+        reply = self.registry.dispatch_bytes(record, caller=peer,
+                                             received_at=received_at)
         with self._counters_lock:
             self.requests_handled += 1
         return reply
 
-    def _shed(self, record):
+    def _shed(self, record, reason="queue_full"):
         shed = None
         if hasattr(self.registry, "shed_reply_bytes"):
-            shed = self.registry.shed_reply_bytes(record,
-                                                  reason="queue_full")
+            shed = self.registry.shed_reply_bytes(record, reason=reason)
         with self._counters_lock:
             self.requests_shed += 1
         return shed
 
+    def _shed_sojourn(self, item):
+        """CoDel sojourn shed (worker thread): the SYSTEM_ERR reply
+        rides back to the loop thread like any worker reply."""
+        conn, record, _received_at = item
+        reply = self._shed(record, reason="sojourn")
+        if reply is not None:
+            with self._replyq_lock:
+                self._replyq.append((conn, reply))
+            self._wake()
+
     def _work(self, item):
         """Worker-side dispatch; the reply rides back via the loop."""
-        conn, record = item
-        reply = self._dispatch(record, conn.peer)
+        conn, record, received_at = item
+        reply = self._dispatch(record, conn.peer, received_at)
         if reply is not None:
             with self._replyq_lock:
                 self._replyq.append((conn, reply))
@@ -632,5 +667,8 @@ def make_server(registry, transport="udp", engine="threaded", **kwargs):
 
         kwargs.pop("workers", None)
         kwargs.pop("queue_depth", None)
+        kwargs.pop("queue_policy", None)
+        kwargs.pop("queue_target_s", None)
+        kwargs.pop("queue_interval_s", None)
         return TcpServer(registry, **kwargs)
     raise ValueError(f"unknown transport {transport!r}")

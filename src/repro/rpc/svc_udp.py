@@ -2,6 +2,7 @@
 
 import socket
 import threading
+import time
 
 from repro import obs as _obs
 from repro.errors import RpcProtocolError
@@ -43,7 +44,9 @@ class UdpServer:
     def __init__(self, registry, host="127.0.0.1", port=0,
                  bufsize=UDPMSGSIZE, fastpath=False, drc=True,
                  fault_plan=None, workers=0, queue_depth=64,
-                 drc_dir=None, drc_fsync=None, online_spec=None):
+                 drc_dir=None, drc_fsync=None, online_spec=None,
+                 queue_policy=None, queue_target_s=None,
+                 queue_interval_s=None):
         self.registry = registry
         self.bufsize = bufsize
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -89,13 +92,17 @@ class UdpServer:
             self._pool = WorkerPool(
                 workers, queue_depth, self._work,
                 name=f"svcudp:{self.port}",
+                queue_policy=queue_policy,
+                queue_target_s=queue_target_s,
+                queue_interval_s=queue_interval_s,
+                shed_handler=self._shed_sojourn,
             )
 
     @property
     def fastpath_enabled(self):
         return self._recv_buffer is not None
 
-    def _process(self, data, addr):
+    def _process(self, data, addr, received_at=None):
         """Dispatch one datagram and send the reply (any thread).
 
         A datagram carrying the mux tier's batch envelope is unwrapped
@@ -111,7 +118,8 @@ class UdpServer:
         except RpcProtocolError:
             return  # truncated envelope: drop like any garbage datagram
         for message in ([data] if messages is None else messages):
-            reply = self.registry.dispatch_bytes(message, caller=addr)
+            reply = self.registry.dispatch_bytes(message, caller=addr,
+                                                 received_at=received_at)
             if reply is not None:
                 self.sock.sendto(reply, addr)
             with self._counters_lock:
@@ -121,18 +129,24 @@ class UdpServer:
                                       transport="udp").inc()
 
     def _work(self, item):
-        self._process(*item)
+        data, addr, received_at = item
+        self._process(data, addr, received_at)
 
-    def _shed(self, data, addr):
-        """Answer a request the full queue refused with SYSTEM_ERR."""
+    def _shed(self, data, addr, reason="queue_full"):
+        """Answer a request the queue refused with SYSTEM_ERR."""
         shed = None
         if hasattr(self.registry, "shed_reply_bytes"):
-            shed = self.registry.shed_reply_bytes(data,
-                                                  reason="queue_full")
+            shed = self.registry.shed_reply_bytes(data, reason=reason)
         if shed is not None:
             self.sock.sendto(shed, addr)
         with self._counters_lock:
             self.requests_shed += 1
+
+    def _shed_sojourn(self, item):
+        """Answer a request the CoDel controller shed after queueing
+        (sojourn over target): SYSTEM_ERR, reason ``sojourn``."""
+        data, addr, _received_at = item
+        self._shed(data, addr, reason="sojourn")
 
     def handle_once(self, timeout=None):
         """Receive and handle (or enqueue) one datagram; returns True
@@ -147,14 +161,15 @@ class UdpServer:
                 data, addr = self.sock.recvfrom(self.bufsize)
         except socket.timeout:
             return False
+        received_at = time.monotonic()
         if self._pool is not None:
             # The receive buffer is reused; workers need their own copy.
-            if not self._pool.submit((bytes(data), addr)):
+            if not self._pool.submit((bytes(data), addr, received_at)):
                 self._shed(data, addr)
             return True
         self._inflight.try_acquire()
         try:
-            self._process(data, addr)
+            self._process(data, addr, received_at)
         finally:
             self._inflight.release()
         return True

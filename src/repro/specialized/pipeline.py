@@ -229,7 +229,7 @@ class ServerSpecialization:
         finally:
             self._out_buffers.release(out_buffer)
 
-    def dispatch_bytes(self, data, caller=None):
+    def dispatch_bytes(self, data, caller=None, received_at=None):
         span = None
         if _obs.enabled:
             _obs.registry.counter("rpc.server.requests").inc()
@@ -258,7 +258,8 @@ class ServerSpecialization:
             # refuse new work identically.
             if span is not None:
                 span.end(outcome="drained")
-            return self.fallback.dispatch_bytes(data, caller=caller)
+            return self.fallback.dispatch_bytes(data, caller=caller,
+                                                received_at=received_at)
         if drc_key is not None:
             # Atomic claim before executing (see
             # DuplicateRequestCache.claim): only one worker runs a
@@ -339,7 +340,8 @@ class ServerSpecialization:
                     "rpc.server.specialized_fallbacks").inc()
             if span is not None:
                 span.end(outcome="fallback")
-            return self.fallback.dispatch_bytes(data, caller=caller)
+            return self.fallback.dispatch_bytes(data, caller=caller,
+                                                received_at=received_at)
         if _obs.enabled:
             _obs.registry.counter("rpc.server.replies",
                                   outcome="dropped").inc()
