@@ -1,0 +1,25 @@
+"""Static-analysis toolbox for the repro stack.
+
+Two passes share one finding/reporting core
+(:mod:`repro.analysis.findings`):
+
+* :mod:`repro.analysis.verify` — the residual-code equivalence
+  verifier: symbolic execution of Tempo-generated residual codecs
+  against the generic codecs they specialize, gating installation in
+  the specialization pipeline;
+* :mod:`repro.analysis.lint` — the concurrency/discipline linter: an
+  AST rule framework over ``src/repro`` (lock-order cycles, blocking
+  calls under locks, unguarded obs on hot paths, overbroad excepts,
+  the REPRO_* knob-table contract).
+
+Run both from the command line::
+
+    python -m repro.analysis all --json report.json
+"""
+
+from repro.analysis.findings import Finding, Report  # noqa: F401
+from repro.analysis.verify import (  # noqa: F401
+    ensure_verified,
+    verify_client_spec,
+    verify_server_residual,
+)

@@ -1,0 +1,177 @@
+"""Shared finding / reporting core for the ``repro.analysis`` passes.
+
+Both passes — the residual-code equivalence verifier and the
+concurrency-discipline linter — report through the same machinery:
+
+* a :class:`Finding` names a rule, a location, and a message;
+* findings can be **suppressed** in-source with a pragma comment that
+  must carry a reason string::
+
+      except Exception:  # repro: disable=overbroad-except -- last-line worker containment
+
+  A pragma suppresses matching findings on its own line or the line
+  directly below it (so a pragma can sit above a multi-line statement).
+  ``disable=all`` suppresses every rule.  A pragma without a reason is
+  itself a finding (``pragma-no-reason``) — an exception to a
+  discipline must say why it is one;
+* :class:`Report` renders either human-readable text or machine
+  readable JSON and computes the exit code: non-zero iff any
+  non-suppressed finding remains.
+"""
+
+import io
+import json
+import re
+from dataclasses import asdict, dataclass, field
+
+#: ``# repro: disable=rule-a,rule-b -- reason text``
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*disable=([A-Za-z0-9_,\- ]+?)\s*(?:--\s*(.*?))?\s*$"
+)
+
+
+@dataclass
+class Finding:
+    """One problem (or suppressed would-be problem) at a location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+    suppressed: bool = False
+    suppress_reason: str = ""
+    context: dict = field(default_factory=dict)
+
+    def location(self):
+        return f"{self.path}:{self.line}"
+
+    def render(self):
+        mark = " [suppressed: %s]" % self.suppress_reason \
+            if self.suppressed else ""
+        return f"{self.location()}: {self.rule}: {self.message}{mark}"
+
+
+@dataclass
+class Pragma:
+    """A parsed suppression pragma."""
+
+    path: str
+    line: int
+    rules: tuple
+    reason: str
+
+    def matches(self, finding):
+        if finding.path != self.path:
+            return False
+        if finding.line not in (self.line, self.line + 1):
+            return False
+        return "all" in self.rules or finding.rule in self.rules
+
+
+def scan_pragmas(path, source):
+    """All suppression pragmas in ``source`` (one file's text)."""
+    pragmas = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group(1).split(",") if r.strip()
+        )
+        reason = (match.group(2) or "").strip()
+        pragmas.append(Pragma(path, lineno, rules, reason))
+    return pragmas
+
+
+def apply_pragmas(findings, pragmas):
+    """Mark suppressed findings; emit findings for reasonless pragmas.
+
+    Returns the combined finding list (suppressions applied in place,
+    plus one ``pragma-no-reason`` finding per pragma lacking a reason).
+    """
+    out = list(findings)
+    for finding in findings:
+        for pragma in pragmas:
+            if pragma.matches(finding) and pragma.reason:
+                finding.suppressed = True
+                finding.suppress_reason = pragma.reason
+                break
+    for pragma in pragmas:
+        if not pragma.reason:
+            out.append(Finding(
+                rule="pragma-no-reason",
+                path=pragma.path,
+                line=pragma.line,
+                message=(
+                    "suppression pragma must carry a reason:"
+                    " '# repro: disable=<rule> -- <why>'"
+                ),
+            ))
+    return out
+
+
+class Report:
+    """Aggregates findings from one or more passes and renders them."""
+
+    def __init__(self):
+        self.findings = []
+        self.passes = {}
+
+    def extend(self, pass_name, findings, stats=None):
+        self.findings.extend(findings)
+        entry = self.passes.setdefault(
+            pass_name, {"findings": 0, "suppressed": 0}
+        )
+        entry["findings"] += sum(1 for f in findings if not f.suppressed)
+        entry["suppressed"] += sum(1 for f in findings if f.suppressed)
+        if stats:
+            entry.update(stats)
+
+    @property
+    def active(self):
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def exit_code(self):
+        return 1 if self.active else 0
+
+    def to_json(self):
+        return {
+            "passes": self.passes,
+            "counts": {
+                "active": len(self.active),
+                "suppressed": len(self.findings) - len(self.active),
+            },
+            "findings": [asdict(f) for f in self.findings],
+        }
+
+    def render_text(self, verbose=False):
+        out = io.StringIO()
+        for finding in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule)
+        ):
+            if finding.suppressed and not verbose:
+                continue
+            out.write(finding.render() + "\n")
+        active = len(self.active)
+        suppressed = len(self.findings) - active
+        for name, stats in self.passes.items():
+            detail = ", ".join(
+                f"{k}={v}" for k, v in stats.items() if k not in (
+                    "findings", "suppressed")
+            )
+            out.write(f"[{name}] {stats['findings']} finding(s),"
+                      f" {stats['suppressed']} suppressed"
+                      + (f" ({detail})" if detail else "") + "\n")
+        out.write(
+            f"{active} active finding(s), {suppressed} suppressed\n"
+            if active else
+            f"OK — no active findings ({suppressed} suppressed)\n"
+        )
+        return out.getvalue()
+
+    def write_json(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,67 @@
+"""``bare-except`` / ``overbroad-except``: no silent swallowing.
+
+A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit`` —
+in a server loop that turns Ctrl-C into an infinite retry.  It is
+flagged everywhere under ``src/repro``.
+
+``except Exception`` (or ``BaseException``) is flagged only in the
+transports and the specialization engine, where a worker thread that
+swallows everything hides real faults behind a generic fallback.  A
+handler that *re-raises* (contains a ``raise``) is fine — it narrows
+or annotates rather than swallows.  Intentional catch-alls (e.g. a
+dispatcher that must convert any servant crash into a SYSTEM_ERR
+reply) carry a ``# repro: disable=overbroad-except -- reason`` pragma.
+"""
+
+import ast as pyast
+
+from repro.analysis.findings import Finding
+
+BROAD_NAMES = {"Exception", "BaseException"}
+BROAD_SCOPE = ("repro/rpc/", "repro/specialized/")
+
+
+def _broad_name(type_node):
+    """The broad exception name caught by *type_node*, or None."""
+    nodes = (type_node.elts if isinstance(type_node, pyast.Tuple)
+             else [type_node])
+    for node in nodes:
+        if isinstance(node, pyast.Name) and node.id in BROAD_NAMES:
+            return node.id
+    return None
+
+
+def check(modules):
+    findings = []
+    for module in modules:
+        in_scope = module.package_rel.startswith(BROAD_SCOPE)
+        for node in pyast.walk(module.tree):
+            if not isinstance(node, pyast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(Finding(
+                    rule="bare-except",
+                    path=module.rel,
+                    line=node.lineno,
+                    message="bare except: catches KeyboardInterrupt and "
+                            "SystemExit; name the exceptions",
+                ))
+                continue
+            if not in_scope:
+                continue
+            name = _broad_name(node.type)
+            if name is None:
+                continue
+            reraises = any(isinstance(sub, pyast.Raise)
+                           for sub in pyast.walk(node))
+            if reraises:
+                continue
+            findings.append(Finding(
+                rule="overbroad-except",
+                path=module.rel,
+                line=node.lineno,
+                message=(f"except {name} in a transport/engine module "
+                         f"swallows without re-raising; narrow it or "
+                         f"add a reasoned pragma"),
+            ))
+    return findings

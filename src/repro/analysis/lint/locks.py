@@ -1,0 +1,337 @@
+"""Lock-acquisition graph: ordering cycles and blocking calls under lock.
+
+The graph is built statically from the Python AST:
+
+* a **lock** is any ``self.x = threading.Lock()`` / ``RLock()`` /
+  ``Condition()`` / ``Semaphore()`` attribute assignment (identified
+  class-level, ``ClassName.attr``, since every instance shares the
+  discipline) or a module-level ``x = threading.Lock()``;
+* ``with self.x:`` nesting adds an edge *outer → inner*;
+* a call made while holding a lock inherits the callee's (transitive)
+  acquisitions as edges — computed as a fixpoint over the intra-package
+  call graph, where calls resolve by name (``self.m()`` → same class,
+  ``self.attr.m()`` → the attribute's constructor-assigned class,
+  ``f()`` → same module).
+
+A cycle in the resulting graph is a potential ABBA deadlock
+(``lock-order-cycle``).  Separately, any socket send/recv/accept/
+connect, ``time.sleep``, ``os.fsync``, or ``subprocess.*`` call made
+while a lock is held is reported as ``blocking-under-lock``
+(``Condition.wait`` is exempt: it releases the lock while waiting).
+
+Name-based call resolution is a heuristic: calls through locals,
+callbacks, or threads are invisible, so a clean report is *evidence*
+of discipline, not proof.  Findings, on the other hand, point at real
+code paths and deserve a fix or a reasoned pragma.
+"""
+
+import ast as pyast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from repro.analysis.findings import Finding
+
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                  "BoundedSemaphore"}
+
+#: methods that park the calling thread on the network or the clock.
+BLOCKING_ATTRS = {"send", "sendall", "sendto", "recv", "recvfrom",
+                  "recv_into", "accept", "connect"}
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: object
+    methods: dict = field(default_factory=dict)       # name -> FunctionDef
+    lock_attrs: dict = field(default_factory=dict)    # attr -> lineno
+    attr_classes: dict = field(default_factory=dict)  # attr -> class name
+
+
+@dataclass
+class FuncInfo:
+    fid: tuple            # (ClassName, meth) or (module rel, func)
+    module: object
+    cls: object           # ClassInfo or None
+    node: object
+    acquisitions: list = field(default_factory=list)  # (held, lock, line)
+    calls: list = field(default_factory=list)         # (held, callee fid|None, node)
+    blocking: list = field(default_factory=list)      # (held, label, line)
+    direct_locks: set = field(default_factory=set)
+
+
+def _module_base(module):
+    return PurePosixPath(module.rel).stem
+
+
+def _is_factory(call):
+    func = call.func
+    name = None
+    if isinstance(func, pyast.Attribute):
+        name = func.attr
+    elif isinstance(func, pyast.Name):
+        name = func.id
+    return name in LOCK_FACTORIES
+
+
+def _collect_classes(modules):
+    classes = {}
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, pyast.ClassDef):
+                info = ClassInfo(name=node.name, module=module)
+                for item in node.body:
+                    if isinstance(item, (pyast.FunctionDef,
+                                         pyast.AsyncFunctionDef)):
+                        info.methods[item.name] = item
+                classes[node.name] = info
+    # second pass: lock attributes and attribute-class bindings (needs
+    # the full class registry to resolve constructor types).
+    for info in classes.values():
+        for meth in info.methods.values():
+            for stmt in pyast.walk(meth):
+                if not isinstance(stmt, pyast.Assign):
+                    continue
+                if not isinstance(stmt.value, pyast.Call):
+                    continue
+                for target in stmt.targets:
+                    if (isinstance(target, pyast.Attribute)
+                            and isinstance(target.value, pyast.Name)
+                            and target.value.id == "self"):
+                        if _is_factory(stmt.value):
+                            info.lock_attrs.setdefault(target.attr,
+                                                       stmt.lineno)
+                        else:
+                            ctor = stmt.value.func
+                            cname = (ctor.attr if isinstance(
+                                ctor, pyast.Attribute) else getattr(
+                                    ctor, "id", None))
+                            if cname in classes:
+                                info.attr_classes[target.attr] = cname
+    return classes
+
+
+def _collect_module_locks(modules):
+    locks = {}
+    for module in modules:
+        names = {}
+        for node in module.tree.body:
+            if (isinstance(node, pyast.Assign)
+                    and isinstance(node.value, pyast.Call)
+                    and _is_factory(node.value)):
+                for target in node.targets:
+                    if isinstance(target, pyast.Name):
+                        names[target.id] = node.lineno
+        if names:
+            locks[module.rel] = names
+    return locks
+
+
+class _Walker:
+    """One pass over a function body, tracking the held-lock stack."""
+
+    def __init__(self, func, classes, module_locks):
+        self.func = func
+        self.classes = classes
+        self.module_locks = module_locks
+
+    def resolve_lock(self, expr):
+        cls = self.func.cls
+        if isinstance(expr, pyast.Attribute):
+            base = expr.value
+            if isinstance(base, pyast.Name) and base.id == "self" and cls:
+                if expr.attr in cls.lock_attrs:
+                    return f"{cls.name}.{expr.attr}"
+            if (isinstance(base, pyast.Attribute)
+                    and isinstance(base.value, pyast.Name)
+                    and base.value.id == "self" and cls):
+                cname = cls.attr_classes.get(base.attr)
+                if cname and expr.attr in self.classes[cname].lock_attrs:
+                    return f"{cname}.{expr.attr}"
+        if isinstance(expr, pyast.Name):
+            names = self.module_locks.get(self.func.module.rel, {})
+            if expr.id in names:
+                return f"{_module_base(self.func.module)}.{expr.id}"
+        return None
+
+    def resolve_call(self, func_expr):
+        cls = self.func.cls
+        if isinstance(func_expr, pyast.Attribute):
+            base = func_expr.value
+            if isinstance(base, pyast.Name) and base.id == "self" and cls:
+                if func_expr.attr in cls.methods:
+                    return (cls.name, func_expr.attr)
+            if (isinstance(base, pyast.Attribute)
+                    and isinstance(base.value, pyast.Name)
+                    and base.value.id == "self" and cls):
+                cname = cls.attr_classes.get(base.attr)
+                if cname and func_expr.attr in self.classes[cname].methods:
+                    return (cname, func_expr.attr)
+        if isinstance(func_expr, pyast.Name):
+            # same-module function (methods never resolve by bare name).
+            fid = (self.func.module.rel, func_expr.id)
+            return fid
+        return None
+
+    def blocking_label(self, call):
+        func = call.func
+        if isinstance(func, pyast.Attribute):
+            base = func.value
+            if isinstance(base, pyast.Name):
+                if base.id == "time" and func.attr == "sleep":
+                    return "time.sleep"
+                if base.id == "os" and func.attr == "fsync":
+                    return "os.fsync"
+                if base.id == "subprocess":
+                    return f"subprocess.{func.attr}"
+            if func.attr in BLOCKING_ATTRS:
+                return f".{func.attr}"
+        return None
+
+    def walk(self):
+        for stmt in self.func.node.body:
+            self._visit(stmt, ())
+
+    def _visit(self, node, held):
+        if isinstance(node, (pyast.With, pyast.AsyncWith)):
+            pushed = []
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                lock = self.resolve_lock(item.context_expr)
+                if lock is not None:
+                    self.func.acquisitions.append(
+                        (held, lock, item.context_expr.lineno))
+                    self.func.direct_locks.add(lock)
+                    pushed.append(lock)
+            inner = held + tuple(pushed)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef,
+                             pyast.Lambda, pyast.ClassDef)):
+            # nested definitions run later, under whatever locks their
+            # *caller* holds — not ours.  Analyzed on their own pass.
+            return
+        if isinstance(node, pyast.Call):
+            lock = self.resolve_lock(getattr(node.func, "value", None)) \
+                if (isinstance(node.func, pyast.Attribute)
+                    and node.func.attr == "acquire") else None
+            if lock is not None:
+                self.func.acquisitions.append((held, lock, node.lineno))
+                self.func.direct_locks.add(lock)
+            callee = self.resolve_call(node.func)
+            self.func.calls.append((held, callee, node))
+            if held:
+                label = self.blocking_label(node)
+                # Condition.wait releases the lock while parked.
+                if label and node.func.attr != "wait":
+                    self.func.blocking.append((held, label, node.lineno))
+        for child in pyast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def _collect_functions(modules, classes, module_locks):
+    funcs = {}
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef)):
+                fid = (module.rel, node.name)
+                funcs[fid] = FuncInfo(fid=fid, module=module, cls=None,
+                                      node=node)
+    for info in classes.values():
+        for name, node in info.methods.items():
+            fid = (info.name, name)
+            funcs[fid] = FuncInfo(fid=fid, module=info.module, cls=info,
+                                  node=node)
+    for func in funcs.values():
+        _Walker(func, classes, module_locks).walk()
+    return funcs
+
+
+def _acquire_closure(funcs):
+    closure = {fid: set(f.direct_locks) for fid, f in funcs.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fid, func in funcs.items():
+            acc = closure[fid]
+            before = len(acc)
+            for _held, callee, _node in func.calls:
+                if callee in closure:
+                    acc |= closure[callee]
+            if len(acc) != before:
+                changed = True
+    return closure
+
+
+def _find_cycles(edges):
+    """Return one representative cycle (node list) per strongly
+    connected component with more than one lock."""
+    adj = {}
+    for src, dst in edges:
+        adj.setdefault(src, set()).add(dst)
+        adj.setdefault(dst, set())
+    seen_components = []
+    cycles = []
+    for start in sorted(adj):
+        stack = [(start, [start])]
+        visited = {start}
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(adj.get(node, ())):
+                if nxt == start and len(path) > 1:
+                    component = frozenset(path)
+                    if component not in seen_components:
+                        seen_components.append(component)
+                        cycles.append(path + [start])
+                elif nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+    return cycles
+
+
+def check(modules):
+    classes = _collect_classes(modules)
+    module_locks = _collect_module_locks(modules)
+    funcs = _collect_functions(modules, classes, module_locks)
+    closure = _acquire_closure(funcs)
+
+    findings = []
+    edges = {}  # (src, dst) -> (rel, line, note)
+    for func in funcs.values():
+        for held, lock, line in func.acquisitions:
+            for outer in held:
+                if outer != lock:
+                    edges.setdefault((outer, lock),
+                                     (func.module.rel, line, ""))
+        for held, callee, node in func.calls:
+            if not held or callee not in closure:
+                continue
+            for inner in closure[callee]:
+                for outer in held:
+                    if outer != inner:
+                        note = f" via call to {callee[-1]}()"
+                        edges.setdefault((outer, inner),
+                                         (func.module.rel, node.lineno,
+                                          note))
+        for held, label, line in func.blocking:
+            findings.append(Finding(
+                rule="blocking-under-lock",
+                path=func.module.rel,
+                line=line,
+                message=(f"{label} called while holding "
+                         f"{', '.join(held)}"),
+                context={"locks": list(held), "call": label},
+            ))
+
+    for cycle in _find_cycles(set(edges)):
+        first = edges[(cycle[0], cycle[1])]
+        findings.append(Finding(
+            rule="lock-order-cycle",
+            path=first[0],
+            line=first[1],
+            message=("lock-order cycle: " + " -> ".join(cycle)
+                     + first[2]),
+            context={"cycle": cycle},
+        ))
+    return findings

@@ -1,0 +1,446 @@
+"""Symbolic execution of MiniC programs, for the equivalence verifier.
+
+This reuses the reference interpreter (:mod:`repro.minic.interp`) and
+its value model (:mod:`repro.minic.values`) wholesale: structs, arrays,
+pointers, frames, and statement dispatch are inherited unchanged.  What
+changes is the *scalar domain* — a value is either a concrete Python
+int (interpreted exactly as the reference interpreter does) or a
+:class:`SymVal`, an expression tree over named 32-bit unknowns.
+
+The symbolic domain is deliberately small, because residual marshaling
+code is deliberately simple: after specialization the codecs are
+(mostly) straight-line loads, ``htonl`` byte-swaps, masks, adds, and
+byte stores.  The executor:
+
+* folds every operation on concrete operands exactly like the
+  reference interpreter (same wrapping, same division semantics);
+* builds normalized expression nodes for operations on symbolic
+  operands (``x & 0xFFFFFFFF`` folds to ``x``, byte extraction of a
+  concrete value folds to the byte, reassembling the four bytes of one
+  symbol folds back to the symbol);
+* decides branches only when it can do so *soundly*: a comparison of
+  structurally identical expressions is decided, everything else
+  raises :class:`Undecidable` — the verifier treats that as "cannot
+  prove equivalence", never as "equivalent".
+
+Symbolic values are tracked as **unsigned 32-bit residues**: an
+expression denotes its value modulo 2**32.  Byte-level output
+comparison is insensitive to signedness, so this loses nothing for
+equivalence checking, but it means *signed comparisons on symbolic
+values are never decided* (they raise :class:`Undecidable`), keeping
+the executor sound.
+"""
+
+from repro.errors import ReproError
+from repro.minic import ast
+from repro.minic import types as ct
+from repro.minic import values as rv
+from repro.minic.interp import Interpreter
+
+MASK32 = 0xFFFFFFFF
+
+
+class Undecidable(ReproError):
+    """A branch (or operation) depends on a symbolic value in a way the
+    executor cannot soundly decide."""
+
+    def __init__(self, expr, why="branch depends on symbolic value"):
+        super().__init__(f"{why}: {expr!r}")
+        self.expr = expr
+
+
+class SymVal:
+    """An immutable symbolic expression over 32-bit unknowns.
+
+    Nodes: ``("var", name)``, ``("bin", op, left, right)``,
+    ``("byte", value, shift)`` — ``(value >> shift) & 0xFF`` —
+    and ``("cat", parts...)`` — big-endian concatenation of byte
+    expressions.  Structural equality is semantic equality (the same
+    expression over the same unknowns denotes the same value), which
+    is the only direction the verifier relies on.
+    """
+
+    __slots__ = ("node", "_hash")
+
+    def __init__(self, node):
+        self.node = node
+        self._hash = hash(node)
+
+    def __eq__(self, other):
+        if isinstance(other, SymVal):
+            return self.node == other.node
+        return NotImplemented
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return f"SymVal({render(self)})"
+
+    # ``ct.wrap_int`` (used by the inherited interpreter for parameter
+    # passing, declarations, and stores) masks with ``&`` and then
+    # tests ``value > mask >> 1`` for the signed adjustment.  ``__and__``
+    # keeps the expression; ``__gt__`` returning False skips the signed
+    # adjustment — i.e. symbolic values stay unsigned residues.  These
+    # two operators exist ONLY to keep ``wrap_int`` working; symbolic
+    # arithmetic everywhere else goes through :func:`sym_bin`.
+    def __and__(self, other):
+        return sym_bin("&", self, other)
+
+    def __rand__(self, other):
+        return sym_bin("&", other, self)
+
+    def __gt__(self, other):
+        return False
+
+    def __int__(self):
+        # Every inherited interpreter path that insists on a concrete
+        # value (``int(length)``, pointer arithmetic, …) fails closed.
+        raise Undecidable(
+            self, "symbolic value where a concrete int is required"
+        )
+
+
+def sym(name):
+    """A fresh named 32-bit unknown."""
+    return SymVal(("var", name))
+
+
+def is_sym(value):
+    return isinstance(value, SymVal)
+
+
+def render(value):
+    """Human-readable form of a concrete or symbolic value."""
+    if not isinstance(value, SymVal):
+        return repr(value)
+    node = value.node
+    if node[0] == "var":
+        return node[1]
+    if node[0] == "bin":
+        return f"({render(node[2])} {node[1]} {render(node[3])})"
+    if node[0] == "byte":
+        return f"byte({render(node[1])}, {node[2]})"
+    if node[0] == "cat":
+        return "cat(" + ", ".join(render(p) for p in node[1:]) + ")"
+    return repr(node)
+
+
+def _residue(value):
+    """Concrete ints are compared as unsigned 32-bit residues, matching
+    the symbolic domain (see module docstring)."""
+    if isinstance(value, int):
+        return value & MASK32
+    return value
+
+
+def values_equal(left, right):
+    """Sound structural equality of two concrete-or-symbolic values.
+
+    ``True`` means provably equal for every assignment of the
+    unknowns; ``False`` means *not provably equal* (which the verifier
+    reports as inequivalence — it may occasionally be a precision loss,
+    never an unsound acceptance)."""
+    return _residue(left) == _residue(right)
+
+
+def sym_bin(op, left, right):
+    """Build (and simplify) a binary expression node."""
+    if isinstance(left, int) and isinstance(right, int):
+        # Concrete operands never reach here from the interpreter (it
+        # folds them), but simplification rules recurse through this.
+        return Interpreter._int_binary(op, left, right, ct.UNSIGNED)
+    if op == "&":
+        for a, b in ((left, right), (right, left)):
+            if isinstance(b, int):
+                mask = b & MASK32
+                if mask == MASK32:
+                    return _residue(a) if isinstance(a, int) else a
+                if mask == 0:
+                    return 0
+                # (x & m1) & m2 -> x & (m1 & m2)
+                if (isinstance(a, SymVal) and a.node[0] == "bin"
+                        and a.node[1] == "&"
+                        and isinstance(a.node[3], int)):
+                    return sym_bin("&", a.node[2], a.node[3] & mask)
+    if op in ("+", "-", "|", "^", "<<", ">>") and right == 0:
+        return left
+    if op in ("+", "|", "^") and left == 0:
+        return right
+    if op == "*" and 1 in (left, right):
+        return left if right == 1 else right
+    if op == "*" and 0 in (left, right):
+        return 0
+    if op == "==" and values_equal(left, right):
+        return 1
+    if op == "!=" and values_equal(left, right):
+        return 0
+    return SymVal(("bin", op, _freeze(left), _freeze(right)))
+
+
+def _freeze(value):
+    if isinstance(value, SymVal):
+        return value
+    if isinstance(value, int):
+        return value
+    raise Undecidable(value, "non-scalar operand in symbolic expression")
+
+
+def sym_byte(value, shift):
+    """``(value >> shift) & 0xFF`` as an expression."""
+    if isinstance(value, int):
+        return (value >> shift) & 0xFF
+    node = value.node
+    if node[0] == "byte" and shift == 0:
+        return value
+    if node[0] == "bin" and node[1] == "&" and isinstance(node[3], int):
+        window = (node[3] >> shift) & 0xFF
+        if window == 0xFF:
+            return sym_byte(node[2], shift)
+        if window == 0:
+            return 0
+    if node[0] == "cat":
+        # byte k of cat(b0..bn-1): big-endian, each part one byte.
+        parts = node[1:]
+        index = len(parts) - 1 - shift // 8
+        if shift % 8 == 0 and 0 <= index < len(parts):
+            return parts[index]
+    return SymVal(("byte", _freeze(value), shift))
+
+
+def sym_cat(parts):
+    """Reassemble big-endian byte expressions into one value."""
+    if all(isinstance(p, int) for p in parts):
+        value = 0
+        for part in parts:
+            value = (value << 8) | (part & 0xFF)
+        return value
+    # The common reassembly: the N bytes of one expression, in order.
+    if len(parts) in (2, 4):
+        first = parts[0]
+        if isinstance(first, SymVal) and first.node[0] == "byte":
+            base, top_shift = first.node[1], first.node[2]
+            if top_shift == 8 * (len(parts) - 1) and all(
+                isinstance(p, SymVal)
+                and p.node == ("byte", base, top_shift - 8 * i)
+                for i, p in enumerate(parts)
+            ):
+                if len(parts) == 4:
+                    return base
+                return sym_bin("&", base, (1 << (8 * len(parts))) - 1)
+    frozen = []
+    for part in parts:
+        if isinstance(part, SymVal):
+            frozen.append(part)
+        elif isinstance(part, int):
+            frozen.append(part & 0xFF)
+        else:
+            raise Undecidable(part, "unsupported byte expression")
+    return SymVal(("cat", *frozen))
+
+
+class SymBuffer(rv.Buffer):
+    """A byte buffer whose cells are concrete ints *or* byte
+    expressions.  Bounds are checked exactly like the concrete
+    :class:`~repro.minic.values.Buffer`; a ``written`` bitmap records
+    which bytes any store touched (the verifier uses it to prove the
+    marshaled output has no uninitialized bytes)."""
+
+    __slots__ = ("written",)
+
+    def __init__(self, size_or_bytes, name="buf"):
+        if isinstance(size_or_bytes, int):
+            super().__init__(size_or_bytes, name=name)
+            self.data = [0] * size_or_bytes
+            self.written = bytearray(size_or_bytes)
+        else:
+            initial = list(size_or_bytes)
+            super().__init__(len(initial), name=name)
+            self.data = initial
+            self.written = bytearray([1] * len(initial))
+
+    def store_int(self, offset, value, size, signed):
+        self.check(offset, size)
+        if isinstance(value, int):
+            value &= (1 << (8 * size)) - 1
+            for k in range(size):
+                self.data[offset + k] = (value >> (8 * (size - 1 - k))) & 0xFF
+        else:
+            for k in range(size):
+                self.data[offset + k] = sym_byte(value, 8 * (size - 1 - k))
+        self.written[offset:offset + size] = bytes([1]) * size
+
+    def load_int(self, offset, size, signed):
+        self.check(offset, size)
+        parts = self.data[offset:offset + size]
+        value = sym_cat(parts)
+        if isinstance(value, int) and signed:
+            limit = 1 << (8 * size - 1)
+            if value >= limit:
+                value -= limit << 1
+        return value
+
+    def store_u32(self, offset, value):
+        self.store_int(offset, value, 4, False)
+
+    def load_u32(self, offset):
+        value = self.load_int(offset, 4, False)
+        return value
+
+    def fill_zero(self, offset, size):
+        self.check(offset, size)
+        self.data[offset:offset + size] = [0] * size
+        self.written[offset:offset + size] = bytes([1]) * size
+
+    def bytes(self):
+        if any(isinstance(b, SymVal) for b in self.data):
+            raise Undecidable(self, "buffer holds symbolic bytes")
+        return bytes(self.data)
+
+    def sym_bytes(self):
+        """The buffer content as a list of int-or-expression bytes."""
+        return list(self.data)
+
+    def covered(self, length):
+        """True when every byte of ``[0, length)`` was written."""
+        return all(self.written[:length])
+
+
+class SymbolicInterpreter(Interpreter):
+    """The reference interpreter lifted to the concrete-or-symbolic
+    scalar domain.  Concrete runs behave byte-for-byte like the parent
+    class (the parent *is* the concrete path); symbolic operands route
+    through :func:`sym_bin`/:class:`SymBuffer`."""
+
+    #: verification runs are bounded much tighter than general
+    #: interpretation — residual codecs are small.
+    def __init__(self, program, typeinfo=None, max_steps=2_000_000):
+        super().__init__(program, typeinfo=typeinfo, max_steps=max_steps)
+
+    def make_sym_buffer(self, size_or_bytes, name="buf"):
+        buffer = SymBuffer(size_or_bytes, name=name)
+        buffer.addr = self.space.alloc_heap(len(buffer))
+        return buffer
+
+    # -- decisions --------------------------------------------------------
+
+    def _truthy(self, value):
+        if isinstance(value, SymVal):
+            node = value.node
+            if node[0] == "bin" and node[1] in ("==", "!=", "<", "<=",
+                                                ">", ">="):
+                raise Undecidable(value, "comparison on symbolic values")
+            raise Undecidable(value)
+        return Interpreter._truthy(value)
+
+    # -- operators over the lifted domain --------------------------------
+
+    def _eval_binary(self, node, frame):
+        op = node.op
+        if op in ("&&", "||"):
+            return super()._eval_binary(node, frame)
+        left = self.eval(node.left, frame)
+        right = self.eval(node.right, frame)
+        left_ptr = isinstance(left, rv.Pointer)
+        right_ptr = isinstance(right, rv.Pointer)
+        if left_ptr or right_ptr:
+            return self._pointer_binary(op, left, right)
+        result_type = self.typeinfo.expr_types.get(node.uid, ct.INT)
+        if is_sym(left) or is_sym(right):
+            return sym_bin(op, left, right)
+        return self._int_binary(op, int(left), int(right), result_type)
+
+    def _eval_unary(self, node, frame):
+        if node.op in ("&", "*"):
+            return super()._eval_unary(node, frame)
+        operand = self.eval(node.operand, frame)
+        if is_sym(operand):
+            if node.op == "-":
+                return sym_bin("-", 0, operand)
+            if node.op == "~":
+                return sym_bin("^", operand, MASK32)
+            # "!" needs a truth value — _truthy raises Undecidable.
+            return 0 if self._truthy(operand) else 1
+        result_type = self.typeinfo.expr_types.get(node.uid, ct.INT)
+        if node.op == "-":
+            return ct.wrap_int(-operand, result_type)
+        if node.op == "~":
+            return ct.wrap_int(~operand, result_type)
+        if node.op == "!":
+            return 0 if self._truthy(operand) else 1
+        raise ReproError(f"unknown unary {node.op!r}")
+
+    def _eval_cast(self, node, frame):
+        value = self.eval(node.operand, frame)
+        ctype = node.ctype
+        if is_sym(value):
+            if ctype.is_integer:
+                width = ctype.size()
+                if width >= 4:
+                    return value
+                return sym_bin("&", value, (1 << (8 * width)) - 1)
+            raise Undecidable(value, "cast of symbolic value to pointer")
+        if isinstance(value, rv.BufPtr) and isinstance(ctype,
+                                                       ct.PointerType):
+            return value.with_type(ctype)
+        if isinstance(value, rv.Pointer):
+            return value
+        if ctype.is_integer:
+            return ct.wrap_int(int(value), ctype)
+        return value
+
+    def _eval_assign(self, node, frame):
+        location = self.eval_lvalue(node.target, frame)
+        value = self.eval(node.value, frame)
+        if node.op is not None:
+            current = self._load_loc(location, node)
+            if isinstance(current, rv.Pointer):
+                value = self._pointer_binary(node.op, current, value)
+            elif is_sym(current) or is_sym(value):
+                value = sym_bin(node.op, current, value)
+            else:
+                result_type = self.typeinfo.expr_types.get(node.uid, ct.INT)
+                value = self._int_binary(
+                    node.op, int(current), int(value), result_type
+                )
+        return self._store_loc(location, value, node)
+
+    def _eval_incdec(self, node, frame):
+        location = self.eval_lvalue(node.target, frame)
+        current = self._load_loc(location, node)
+        if isinstance(current, rv.Pointer):
+            updated = current.add(1 if node.op == "++" else -1)
+        elif is_sym(current):
+            updated = sym_bin("+" if node.op == "++" else "-", current, 1)
+        else:
+            updated = current + (1 if node.op == "++" else -1)
+        self._store_loc(location, updated, node)
+        return updated if node.prefix else current
+
+    # -- memory over the lifted domain -----------------------------------
+
+    def _store_loc(self, location, value, node):
+        if isinstance(location, rv.BufPtr) and is_sym(value):
+            location.buffer.store_int(
+                location.offset, value, location.elem_size, location.signed
+            )
+            return value
+        return super()._store_loc(location, value, node)
+
+    def _index_loc(self, node, frame):
+        index = self.eval(node.index, frame)
+        if is_sym(index):
+            raise Undecidable(index, "array index depends on symbolic value")
+        base = node.obj
+        base_loc = None
+        if isinstance(base, (ast.Var, ast.Member)):
+            base_loc = self.eval_lvalue(base, frame)
+        if base_loc is not None and isinstance(base_loc.value, rv.ArrayVal):
+            return base_loc.value.elem(int(index))
+        pointer = self.eval(base, frame)
+        return self._deref_loc(
+            pointer.add(int(index))
+            if isinstance(pointer, (rv.CellPtr, rv.BufPtr))
+            else pointer,
+            node,
+        )

@@ -1,0 +1,752 @@
+"""Residual-code equivalence verifier (analysis pass 1).
+
+The specialization pipeline's whole bet — the paper's bet — is that
+the Tempo-generated residual codec is semantically equivalent to the
+generic Sun RPC stub it replaces.  Since PR 8 residual codecs are
+auto-promoted from live traffic, so this module provides the
+independent check: before a specialization installs, its residual MiniC
+program is **symbolically executed** against the generic MiniC program
+it was specialized from, over the codec's declared size-guard domain.
+
+What is proved (per codec, on the declared domain):
+
+* **byte equivalence** — the residual marshaler emits exactly the
+  bytes the generic marshaler emits, for *every* argument assignment
+  with the assumed array lengths (argument words are free 32-bit
+  symbols); the residual receive/dispatch path decodes to exactly the
+  generic result;
+* **bounds safety** — every buffer and array access in the residual
+  run is in bounds (the interpreter's bounds checks run during the
+  symbolic execution), and every byte of the produced message was
+  actually written (no uninitialized-byte leaks);
+* **guard-domain conformance** — the sizes the specialization declares
+  (`expected_request`/`expected_reply`, the ``expected_inlen`` rewrite)
+  equal the wire arithmetic recomputed from the IDL and the assumed
+  lengths, so a guard cannot silently widen past the profiled domain;
+* **unroll-cap conformance** — no assumed length exceeds the unroll
+  cap when one is in force;
+* **hostile-input behavior** — concrete probes (wrong message type,
+  stale xid, corrupted or out-of-range length words) confirm the
+  residual path never *accepts* an input the generic path rejects.
+  The residual may always **decline** (return 0); the runtime then
+  falls back to the generic path, so declining is safe — accepting
+  with different bytes is the bug class this pass exists to catch.
+
+Soundness caveats (also in docs/ANALYSIS.md): equality of symbolic
+values is decided by structural identity, so a residual program that
+is equivalent but *algebraically rearranged* is reported as
+undecidable — the verifier fails closed, never open.  Data-dependent
+control flow in a residual codec is likewise reported, not guessed at.
+"""
+
+import itertools
+
+from repro.analysis.findings import Finding
+from repro.analysis.symexec import (
+    SymbolicInterpreter,
+    Undecidable,
+    is_sym,
+    render,
+    sym,
+    values_equal,
+)
+from repro.errors import InterpError, ReproError, VerificationError
+from repro.minic import types as ct
+from repro.minic import values as rv
+from repro.rpcgen import idl_ast as idl
+from repro.specialized.sizes import (
+    CALL_HEADER_BYTES,
+    REPLY_HEADER_BYTES,
+    reply_size,
+    request_size,
+)
+
+#: deterministic filler for concrete probe payload words.
+_PROBE_FILL = 0x1357
+
+
+def _finding(rule, entry, message, **context):
+    return Finding(
+        rule=rule,
+        path=f"residual:{entry}",
+        line=0,
+        message=message,
+        context=context,
+    )
+
+
+def ensure_verified(findings, what):
+    """Raise :class:`VerificationError` when any finding is present."""
+    if findings:
+        detail = "; ".join(f"[{f.rule}] {f.message}" for f in findings[:3])
+        more = f" (+{len(findings) - 3} more)" if len(findings) > 3 else ""
+        raise VerificationError(
+            f"residual verification failed for {what}: {detail}{more}"
+        )
+
+
+# -- symbolic message templates ------------------------------------------
+
+
+def _encode_struct_words(interface, struct, lens, prefix, words):
+    """Append the XDR encoding of ``struct`` (one entry per 4-byte
+    word, symbolic for data, concrete for length words) to ``words``.
+    Mirrors :func:`repro.specialized.sizes.struct_encoded_size`."""
+    for field in struct.fields:
+        resolved = interface.resolve(field.type)
+        name = f"{prefix}.{field.name}"
+        if isinstance(resolved, idl.Prim):
+            words.append(sym(name))
+        elif isinstance(resolved, idl.FixedArray):
+            words.extend(sym(f"{name}[{i}]") for i in range(resolved.size))
+        elif isinstance(resolved, idl.VarArray):
+            count = lens[field.name]
+            words.append(count)
+            words.extend(sym(f"{name}[{i}]") for i in range(count))
+        elif isinstance(resolved, idl.Named):
+            nested = interface.struct(resolved.name)
+            _encode_struct_words(interface, nested, {}, name, words)
+        else:
+            raise ReproError(f"unsized type in verifier: {resolved!r}")
+    return words
+
+
+def _var_len_word_offsets(interface, struct, lens, base):
+    """Byte offsets (and bounds) of every bounded-array length word in
+    the encoded form of ``struct`` — the corruption targets for the
+    hostile-input probes.  Returns [(field_name, offset, bound, count)].
+    """
+    out = []
+    offset = base
+    for field in struct.fields:
+        resolved = interface.resolve(field.type)
+        if isinstance(resolved, idl.Prim):
+            offset += 4
+        elif isinstance(resolved, idl.FixedArray):
+            offset += 4 * resolved.size
+        elif isinstance(resolved, idl.VarArray):
+            out.append((field.name, offset, resolved.bound,
+                        lens[field.name]))
+            offset += 4 + 4 * lens[field.name]
+        elif isinstance(resolved, idl.Named):
+            nested = interface.struct(resolved.name)
+            nested_words = _encode_struct_words(interface, nested, {},
+                                                "x", [])
+            offset += 4 * len(nested_words)
+    return out
+
+
+def _concrete_words(words):
+    """Replace the symbolic words of a template with deterministic
+    concrete values, keeping concrete words (status, lengths) as-is."""
+    counter = itertools.count(1)
+    return [
+        (w if not is_sym(w) else (_PROBE_FILL + next(counter)) & 0xFFFFFFFF)
+        for w in words
+    ]
+
+
+def _words_to_buffer(interp, words, name):
+    buffer = interp.make_sym_buffer(4 * len(words), name=name)
+    for index, word in enumerate(words):
+        buffer.store_u32(4 * index, word)
+    return buffer
+
+
+# -- symbolic struct instances -------------------------------------------
+
+
+def _fill_symbolic(struct_val, var_fields, lens, prefix):
+    """Make every data field of a MiniC struct instance a fresh symbol;
+    bounded-array length fields get their assumed (concrete) length."""
+    for fname, ftype in struct_val.stype.fields:
+        cell = struct_val.field(fname)
+        name = f"{prefix}.{fname}"
+        if isinstance(ftype, ct.ArrayType):
+            array = cell.value
+            for index in range(len(array)):
+                array.elem(index).value = sym(f"{name}[{index}]")
+        elif isinstance(ftype, ct.StructType):
+            _fill_symbolic(cell.value, (), {}, name)
+        elif fname.endswith("_len") and fname[:-4] in var_fields:
+            cell.value = lens[fname[:-4]]
+        else:
+            cell.value = sym(name)
+
+
+def _struct_mismatches(entry, prefix, left, right, findings):
+    """Structural comparison of two decoded struct instances."""
+    for fname, ftype in left.stype.fields:
+        name = f"{prefix}.{fname}"
+        cell_l, cell_r = left.field(fname), right.field(fname)
+        if isinstance(ftype, ct.StructType):
+            _struct_mismatches(entry, name, cell_l.value, cell_r.value,
+                               findings)
+        elif isinstance(ftype, ct.ArrayType):
+            arr_l, arr_r = cell_l.value, cell_r.value
+            for index in range(len(arr_l)):
+                vl = arr_l.elem(index).value
+                vr = arr_r.elem(index).value
+                if not values_equal(vl, vr):
+                    findings.append(_finding(
+                        "residual-divergence", entry,
+                        f"decoded {name}[{index}] diverges:"
+                        f" generic={render(vl)} residual={render(vr)}",
+                    ))
+                    return
+        elif not values_equal(cell_l.value, cell_r.value):
+            findings.append(_finding(
+                "residual-divergence", entry,
+                f"decoded {name} diverges:"
+                f" generic={render(cell_l.value)}"
+                f" residual={render(cell_r.value)}",
+            ))
+            return
+
+
+def _compare_buffers(entry, what, generic_buf, residual_buf, length,
+                     findings):
+    generic_bytes = generic_buf.sym_bytes()
+    residual_bytes = residual_buf.sym_bytes()
+    if not residual_buf.covered(length):
+        hole = next(
+            i for i in range(length) if not residual_buf.written[i]
+        )
+        findings.append(_finding(
+            "residual-uninitialized", entry,
+            f"{what}: residual output byte {hole} of {length} was never"
+            " written",
+        ))
+        return
+    for index in range(length):
+        if not values_equal(generic_bytes[index], residual_bytes[index]):
+            findings.append(_finding(
+                "residual-divergence", entry,
+                f"{what}: output byte {index} diverges:"
+                f" generic={render(generic_bytes[index])}"
+                f" residual={render(residual_bytes[index])}",
+            ))
+            return
+
+
+# -- running one entry ----------------------------------------------------
+
+
+class _Run:
+    """Outcome of one symbolic/concrete execution of a codec entry."""
+
+    __slots__ = ("status", "value", "error", "out", "resp")
+
+    def __init__(self, status, value=None, error=None, out=None, resp=None):
+        self.status = status  # "ok" | "error" | "undecidable"
+        self.value = value
+        self.error = error
+        self.out = out
+        self.resp = resp
+
+
+def _generic_params(program, entry):
+    return [param.name for param in program.func(entry).params]
+
+
+def _residual_params(result):
+    return [name for _ctype, name in result.residual_params]
+
+
+class _Harness:
+    """Builds matched input worlds for the generic and residual
+    programs of one codec and runs both."""
+
+    def __init__(self, pipeline, result, generic_entry):
+        self.pipeline = pipeline
+        self.result = result
+        self.generic_entry = generic_entry
+        self.generic_program = pipeline.program_ast
+        self.generic_typeinfo = pipeline.typeinfo
+        self.generic_names = _generic_params(
+            self.generic_program, generic_entry
+        )
+        self.residual_names = _residual_params(result)
+
+    def run_pair(self, make_values):
+        """``make_values(interp)`` builds the world for one program
+        (fresh buffers/structs, shared symbol names); returns the two
+        :class:`_Run` outcomes (generic, residual)."""
+        generic_interp = SymbolicInterpreter(
+            self.generic_program, typeinfo=self.generic_typeinfo
+        )
+        values, out, resp = make_values(generic_interp)
+        generic = _run_with(generic_interp, self.generic_entry,
+                            self.generic_names, values, out, resp)
+        residual_interp = SymbolicInterpreter(self.result.program)
+        values, out, resp = make_values(residual_interp)
+        residual = _run_with(residual_interp, self.result.entry_name,
+                             self.residual_names, values, out, resp)
+        return generic, residual
+
+
+def _run_with(interp, entry, param_names, values, out, resp):
+    try:
+        result = interp.call(
+            entry, [values[name] for name in param_names]
+        )
+    except Undecidable as exc:
+        return _Run("undecidable", error=exc)
+    except InterpError as exc:
+        return _Run("error", error=exc)
+    except KeyError as exc:
+        return _Run("error", error=exc)
+    return _Run("ok", value=result, out=out, resp=resp)
+
+
+# -- the client verifier --------------------------------------------------
+
+
+def verify_client_spec(pipeline, spec, unroll_cap=None):
+    """Verify one :class:`ClientSpecialization`.  Returns findings
+    (empty list == verified)."""
+    findings = []
+    interface = pipeline.interface
+    arg_lens, res_lens = spec._arg_lens, spec._res_lens
+    marshal_entry = spec.marshal_result.entry_name
+    recv_entry = spec.recv_result.entry_name
+
+    # Guard-domain conformance: the declared fast-path sizes must equal
+    # the wire arithmetic recomputed here, independently of the spec.
+    want_request = request_size(interface, spec.arg_struct, arg_lens)
+    want_reply = reply_size(interface, spec.ret_struct, res_lens)
+    if spec.expected_request != want_request:
+        findings.append(_finding(
+            "guard-domain", marshal_entry,
+            f"declared request guard {spec.expected_request} !="
+            f" computed {want_request}",
+        ))
+    if spec.expected_reply != want_reply:
+        findings.append(_finding(
+            "guard-domain", recv_entry,
+            f"declared reply guard {spec.expected_reply} !="
+            f" computed {want_reply}",
+        ))
+    if findings:
+        return findings
+
+    findings.extend(_check_unroll(
+        marshal_entry, (arg_lens, res_lens), unroll_cap
+    ))
+    if findings:
+        return findings
+
+    findings.extend(_verify_marshal(pipeline, spec, want_request))
+    findings.extend(_verify_recv(pipeline, spec, want_reply))
+    return findings
+
+
+def _check_unroll(entry, lens_list, unroll_cap):
+    if unroll_cap is None:
+        return []
+    for lens in lens_list:
+        for field, count in lens.items():
+            if count > unroll_cap:
+                return [_finding(
+                    "unroll-cap", entry,
+                    f"assumed length {field}={count} exceeds the unroll"
+                    f" cap {unroll_cap}",
+                )]
+    return []
+
+
+def _verify_marshal(pipeline, spec, want_request):
+    findings = []
+    harness = _Harness(
+        pipeline, spec.marshal_result,
+        f"{spec.proc.name.lower()}_marshal",
+    )
+    var_fields = tuple(pipeline._gen.var_fields(spec.arg_struct))
+    entry = spec.marshal_result.entry_name
+    xid = sym("xid")
+
+    def make_values(interp):
+        out = interp.make_sym_buffer(spec.bufsize, name="out")
+        clnt = interp.make_struct("CLIENT")
+        clnt.field("cl_prog").value = pipeline.prog_number
+        clnt.field("cl_vers").value = pipeline.vers_number
+        args = interp.make_struct(spec.arg_struct.name)
+        _fill_symbolic(args, var_fields, spec._arg_lens, "arg")
+        values = {
+            "clnt": interp.ptr_to(clnt),
+            "xid": xid,
+            "argsp": interp.ptr_to(args),
+            "outbuf": rv.BufPtr(out, 0, 1, True),
+            "outsize": spec.bufsize,
+        }
+        for field, length in spec._arg_lens.items():
+            values[f"expected_{field}_len"] = length
+        return values, out, None
+
+    generic, residual = harness.run_pair(make_values)
+    if generic.status != "ok" or is_sym(generic.value):
+        findings.append(_finding(
+            "verify-internal", entry,
+            f"generic marshal oracle failed: {generic.error or generic.value!r}",
+        ))
+        return findings
+    if residual.status == "undecidable":
+        findings.append(_finding(
+            "residual-undecidable", entry,
+            f"marshal has data-dependent control flow the verifier cannot"
+            f" decide: {residual.error}",
+        ))
+        return findings
+    if residual.status == "error":
+        findings.append(_finding(
+            "residual-bounds", entry,
+            f"marshal faulted on the declared domain: {residual.error}",
+        ))
+        return findings
+    if is_sym(residual.value):
+        findings.append(_finding(
+            "residual-divergence", entry,
+            f"marshal output length is data-dependent:"
+            f" {render(residual.value)}",
+        ))
+        return findings
+    if residual.value == 0:
+        findings.append(_finding(
+            "residual-domain-reject", entry,
+            "marshal declines its own declared domain (returns 0)",
+        ))
+        return findings
+    if residual.value != generic.value or generic.value != want_request:
+        findings.append(_finding(
+            "residual-divergence", entry,
+            f"marshal length diverges: generic={generic.value}"
+            f" residual={residual.value} declared={want_request}",
+        ))
+        return findings
+    _compare_buffers(entry, "marshal", generic.out, residual.out,
+                     want_request, findings)
+    return findings
+
+
+def _reply_template(pipeline, spec, xid):
+    words = [xid, 1, 0, 0, 0, 0]  # xid, REPLY, MSG_ACCEPTED, null verf,
+    #                               SUCCESS — six header words
+    _encode_struct_words(pipeline.interface, spec.ret_struct,
+                         spec._res_lens, "res", words)
+    return words
+
+
+def _verify_recv(pipeline, spec, want_reply):
+    findings = []
+    harness = _Harness(
+        pipeline, spec.recv_result, f"{spec.proc.name.lower()}_recv"
+    )
+    entry = spec.recv_result.entry_name
+    xid = sym("xid")
+    words = _reply_template(pipeline, spec, xid)
+    if 4 * len(words) != want_reply:
+        findings.append(_finding(
+            "verify-internal", entry,
+            f"reply template is {4 * len(words)} bytes, expected"
+            f" {want_reply}",
+        ))
+        return findings
+
+    def make_values(interp, template=words):
+        buf = _words_to_buffer(interp, template, "in")
+        resp = interp.make_struct(spec.ret_struct.name)
+        values = {
+            "inbuf": rv.BufPtr(buf, 0, 1, True),
+            "inlen": want_reply,
+            "xid": template[0],
+            "resp": interp.ptr_to(resp),
+        }
+        for field, length in spec._res_lens.items():
+            values[f"expected_{field}_len"] = length
+        return values, buf, resp
+
+    generic, residual = harness.run_pair(make_values)
+    if generic.status != "ok" or generic.value != 1:
+        findings.append(_finding(
+            "verify-internal", entry,
+            f"generic recv oracle rejected the in-domain reply:"
+            f" {generic.error or generic.value!r}",
+        ))
+        return findings
+    if residual.status == "undecidable":
+        findings.append(_finding(
+            "residual-undecidable", entry,
+            f"recv has data-dependent control flow the verifier cannot"
+            f" decide: {residual.error}",
+        ))
+        return findings
+    if residual.status == "error":
+        findings.append(_finding(
+            "residual-bounds", entry,
+            f"recv faulted on the declared domain: {residual.error}",
+        ))
+        return findings
+    if residual.value != 1:
+        findings.append(_finding(
+            "residual-domain-reject", entry,
+            "recv declines its own declared domain (returns 0)",
+        ))
+        return findings
+    _struct_mismatches(entry, "res", generic.resp, residual.resp, findings)
+    if findings:
+        return findings
+
+    # Hostile-input probes: concrete corrupted replies.  The residual
+    # may decline anything; it must never accept what generic rejects,
+    # and when both accept the decode must agree.
+    for label, probe_words, probe_xid in _recv_probes(pipeline, spec,
+                                                      words):
+        def make_probe(interp, template=probe_words, pxid=probe_xid):
+            buf = _words_to_buffer(interp, template, "in")
+            resp = interp.make_struct(spec.ret_struct.name)
+            values = {
+                "inbuf": rv.BufPtr(buf, 0, 1, True),
+                "inlen": want_reply,
+                "xid": pxid,
+                "resp": interp.ptr_to(resp),
+            }
+            for field, length in spec._res_lens.items():
+                values[f"expected_{field}_len"] = length
+            return values, buf, resp
+
+        generic, residual = harness.run_pair(make_probe)
+        if residual.status in ("error", "undecidable"):
+            findings.append(_finding(
+                "residual-bounds", entry,
+                f"recv faulted on hostile input ({label}):"
+                f" {residual.error}",
+                probe=label,
+            ))
+            return findings
+        if residual.value == 1:
+            if generic.status != "ok" or generic.value != 1:
+                findings.append(_finding(
+                    "residual-accepts-bad-input", entry,
+                    f"recv accepts a reply the generic decoder rejects"
+                    f" ({label})",
+                    probe=label,
+                ))
+                return findings
+            _struct_mismatches(entry, f"res[{label}]", generic.resp,
+                               residual.resp, findings)
+            if findings:
+                return findings
+    return findings
+
+
+def _recv_probes(pipeline, spec, template):
+    """(label, words, xid) triples of corrupted concrete replies."""
+    base = _concrete_words(template)
+    xid = 0x7F03AB01
+    base[0] = xid
+    probes = [
+        ("in-domain", list(base), xid),
+        ("wrong-mtype", _patched(base, 1, 0), xid),
+        ("denied-reply", _patched(base, 2, 1), xid),
+        ("garbage-args-stat", _patched(base, 5, 4), xid),
+        ("stale-xid", list(base), (xid + 1) & 0xFFFFFFFF),
+    ]
+    len_words = _var_len_word_offsets(
+        pipeline.interface, spec.ret_struct, spec._res_lens,
+        REPLY_HEADER_BYTES,
+    )
+    for field, offset, bound, count in len_words:
+        index = offset // 4
+        probes.append((
+            f"len-{field}-over-bound", _patched(base, index, bound + 1),
+            xid,
+        ))
+        probes.append((
+            f"len-{field}-negative", _patched(base, index, 0xFFFFFFFF),
+            xid,
+        ))
+        if count > 0:
+            probes.append((
+                f"len-{field}-short", _patched(base, index, count - 1),
+                xid,
+            ))
+    return probes
+
+
+def _patched(words, index, value):
+    out = list(words)
+    out[index] = value
+    return out
+
+
+# -- the server verifier --------------------------------------------------
+
+
+def verify_server_residual(pipeline, result, proc, arg_lens, res_lens,
+                           bufsize, unroll_cap=None):
+    """Verify one residual server dispatcher.  Returns findings.
+
+    Server semantics differ from the client in one way: the runtime
+    wrapper treats *any* residual exception as a decline and falls back
+    to the generic registry, so a residual fault on hostile input is
+    safe — only accepting with bytes that diverge from the generic
+    dispatcher is an error.  On the declared domain the residual must
+    still answer (no decline) with the generic bytes.
+    """
+    findings = []
+    interface = pipeline.interface
+    arg_struct = pipeline._struct_for(proc.arg, proc.name)
+    entry = result.entry_name
+    findings.extend(_check_unroll(entry, (arg_lens, res_lens), unroll_cap))
+    if findings:
+        return findings
+    want_request = request_size(interface, arg_struct, arg_lens)
+
+    suffix = f"{pipeline.idl_program.name.lower()}_{pipeline.vers_number}"
+    harness = _Harness(pipeline, result, f"svc_handle_{suffix}")
+
+    xid = sym("xid")
+    words = [
+        xid, 0, 2, pipeline.prog_number, pipeline.vers_number,
+        proc.number, 0, 0, 0, 0,
+    ]
+    _encode_struct_words(interface, arg_struct, arg_lens, "arg", words)
+    if 4 * len(words) != want_request:
+        findings.append(_finding(
+            "verify-internal", entry,
+            f"call template is {4 * len(words)} bytes, expected"
+            f" {want_request}",
+        ))
+        return findings
+
+    expected_lens = _svc_expected_lens(pipeline, proc, arg_lens, res_lens)
+
+    def make_values(interp, template=words):
+        buf = _words_to_buffer(interp, template, "in")
+        out = interp.make_sym_buffer(bufsize, name="out")
+        values = {
+            "inbuf": rv.BufPtr(buf, 0, 1, True),
+            "inlen": 4 * len(template),
+            "outbuf": rv.BufPtr(out, 0, 1, True),
+            "outsize": bufsize,
+            "expected_inlen": want_request,
+        }
+        values.update(expected_lens)
+        return values, out, None
+
+    generic, residual = harness.run_pair(make_values)
+    if generic.status != "ok" or is_sym(generic.value) \
+            or generic.value == 0:
+        findings.append(_finding(
+            "verify-internal", entry,
+            f"generic dispatch oracle failed on the in-domain call:"
+            f" {generic.error or generic.value!r}",
+        ))
+        return findings
+    if residual.status == "undecidable":
+        findings.append(_finding(
+            "residual-undecidable", entry,
+            f"dispatch has control flow the verifier cannot decide:"
+            f" {residual.error}",
+        ))
+        return findings
+    if residual.status == "error":
+        findings.append(_finding(
+            "residual-bounds", entry,
+            f"dispatch faulted on the declared domain: {residual.error}",
+        ))
+        return findings
+    if is_sym(residual.value) or residual.value == 0:
+        findings.append(_finding(
+            "residual-domain-reject", entry,
+            "dispatch declines its own declared domain",
+        ))
+        return findings
+    if residual.value != generic.value:
+        findings.append(_finding(
+            "residual-divergence", entry,
+            f"dispatch reply length diverges: generic={generic.value}"
+            f" residual={residual.value}",
+        ))
+        return findings
+    _compare_buffers(entry, "dispatch", generic.out, residual.out,
+                     generic.value, findings)
+    if findings:
+        return findings
+
+    # Hostile probes: residual may decline or fault (the wrapper treats
+    # both as fallback) but must not answer with divergent bytes.
+    for label, probe in _server_probes(pipeline, arg_struct, arg_lens,
+                                       proc, words):
+        def make_probe(interp, template=probe):
+            buf = _words_to_buffer(interp, template, "in")
+            out = interp.make_sym_buffer(bufsize, name="out")
+            values = {
+                "inbuf": rv.BufPtr(buf, 0, 1, True),
+                "inlen": 4 * len(template),
+                "outbuf": rv.BufPtr(out, 0, 1, True),
+                "outsize": bufsize,
+                "expected_inlen": want_request,
+            }
+            values.update(expected_lens)
+            return values, out, None
+
+        generic, residual = harness.run_pair(make_probe)
+        if residual.status != "ok" or residual.value == 0:
+            continue  # decline/fault -> generic fallback handles it
+        if generic.status != "ok" or generic.value != residual.value:
+            findings.append(_finding(
+                "residual-accepts-bad-input", entry,
+                f"dispatch answers a call the generic dispatcher"
+                f" handles differently ({label})",
+                probe=label,
+            ))
+            return findings
+        _compare_buffers(entry, f"dispatch[{label}]", generic.out,
+                         residual.out, generic.value, findings)
+        if findings:
+            return findings
+    return findings
+
+
+def _svc_expected_lens(pipeline, proc, arg_lens, res_lens):
+    """The per-procedure expected-length parameters of the generic
+    ``svc_handle`` entry (zero for every procedure but the hot one),
+    mirroring the pipeline's server assumptions."""
+    values = {}
+    for version_proc in pipeline.idl_version.procs:
+        vp_name = version_proc.name.lower()
+        vp_arg = pipeline._struct_for(version_proc.arg, version_proc.name)
+        vp_ret = pipeline._struct_for(version_proc.ret, version_proc.name)
+        hot = version_proc.name == proc.name
+        for field in pipeline._gen.var_fields(vp_arg):
+            length = arg_lens.get(field, 0) if hot else 0
+            values[f"{vp_name}_expected_{field}_len"] = length
+        for field in pipeline._gen.var_fields(vp_ret):
+            length = res_lens.get(field, 0) if hot else 0
+            values[f"{vp_name}_expected_{field}_len_res"] = length
+    return values
+
+
+def _server_probes(pipeline, arg_struct, arg_lens, proc, template):
+    base = _concrete_words(template)
+    base[0] = 0x7F03AB02
+    probes = [
+        ("in-domain", list(base)),
+        ("wrong-mtype", _patched(base, 1, 1)),
+        ("wrong-rpcvers", _patched(base, 2, 3)),
+        ("wrong-prog", _patched(base, 3, pipeline.prog_number + 1)),
+        ("wrong-proc", _patched(base, 5, proc.number + 1)),
+    ]
+    len_words = _var_len_word_offsets(
+        pipeline.interface, arg_struct, arg_lens, CALL_HEADER_BYTES
+    )
+    for field, offset, bound, count in len_words:
+        index = offset // 4
+        probes.append((
+            f"len-{field}-over-bound", _patched(base, index, bound + 1)
+        ))
+        probes.append((
+            f"len-{field}-negative", _patched(base, index, 0xFFFFFFFF)
+        ))
+    return probes

@@ -46,6 +46,14 @@ class SpecializationError(ReproError):
     """Raised by the Tempo specializer when a program cannot be handled."""
 
 
+class VerificationError(SpecializationError):
+    """Raised when the residual-code equivalence verifier rejects a
+    residual codec (byte divergence from the generic codec, a bounds
+    violation, uncovered output bytes, a guard wider than the declared
+    domain, or an unroll-cap breach).  A rejected codec is never
+    installed; callers fall back to the generic path."""
+
+
 class BindingTimeError(SpecializationError):
     """Raised by the binding-time analysis on inconsistent declarations."""
 

@@ -281,13 +281,23 @@ METRICS = {
     "rpc.spec.online.skips": (
         "counter", "reason",
         "refused builds, by reason (unroll_cap, unsupported,"
-        " build_error)"),
+        " build_error, verify_failed)"),
     "rpc.spec.online.active": (
         "gauge", "side",
         "online-specialized routes/codecs currently installed"),
     "rpc.spec.online.build_s": (
         "histogram", "",
         "background Tempo + compile time per online build, seconds"),
+    # -- residual verification (repro.analysis.verify) --------------------
+    "rpc.spec.verify.pass": (
+        "counter", "kind",
+        "residual codecs proved equivalent to the generic codec before"
+        " installing (kind: client/server)"),
+    "rpc.spec.verify.fail": (
+        "counter", "kind, reason",
+        "residual codecs rejected by the equivalence verifier, by"
+        " finding rule (never installed; callers fall back to generic"
+        " or rebuild)"),
     # -- specialization cache -------------------------------------------
     "spec.cache.hits": (
         "counter", "",

@@ -441,6 +441,7 @@ class DrcJournal:
                 with open(tmp_path, "wb") as handle:
                     handle.write(buffer.getvalue())
                     handle.flush()
+                    # repro: disable=blocking-under-lock -- compaction must exclude appends while the snapshot+journal swap
                     os.fsync(handle.fileno())
                 os.replace(tmp_path, self.snapshot_path)
                 # The snapshot now covers everything; restart the

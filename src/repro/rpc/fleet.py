@@ -38,6 +38,7 @@ entry is bit-for-bit what local journal recovery would have produced.
 Telemetry: ``rpc.fleet.*`` (see :mod:`repro.obs.catalog`).
 """
 
+import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -218,7 +219,8 @@ class ReplicationSink:
         for blob in blobs:
             try:
                 key, reply = decode_entry(blob)
-            except Exception:
+            except (ValueError, struct.error):
+                # decode_entry's documented malformation signals.
                 self.undecodable += 1
                 continue
             if self.drc.absorb(key, reply):
@@ -348,7 +350,8 @@ class DrcReplicator:
         for key, reply in batch:
             try:
                 blobs.append(encode_entry(key, reply))
-            except Exception:
+            except (TypeError, ValueError, struct.error):
+                # a malformed in-memory key cannot be framed; skip it.
                 self.dropped += 1
         if not blobs:
             return

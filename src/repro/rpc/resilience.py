@@ -491,6 +491,7 @@ class WorkerPool:
                         self.shed_handler(item)
                 else:
                     self.handler(item)
+            # repro: disable=overbroad-except -- last-line worker containment: a pool thread must survive any request
             except Exception:
                 # Contain everything: a worker must survive any
                 # request.  (The dispatcher already answers malformed

@@ -366,6 +366,7 @@ class SvcRegistry:
                 return xid_bytes + err_tail
             try:
                 args = unpack_args(data, _FAST_HEADER_SIZE)
+            # repro: disable=overbroad-except -- hostile bytes may raise anything; route to generic GARBAGE_ARGS
             except Exception:
                 # Generic path answers GARBAGE_ARGS; release the claim
                 # so its own get/claim protocol owns the key.
@@ -375,6 +376,7 @@ class SvcRegistry:
             try:
                 registry.handlers_invoked += 1
                 reply = xid_bytes + ok_tail + pack_res(handler(args))
+            # repro: disable=overbroad-except -- any servant crash must become a SYSTEM_ERR reply, not kill dispatch
             except Exception:
                 logger.exception(
                     "staged route for prog=%d proc=%d failed", prog, proc
@@ -513,7 +515,8 @@ class SvcRegistry:
                 time.monotonic() - started
             )
         if result is None:
-            _count_reply("dropped")
+            if _obs.enabled:
+                _count_reply("dropped")
             if span is not None:
                 span.end(outcome="dropped")
         elif span is not None:
@@ -561,7 +564,7 @@ class SvcRegistry:
                 # We can still answer an RPC_MISMATCH if the xid parsed.
                 try:
                     xid = int.from_bytes(data[0:4], "big")
-                except Exception:
+                except (TypeError, ValueError):
                     return None
                 encode_denied_reply(out, xid, RejectStat.RPC_MISMATCH, (2, 2))
                 if _obs.enabled:
@@ -574,6 +577,7 @@ class SvcRegistry:
         except XdrError as exc:
             logger.debug("dropping truncated call: %s", exc)
             return None
+        # repro: disable=overbroad-except -- defensive decode: arbitrary bytes must never crash dispatch
         except Exception as exc:
             # Defensive decode: arbitrary bytes must never crash
             # dispatch.  Anything the grammar-level decoders did not
@@ -684,6 +688,7 @@ class SvcRegistry:
                 args = proc.xdr_args(stream, None)
             else:
                 args = None
+        # repro: disable=overbroad-except -- fuzzed bytes raise beyond XdrError; all map to GARBAGE_ARGS
         except Exception as exc:
             # XdrError is the designed signal, but fuzzed bytes can
             # make body filters raise UnicodeDecodeError, ValueError
@@ -733,6 +738,7 @@ class SvcRegistry:
         try:
             self.handlers_invoked += 1
             result = proc.handler(args)
+        # repro: disable=overbroad-except -- any servant crash must become a SYSTEM_ERR reply, not kill dispatch
         except Exception:
             if handler_span is not None:
                 handler_span.end(outcome="error")
@@ -762,6 +768,7 @@ class SvcRegistry:
                 proc.encode_res(out, result)
             elif proc.xdr_res is not None:
                 proc.xdr_res(out, result)
+        # repro: disable=overbroad-except -- unmarshalable handler result must become SYSTEM_ERR, not kill the transport
         except Exception:
             # Result does not fit the reply buffer (XdrError) or the
             # handler returned something the filter cannot marshal:

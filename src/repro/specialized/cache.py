@@ -28,6 +28,7 @@ import pickle
 from collections import OrderedDict
 
 from repro import obs as _obs
+from repro.errors import VerificationError
 
 #: bump when the cached payload layout changes.  The format version is
 #: both part of the file name (old entries are never looked up again)
@@ -51,13 +52,21 @@ def content_key(**parts):
 class SpecializationCache:
     """LRU of built specializations with an optional disk tier.
 
-    ``get(key, build, dump, load)``:
+    ``get(key, build, dump, load, check)``:
 
     * memory hit — return the cached object;
     * disk hit — unpickle the payload, revive it with ``load``,
       promote to memory;
     * miss — call ``build()``, cache the object, and (when a disk tier
       is configured and ``dump`` is given) persist ``dump(object)``.
+
+    ``check`` is the verification gate: a callable that raises
+    :class:`~repro.errors.VerificationError` on an unacceptable value.
+    A freshly built value that fails the check is **never installed**
+    (the error propagates).  A disk-revived value that fails is treated
+    as a cache miss and rebuilt — a tampered or stale payload cannot
+    smuggle unverified residual code into the process.  In-memory hits
+    are not re-checked: they were checked when they entered.
 
     ``dump``/``load`` exist because the built objects hold live
     compiled modules and pipeline references that should not be
@@ -81,7 +90,7 @@ class SpecializationCache:
 
     # -- the lookup ------------------------------------------------------
 
-    def get(self, key, build, dump=None, load=None):
+    def get(self, key, build, dump=None, load=None, check=None):
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
@@ -92,16 +101,27 @@ class SpecializationCache:
         if load is not None:
             payload = self._disk_read(key)
             if payload is not None:
-                self.disk_hits += 1
-                if _obs.enabled:
-                    _obs.registry.counter("spec.cache.disk_hits").inc()
                 value = load(payload)
-                self._remember(key, value)
-                return value
+                if check is not None:
+                    try:
+                        check(value)
+                    except VerificationError:
+                        # A revived payload that fails verification is
+                        # a miss: fall through and rebuild from Tempo
+                        # (the rebuild is checked below).
+                        value = None
+                if value is not None:
+                    self.disk_hits += 1
+                    if _obs.enabled:
+                        _obs.registry.counter("spec.cache.disk_hits").inc()
+                    self._remember(key, value)
+                    return value
         self.misses += 1
         if _obs.enabled:
             _obs.registry.counter("spec.cache.misses").inc()
         value = build()
+        if check is not None:
+            check(value)
         self._remember(key, value)
         if dump is not None:
             self._disk_write(key, dump(value))

@@ -41,7 +41,7 @@ from collections import Counter, deque
 from dataclasses import dataclass
 
 from repro import obs as _obs
-from repro.errors import XdrError
+from repro.errors import VerificationError, XdrError
 from repro.rpc.fastpath import ReplyHeaderTemplate
 from repro.rpc.message import (
     AcceptStat,
@@ -598,6 +598,7 @@ class OnlineSpecializer:
         while not self._stop_event.wait(self.interval_s):
             try:
                 self.poll_once()
+            # repro: disable=overbroad-except -- the background poller must outlive any single failed pass
             except Exception:
                 logger.exception("online specialization pass failed")
 
@@ -676,6 +677,14 @@ class OnlineSpecializer:
         started = self.clock()
         try:
             spec = builder()
+        except VerificationError as exc:
+            # The equivalence verifier rejected the residual codec:
+            # never promote it; the generic path keeps serving.
+            logger.warning("online specialization rejected by the"
+                           " residual verifier: %s", exc)
+            self._skip("verify_failed", state)
+            return None
+        # repro: disable=overbroad-except -- a failed build is skipped and counted; the generic path keeps serving
         except Exception:
             logger.exception("online specialization build failed")
             self._skip("build_error", state)

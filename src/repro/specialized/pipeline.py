@@ -15,6 +15,15 @@ This ties the whole experiment together for live use:
 Replies that do not match the expected shape (wrong length, stale xid,
 error status) fall back to the generic decode path, mirroring the
 residual ``else`` branches of the paper's §6.2 rewrite.
+
+Every residual codec passes through the equivalence verifier
+(:mod:`repro.analysis.verify`) before it installs — symbolic execution
+against the generic codec over the declared size-guard domain.  The
+gate is on by default; ``verify=False`` (or ``REPRO_SPEC_VERIFY=off``,
+which wins over the code knob) disables it.  A codec that fails
+verification raises :class:`~repro.errors.VerificationError` when
+freshly built, and is rebuilt from Tempo when revived from the disk
+cache.
 """
 
 import os
@@ -220,6 +229,7 @@ class ServerSpecialization:
                 outlen = self._module.call(
                     self._entry, *[values[name] for name in self._params]
                 )
+            # repro: disable=overbroad-except -- a faulting residual must fall back to the generic dispatcher
             except Exception:
                 outlen = 0
             if outlen:
@@ -295,6 +305,7 @@ class ServerSpecialization:
                 outlen = self._module.call(
                     self._entry, *[values[name] for name in self._params]
                 )
+            # repro: disable=overbroad-except -- a faulting residual must fall back to the generic dispatcher
             except Exception:
                 # Defensive decode: fuzzed bytes that crash the
                 # residual program must not crash dispatch — hand the
@@ -354,7 +365,8 @@ class SpecializationPipeline:
     """Front door: one pipeline per interface (and program version)."""
 
     def __init__(self, idl_source, impl_sources=None, options=None,
-                 program=None, version=None, cache=None, cache_dir=None):
+                 program=None, version=None, cache=None, cache_dir=None,
+                 verify=None, verify_unroll_cap=None):
         from repro.rpcgen.idl_parser import parse_idl
 
         self.interface = parse_idl(idl_source)
@@ -375,6 +387,10 @@ class SpecializationPipeline:
                 cache_dir = os.environ.get("REPRO_SPEC_CACHE_DIR")
             cache = SpecializationCache(cache_dir=cache_dir)
         self.cache = cache
+        #: verification knob: None = default on; the REPRO_SPEC_VERIFY
+        #: environment kill switch overrides the code knob either way.
+        self.verify = verify
+        self.verify_unroll_cap = verify_unroll_cap
         self._fingerprint = content_key(
             idl=idl_source,
             impls=list(impl_sources or []),
@@ -416,6 +432,53 @@ class SpecializationPipeline:
             if proc.name == name:
                 return proc
         raise IdlError(f"no procedure named {name!r}")
+
+    # -- the verification gate ---------------------------------------------
+
+    def verify_enabled(self):
+        """Whether residual codecs are verified before installing.
+
+        ``REPRO_SPEC_VERIFY`` wins over the constructor knob (so an
+        operator can force verification on — or kill it — without a
+        code change); otherwise ``verify=None`` means on.
+        """
+        raw = os.environ.get("REPRO_SPEC_VERIFY", "").strip().lower()
+        if raw:
+            return raw not in ("0", "no", "off", "false")
+        return True if self.verify is None else bool(self.verify)
+
+    def _count_verify(self, kind, findings):
+        if not _obs.enabled:
+            return
+        if findings:
+            _obs.registry.counter(
+                "rpc.spec.verify.fail", kind=kind,
+                reason=findings[0].rule,
+            ).inc()
+        else:
+            _obs.registry.counter("rpc.spec.verify.pass", kind=kind).inc()
+
+    def _client_check(self, spec):
+        from repro.analysis.verify import ensure_verified, verify_client_spec
+
+        findings = verify_client_spec(
+            self, spec, unroll_cap=self.verify_unroll_cap
+        )
+        self._count_verify("client", findings)
+        ensure_verified(findings, f"client codec {spec.proc.name}")
+
+    def _server_check(self, result, proc, arg_lens, res_lens, bufsize):
+        from repro.analysis.verify import (
+            ensure_verified,
+            verify_server_residual,
+        )
+
+        findings = verify_server_residual(
+            self, ResidualCodec.from_result(result), proc, arg_lens,
+            res_lens, bufsize, unroll_cap=self.verify_unroll_cap,
+        )
+        self._count_verify("server", findings)
+        ensure_verified(findings, f"server dispatcher for {proc.name}")
 
     def _struct_for(self, type_ref, where):
         resolved = self.interface.resolve(type_ref)
@@ -477,6 +540,7 @@ class SpecializationPipeline:
                 self, proc, arg_struct, ret_struct, arg_lens, res_lens,
                 bufsize, payload[0], payload[1],
             ),
+            check=self._client_check if self.verify_enabled() else None,
         )
 
     def _specialize_client_uncached(self, proc, arg_struct, ret_struct,
@@ -557,6 +621,11 @@ class SpecializationPipeline:
         # The residual program is cached; the wrapper is rebuilt per
         # call because it carries per-instance state (dispatch counters,
         # the live ``fallback`` registry).
+        check = None
+        if self.verify_enabled():
+            check = lambda result: self._server_check(  # noqa: E731
+                result, proc, arg_lens, res_lens, bufsize
+            )
         handle_result = self.cache.get(
             key,
             build=lambda: self._specialize_server_uncached(
@@ -564,6 +633,7 @@ class SpecializationPipeline:
             ),
             dump=ResidualCodec.from_result,
             load=lambda payload: payload,
+            check=check,
         )
         return ServerSpecialization(self, handle_result, bufsize, fallback)
 

@@ -1,0 +1,84 @@
+"""Shared fixtures: one canonical specialization to verify and mutate."""
+
+import pytest
+
+from repro.specialized import SpecializationPipeline
+
+XFER_IDL = """
+const MAXN = 64;
+
+struct intarr {
+    int vals<MAXN>;
+};
+
+program XFER_PROG {
+    version XFER_VERS {
+        intarr SENDRECV(intarr) = 1;
+    } = 1;
+} = 0x20005555;
+"""
+
+XFER_IMPL = """
+void sendrecv_impl(struct intarr *args, struct intarr *res)
+{
+    int i;
+    res->vals_len = args->vals_len;
+    for (i = 0; i < args->vals_len; i++) {
+        res->vals[i] = args->vals[i] + 1;
+    }
+}
+"""
+
+#: a two-field result struct, so "swapped field order" mutants exist.
+RMIN_IDL = """
+const MAXN = 64;
+
+struct numbers {
+    int vals<MAXN>;
+};
+
+struct answer {
+    int minimum;
+    int count;
+};
+
+program RMIN_PROG {
+    version RMIN_VERS {
+        answer RMIN(numbers) = 1;
+    } = 1;
+} = 0x20000042;
+"""
+
+
+@pytest.fixture(scope="session")
+def xfer_pipeline():
+    # verify=False: these tests drive the verifier directly (and build
+    # mutants that the gate would otherwise refuse to hand out).
+    return SpecializationPipeline(XFER_IDL, impl_sources=[XFER_IMPL],
+                                  verify=False)
+
+
+@pytest.fixture(scope="session")
+def xfer_client(xfer_pipeline):
+    return xfer_pipeline.specialize_client(
+        "SENDRECV", arg_lens={"vals": 8}, res_lens={"vals": 8}
+    )
+
+
+@pytest.fixture(scope="session")
+def xfer_server(xfer_pipeline):
+    return xfer_pipeline.specialize_server(
+        "SENDRECV", arg_lens={"vals": 8}, res_lens={"vals": 8}
+    )
+
+
+@pytest.fixture(scope="session")
+def rmin_pipeline():
+    return SpecializationPipeline(RMIN_IDL, verify=False)
+
+
+@pytest.fixture(scope="session")
+def rmin_client(rmin_pipeline):
+    return rmin_pipeline.specialize_client(
+        "RMIN", arg_lens={"vals": 4}, res_lens={}
+    )

@@ -1,0 +1,78 @@
+"""The shared finding/pragma/report core."""
+
+from repro.analysis.findings import (Finding, Report, apply_pragmas,
+                                     scan_pragmas)
+
+
+def _finding(path="a.py", line=5, rule="demo-rule"):
+    return Finding(rule=rule, path=path, line=line, message="boom")
+
+
+class TestPragmas:
+    def test_scan_parses_rules_and_reason(self):
+        src = "x = 1\ny = 2  # repro: disable=rule-a,rule-b -- because\n"
+        (pragma,) = scan_pragmas("a.py", src)
+        assert pragma.line == 2
+        assert pragma.rules == ("rule-a", "rule-b")
+        assert pragma.reason == "because"
+
+    def test_suppresses_same_line(self):
+        pragmas = scan_pragmas(
+            "a.py", "\n\n\n\nboom()  # repro: disable=demo-rule -- why\n")
+        out = apply_pragmas([_finding(line=5)], pragmas)
+        assert out[0].suppressed
+        assert out[0].suppress_reason == "why"
+
+    def test_suppresses_line_below(self):
+        src = "\n\n\n# repro: disable=demo-rule -- spans statement\nboom()\n"
+        out = apply_pragmas([_finding(line=5)], scan_pragmas("a.py", src))
+        assert out[0].suppressed
+
+    def test_does_not_suppress_two_lines_away(self):
+        src = "\n\n# repro: disable=demo-rule -- too far\n\nboom()\n"
+        out = apply_pragmas([_finding(line=5)], scan_pragmas("a.py", src))
+        assert not out[0].suppressed
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = "\n\n\n\nboom()  # repro: disable=other-rule -- nope\n"
+        out = apply_pragmas([_finding(line=5)], scan_pragmas("a.py", src))
+        assert not out[0].suppressed
+
+    def test_disable_all_suppresses_any_rule(self):
+        src = "\n\n\n\nboom()  # repro: disable=all -- emergency\n"
+        out = apply_pragmas([_finding(line=5)], scan_pragmas("a.py", src))
+        assert out[0].suppressed
+
+    def test_reasonless_pragma_is_itself_a_finding(self):
+        src = "boom()  # repro: disable=demo-rule\n"
+        out = apply_pragmas([_finding(line=1)], scan_pragmas("a.py", src))
+        rules = sorted(f.rule for f in out)
+        assert rules == ["demo-rule", "pragma-no-reason"]
+        # and a reasonless pragma does NOT suppress.
+        assert not [f for f in out if f.rule == "demo-rule"][0].suppressed
+
+
+class TestReport:
+    def test_exit_code_follows_active_findings(self):
+        report = Report()
+        assert report.exit_code == 0
+        report.extend("lint", [_finding()])
+        assert report.exit_code == 1
+
+    def test_suppressed_findings_do_not_fail(self):
+        suppressed = _finding()
+        suppressed.suppressed = True
+        report = Report()
+        report.extend("lint", [suppressed])
+        assert report.exit_code == 0
+        assert "suppressed" in report.render_text()
+
+    def test_json_shape(self):
+        report = Report()
+        report.extend("verify", [_finding()], {"targets": 3})
+        blob = report.to_json()
+        assert blob["counts"] == {"active": 1, "suppressed": 0}
+        assert blob["passes"]["verify"]["targets"] == 3
+        (entry,) = blob["findings"]
+        assert entry["rule"] == "demo-rule"
+        assert entry["path"] == "a.py"

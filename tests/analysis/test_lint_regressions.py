@@ -1,0 +1,70 @@
+"""Regression pins for the linter's true positives.
+
+The concurrency/discipline lint flagged a handful of real defects on
+its first repo run; each got a code fix (not a pragma).  These tests
+pin the fixed behaviour so the defect cannot quietly return:
+
+* ``rpc.server.replies{outcome=dropped}`` was counted unconditionally
+  on the hot dispatch path — now gated on ``_obs.enabled`` and still
+  counted when observability is on;
+* the fleet replication sink's blob decode and the replicator's batch
+  encode caught bare ``Exception`` — now narrowed to the decoders'
+  documented malformation signals, while garbage still doesn't kill
+  the transport (the behaviour the broad except was protecting).
+"""
+
+from repro import obs as _obs
+from repro.rpc.fleet import DrcReplicator
+from repro.rpc.server import SvcRegistry
+from repro.xdr import xdr_int
+
+PROG, VERS = 0x20001111, 3
+
+
+def make_registry():
+    reg = SvcRegistry()
+    reg.register(PROG, VERS, 1, lambda a: a * 2, xdr_int, xdr_int)
+    return reg
+
+
+class TestDroppedCounterGate:
+    def _replies(self, outcome):
+        counters = _obs.collect()["counters"]
+        return sum(v for k, v in counters.items()
+                   if k.startswith("rpc.server.replies")
+                   and f"outcome={outcome}" in k)
+
+    def test_undecodable_call_counts_dropped_when_enabled(self):
+        registry = make_registry()
+        prev = _obs.enabled
+        _obs.registry.reset()
+        _obs.enabled = True
+        try:
+            assert registry.dispatch_bytes(b"\x00\x01") is None
+            assert self._replies("dropped") == 1
+        finally:
+            _obs.enabled = prev
+
+    def test_disabled_registry_stays_silent(self):
+        registry = make_registry()
+        prev = _obs.enabled
+        _obs.registry.reset()
+        _obs.enabled = False
+        try:
+            assert registry.dispatch_bytes(b"\x00\x01") is None
+            assert self._replies("dropped") == 0
+        finally:
+            _obs.enabled = prev
+
+
+class TestNarrowedExcepts:
+    def test_unframeable_batch_entry_skipped_not_fatal(self):
+        # encode_entry raises on a malformed in-memory key; the
+        # narrowed handler must still skip it rather than crash the
+        # replication pusher.
+        class _Drc:
+            on_store = None
+
+        replicator = DrcReplicator(_Drc(), peers=[], origin="me")
+        replicator._push_batch([((object(), "caller", 1, 2, 3), b"reply")])
+        assert replicator.dropped == 1

@@ -1,0 +1,239 @@
+"""The lint rules, exercised on synthetic modules with known defects.
+
+Each test feeds hand-written sources through one rule and asserts the
+exact finding locations, so a rule that silently stops matching shows
+up here rather than as a quietly-clean repo scan.
+"""
+
+import ast as pyast
+from pathlib import Path
+
+from repro.analysis.findings import scan_pragmas
+from repro.analysis.lint import Module, excepts, locks, obsguard
+
+
+def module(rel, source):
+    return Module(path=Path("/synthetic") / rel, rel=rel, source=source,
+                  tree=pyast.parse(source, filename=rel),
+                  pragmas=scan_pragmas(rel, source))
+
+
+class TestLockGraph:
+    CYCLE = '''
+import threading
+
+class Mux:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = threading.Lock()
+
+    def forward(self):
+        with self._lock:
+            with self._table:
+                pass
+
+    def backward(self):
+        with self._table:
+            with self._lock:
+                pass
+'''
+
+    HIERARCHY = '''
+import threading
+
+class Mux:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = threading.Lock()
+
+    def forward(self):
+        with self._lock:
+            with self._table:
+                pass
+
+    def also_forward(self):
+        with self._lock:
+            with self._table:
+                pass
+'''
+
+    def test_direct_cycle_detected(self):
+        findings = locks.check([module("src/repro/rpc/mux.py", self.CYCLE)])
+        cycles = [f for f in findings if f.rule == "lock-order-cycle"]
+        assert len(cycles) == 1
+        assert "Mux._lock" in cycles[0].message
+        assert "Mux._table" in cycles[0].message
+
+    def test_consistent_hierarchy_is_clean(self):
+        findings = locks.check(
+            [module("src/repro/rpc/mux.py", self.HIERARCHY)])
+        assert [f for f in findings if f.rule == "lock-order-cycle"] == []
+
+    def test_cycle_via_call_under_lock(self):
+        src = '''
+import threading
+
+class Mux:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = threading.Lock()
+
+    def forward(self):
+        with self._lock:
+            self._grab_table()
+
+    def _grab_table(self):
+        with self._table:
+            pass
+
+    def backward(self):
+        with self._table:
+            with self._lock:
+                pass
+'''
+        findings = locks.check([module("src/repro/rpc/mux.py", src)])
+        assert [f.rule for f in findings
+                if f.rule == "lock-order-cycle"] == ["lock-order-cycle"]
+
+    def test_blocking_under_lock_exact_location(self):
+        src = '''
+import socket
+import threading
+
+class Conn:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sock = socket.socket()
+
+    def send(self, data):
+        with self._lock:
+            self._sock.sendall(data)
+'''
+        findings = locks.check([module("src/repro/rpc/conn.py", src)])
+        (f,) = [x for x in findings if x.rule == "blocking-under-lock"]
+        assert f.path == "src/repro/rpc/conn.py"
+        assert f.line == 12
+        assert "sendall" in f.message
+        assert "Conn._lock" in f.message
+
+    def test_condition_wait_is_exempt(self):
+        # Condition.wait releases the lock while blocked — not a stall.
+        src = '''
+import threading
+
+class Q:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    def get(self):
+        with self._cond:
+            self._cond.wait()
+'''
+        findings = locks.check([module("src/repro/rpc/q.py", src)])
+        assert [f for f in findings if f.rule == "blocking-under-lock"] == []
+
+    def test_blocking_outside_lock_is_clean(self):
+        src = '''
+import time
+
+def pause():
+    time.sleep(1)
+'''
+        findings = locks.check([module("src/repro/rpc/t.py", src)])
+        assert findings == []
+
+
+class TestObsGuard:
+    def test_unguarded_hot_path_counter_flagged(self):
+        src = '''
+from repro import obs as _obs
+
+def dispatch(call):
+    _obs.counter("rpc.calls").inc()
+    return call
+'''
+        findings = obsguard.check([module("src/repro/rpc/hot.py", src)])
+        (f,) = findings
+        assert f.rule == "obs-unguarded"
+        assert f.line == 5
+
+    def test_guarded_counter_is_clean(self):
+        src = '''
+from repro import obs as _obs
+
+def dispatch(call):
+    if _obs.enabled:
+        _obs.counter("rpc.calls").inc()
+    return call
+'''
+        assert obsguard.check([module("src/repro/rpc/hot.py", src)]) == []
+
+    def test_cold_path_is_out_of_scope(self):
+        src = '''
+from repro import obs as _obs
+
+def report():
+    _obs.counter("tool.runs").inc()
+'''
+        assert obsguard.check([module("src/repro/tools_x.py", src)]) == []
+
+    def test_helper_with_all_callsites_guarded_is_exempt(self):
+        src = '''
+from repro import obs as _obs
+
+def _count(label):
+    _obs.counter(label).inc()
+
+def dispatch(call):
+    if _obs.enabled:
+        _count("rpc.calls")
+    return call
+'''
+        assert obsguard.check([module("src/repro/rpc/hot.py", src)]) == []
+
+
+class TestExcepts:
+    def test_bare_except_flagged_anywhere(self):
+        src = '''
+def f():
+    try:
+        g()
+    except:
+        pass
+'''
+        findings = excepts.check([module("src/repro/util.py", src)])
+        (f,) = findings
+        assert f.rule == "bare-except"
+        assert f.line == 5
+
+    def test_overbroad_in_transport_flagged(self):
+        src = '''
+def f():
+    try:
+        g()
+    except Exception:
+        pass
+'''
+        findings = excepts.check([module("src/repro/rpc/conn.py", src)])
+        assert [f.rule for f in findings] == ["overbroad-except"]
+
+    def test_overbroad_outside_transport_allowed(self):
+        src = '''
+def f():
+    try:
+        g()
+    except Exception:
+        pass
+'''
+        assert excepts.check([module("src/repro/util.py", src)]) == []
+
+    def test_reraising_handler_allowed(self):
+        src = '''
+def f():
+    try:
+        g()
+    except Exception:
+        cleanup()
+        raise
+'''
+        assert excepts.check([module("src/repro/rpc/conn.py", src)]) == []

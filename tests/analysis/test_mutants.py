@@ -1,0 +1,249 @@
+"""Seeded-bug corpus: the verifier must reject every mutated residual.
+
+Each mutant plants one realistic specializer bug — an off-by-one
+length, a swapped store order, a dropped bounds check, a guard widened
+past the profiled domain — in an otherwise-verified residual codec,
+and the test asserts the verifier rejects it.  A verifier that accepts
+any of these would wave divergent residual code into live dispatch.
+
+The flip side is the Hypothesis property at the bottom: codecs the
+verifier *accepts* are byte-identical to the generic stack on random
+in-domain payloads.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import verify_client_spec, verify_server_residual
+from repro.minic import ast
+from repro.rpc.client import RpcClient
+from repro.rpc.message import (AcceptStat, NULL_AUTH,
+                               encode_accepted_reply)
+from repro.xdr import XdrMemStream, XdrOp
+
+from tests.analysis.test_verify import respec
+
+VALS_LEN = 8
+
+
+def mutate(result, fn):
+    """Deep-copy a SpecializationResult and apply ``fn(program)``."""
+    clone = copy.deepcopy(result)
+    fn(clone.program)
+    return clone
+
+
+def bump_literals(old, new):
+    """Every IntLit ``old`` becomes ``new`` (off-by-one seeding)."""
+    def apply(program):
+        changed = 0
+        for func in program.funcs:
+            for node in ast.walk(func):
+                if isinstance(node, ast.IntLit) and node.value == old:
+                    node.value = new
+                    changed += 1
+        assert changed, "mutation found nothing to change"
+    return apply
+
+
+def swap_adjacent_assigns(program):
+    """Swap the last two adjacent assignment statements in a block."""
+    for func in program.funcs:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Block):
+                continue
+            idxs = [i for i, s in enumerate(node.stmts)
+                    if isinstance(s, ast.ExprStmt)
+                    and isinstance(s.expr, ast.Assign)]
+            if len(idxs) >= 2:
+                a, b = idxs[-2], idxs[-1]
+                node.stmts[a], node.stmts[b] = node.stmts[b], node.stmts[a]
+                return
+    raise AssertionError("mutation found nothing to change")
+
+
+def drop_negative_length_check(field):
+    """Remove every ``if (<field> < 0) ...`` guard in the program."""
+    def _is_check(stmt):
+        return (isinstance(stmt, ast.If)
+                and isinstance(stmt.cond, ast.Binary)
+                and stmt.cond.op == "<"
+                and isinstance(stmt.cond.right, ast.IntLit)
+                and stmt.cond.right.value == 0
+                and getattr(stmt.cond.left, "field", None) == field)
+
+    def apply(program):
+        dropped = 0
+        for func in program.funcs:
+            for node in ast.walk(func):
+                if isinstance(node, ast.Block):
+                    kept = [s for s in node.stmts if not _is_check(s)]
+                    dropped += len(node.stmts) - len(kept)
+                    node.stmts[:] = kept
+        assert dropped, "mutation found nothing to change"
+    return apply
+
+
+def swap_assigns_in(name_fragment):
+    """Swap the last two assignments in each function matching the name.
+
+    Targets codec bodies (element stores) rather than whatever block
+    ``ast.walk`` yields first — a swap in a struct-setup prologue is
+    order-independent and the verifier rightly accepts it.
+    """
+    def apply(program):
+        swapped = 0
+        for func in program.funcs:
+            if name_fragment not in func.name:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Block):
+                    continue
+                idxs = [i for i, s in enumerate(node.stmts)
+                        if isinstance(s, ast.ExprStmt)
+                        and isinstance(s.expr, ast.Assign)]
+                if len(idxs) >= 2:
+                    a, b = idxs[-2], idxs[-1]
+                    node.stmts[a], node.stmts[b] = node.stmts[b], node.stmts[a]
+                    swapped += 1
+                    break
+        assert swapped, "mutation found nothing to change"
+    return apply
+
+
+def drop_last_assign(program):
+    """Delete the last assignment store (a skipped field write)."""
+    for func in reversed(program.funcs):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Block):
+                continue
+            idxs = [i for i, s in enumerate(node.stmts)
+                    if isinstance(s, ast.ExprStmt)
+                    and isinstance(s.expr, ast.Assign)]
+            if idxs:
+                del node.stmts[idxs[-1]]
+                return
+    raise AssertionError("mutation found nothing to change")
+
+
+class TestClientMutants:
+    def _verify(self, pipeline, spec):
+        return [f.rule for f in verify_client_spec(pipeline, spec)]
+
+    def test_marshal_len_off_by_one(self, xfer_pipeline, xfer_client):
+        # mutant 1: the stored length word says 9, the guard says 8.
+        bad = respec(xfer_pipeline, xfer_client,
+                     marshal_result=mutate(xfer_client.marshal_result,
+                                           bump_literals(VALS_LEN,
+                                                         VALS_LEN + 1)))
+        assert self._verify(xfer_pipeline, bad)
+
+    def test_marshal_swapped_stores(self, xfer_pipeline, xfer_client):
+        # mutant 2: two buffer stores land in each other's slots.
+        bad = respec(xfer_pipeline, xfer_client,
+                     marshal_result=mutate(xfer_client.marshal_result,
+                                           swap_adjacent_assigns))
+        assert self._verify(xfer_pipeline, bad)
+
+    def test_marshal_dropped_store(self, xfer_pipeline, xfer_client):
+        # mutant 3: one field write is simply missing.
+        bad = respec(xfer_pipeline, xfer_client,
+                     marshal_result=mutate(xfer_client.marshal_result,
+                                           drop_last_assign))
+        assert self._verify(xfer_pipeline, bad)
+
+    def test_recv_dropped_bounds_check(self, xfer_pipeline, xfer_client):
+        # mutant 4: the negative-length rejection is gone; a hostile
+        # reply the generic stack refuses is now accepted.
+        bad = respec(xfer_pipeline, xfer_client,
+                     recv_result=mutate(
+                         xfer_client.recv_result,
+                         drop_negative_length_check("vals_len")))
+        rules = self._verify(xfer_pipeline, bad)
+        assert "residual-accepts-bad-input" in rules
+
+    def test_request_guard_widened(self, xfer_pipeline, xfer_client):
+        # mutant 5: fast-path request guard wider than the profile.
+        bad = respec(xfer_pipeline, xfer_client)
+        bad.expected_request += 4
+        assert self._verify(xfer_pipeline, bad) == ["guard-domain"]
+
+    def test_reply_guard_widened(self, xfer_pipeline, xfer_client):
+        # mutant 6: fast-path reply guard wider than the profile.
+        bad = respec(xfer_pipeline, xfer_client)
+        bad.expected_reply += 4
+        assert self._verify(xfer_pipeline, bad) == ["guard-domain"]
+
+    def test_recv_swapped_fields(self, rmin_pipeline, rmin_client):
+        # mutant 7: the two result fields decode into swapped slots.
+        bad = respec(rmin_pipeline, rmin_client,
+                     recv_result=mutate(rmin_client.recv_result,
+                                        swap_adjacent_assigns))
+        assert self._verify(rmin_pipeline, bad)
+
+
+class TestServerMutants:
+    def _verify(self, pipeline, server, result):
+        proc = pipeline.find_proc("SENDRECV")
+        return [f.rule for f in verify_server_residual(
+            pipeline, result, proc, {"vals": VALS_LEN},
+            {"vals": VALS_LEN}, server.bufsize)]
+
+    def test_server_swapped_element_stores(self, xfer_pipeline,
+                                           xfer_server):
+        # mutant 8: element stores in the array codec land in each
+        # other's slots.  The symbolic run can no longer prove the
+        # bytes match and the verifier rejects — fail closed.
+        bad = mutate(xfer_server.result, swap_assigns_in("intarr"))
+        assert self._verify(xfer_pipeline, xfer_server, bad)
+
+    def test_server_dropped_bounds_check(self, xfer_pipeline, xfer_server):
+        # mutant 9: negative-length requests reach the handler instead
+        # of drawing GARBAGE_ARGS; the hostile probe catches the
+        # residual answering where the generic stack refuses.
+        bad = mutate(xfer_server.result,
+                     drop_negative_length_check("vals_len"))
+        rules = self._verify(xfer_pipeline, xfer_server, bad)
+        assert "residual-accepts-bad-input" in rules
+
+
+class TestAcceptedMeansIdentical:
+    """Hypothesis: an accepted codec is byte-identical to generic."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vals=st.lists(st.integers(-2**31, 2**31 - 1),
+                      min_size=VALS_LEN, max_size=VALS_LEN),
+        xid=st.integers(1, 0xFFFFFFFF),
+    )
+    def test_request_bytes_identical(self, xfer_pipeline, xfer_client,
+                                     vals, xid):
+        stubs = xfer_pipeline.stubs
+        proc = xfer_pipeline.find_proc("SENDRECV")
+        client = RpcClient(xfer_pipeline.prog_number,
+                           xfer_pipeline.vers_number)
+        generic = client.build_call(xid, proc.number,
+                                    stubs.intarr(vals=list(vals)),
+                                    stubs.xdr_intarr)
+        residual = xfer_client.build_request(
+            xid, stubs.intarr(vals=list(vals)))
+        assert residual == generic
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vals=st.lists(st.integers(-2**31, 2**31 - 1),
+                      min_size=VALS_LEN, max_size=VALS_LEN),
+        xid=st.integers(1, 0xFFFFFFFF),
+    )
+    def test_reply_decodes_identically(self, xfer_pipeline, xfer_client,
+                                       vals, xid):
+        stubs = xfer_pipeline.stubs
+        stream = XdrMemStream(bytearray(1024), XdrOp.ENCODE)
+        encode_accepted_reply(stream, xid, AcceptStat.SUCCESS, NULL_AUTH)
+        stubs.xdr_intarr(stream, stubs.intarr(vals=list(vals)))
+        data = stream.data()
+        matched, value = xfer_client.parse_reply(data, xid)
+        assert matched
+        assert list(value.vals) == list(vals)

@@ -1,0 +1,97 @@
+"""The repo itself must lint clean, and the CLI must say so.
+
+This pins every fix and pragma from the linter roll-out: a regression
+that reintroduces a blocking call under a lock, an unguarded hot-path
+counter, an overbroad except in a transport, or an undocumented knob
+fails here — not in production.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import knobs, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRepoIsClean:
+    def test_zero_active_lint_findings(self):
+        findings, stats = run_lint(REPO_ROOT)
+        active = [f for f in findings if not f.suppressed]
+        assert active == [], "\n".join(
+            f"{f.path}:{f.line} [{f.rule}] {f.message}" for f in active)
+        assert stats["modules"] > 50
+
+    def test_every_suppression_has_a_reason(self):
+        findings, _ = run_lint(REPO_ROOT)
+        for f in findings:
+            if f.suppressed:
+                assert f.suppress_reason
+
+
+class TestKnobContract:
+    # Spelled so the repo's own knob scan (which includes tests/) does
+    # not read these synthetic names as real knobs.
+    MYSTERY = "REPRO_" + "MYSTERY"
+    GONE = "REPRO_" + "GONE"
+    OK = "REPRO_" + "OK"
+
+    def _setup(self, tmp_path, rows, source, docs_extra=""):
+        (tmp_path / "docs").mkdir()
+        table = "\n".join(f"| `{k}` | x | y |" for k in rows)
+        (tmp_path / "docs" / "OPERATIONS.md").write_text(
+            "| variable | default | meaning |\n|---|---|---|\n"
+            + table + "\n" + docs_extra)
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "mod.py").write_text(source)
+        return tmp_path
+
+    def test_undocumented_read_flagged(self, tmp_path):
+        root = self._setup(
+            tmp_path, [],
+            f'import os\nos.environ.get("{self.MYSTERY}")\n')
+        (f,) = knobs.check([], root)
+        assert f.context["direction"] == "undocumented-read"
+        assert f.path == "src/mod.py"
+        assert f.line == 2
+
+    def test_stale_row_flagged(self, tmp_path):
+        root = self._setup(tmp_path, [self.GONE], "pass\n")
+        (f,) = knobs.check([], root)
+        assert f.context["direction"] == "stale-row"
+        assert f.context["knob"] == self.GONE
+        assert f.path == "docs/OPERATIONS.md"
+
+    def test_documented_and_read_is_clean(self, tmp_path):
+        root = self._setup(tmp_path, [self.OK],
+                           f'import os\nos.environ.get("{self.OK}")\n')
+        assert knobs.check([], root) == []
+
+    def test_repo_knob_contract_holds(self):
+        assert knobs.check([], REPO_ROOT) == []
+
+
+class TestCli:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True, text=True,
+            cwd=REPO_ROOT, env={"PYTHONPATH": "src", "PATH": "/usr/bin"})
+
+    def test_lint_exits_zero_and_reports(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self._run("lint", "--json", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        blob = json.loads(out.read_text())
+        assert blob["counts"]["active"] == 0
+        assert "lint" in blob["passes"]
+
+    def test_all_runs_both_passes(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = self._run("all", "--json", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        blob = json.loads(out.read_text())
+        assert set(blob["passes"]) >= {"verify", "lint"}
+        assert blob["passes"]["verify"]["targets"] >= 3

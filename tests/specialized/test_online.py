@@ -480,3 +480,31 @@ class TestObsContract:
                        "active", "build_s"):
             assert any(key.startswith(f"rpc.spec.online.{suffix}")
                        for key in keys), (suffix, sorted(keys))
+
+    def test_promotion_is_verified(self, stubs):
+        # Every residual the online path promotes must have passed the
+        # equivalence verifier: pass counted, zero failures.  A fresh
+        # pipeline forces a real build — the module fixture's memo
+        # would hand back an already-verified codec silently.
+        from repro import obs
+        fresh = SpecializationPipeline(IDL, impl_sources=[IMPL])
+        registry = make_registry(stubs)
+        spec = make_spec(fresh)
+        spec.attach_server(registry)
+        xids = itertools.count(1)
+        prev = obs.enabled
+        obs.registry.reset()
+        obs.enabled = True
+        try:
+            drive(stubs, registry, xids, HOT_N, POLICY["min_calls"])
+            spec.poll_once()
+        finally:
+            obs.enabled = prev
+        assert spec.promotions == 1
+        counters = obs.collect()["counters"]
+        passes = sum(v for k, v in counters.items()
+                     if k.startswith("rpc.spec.verify.pass"))
+        fails = sum(v for k, v in counters.items()
+                    if k.startswith("rpc.spec.verify.fail"))
+        assert passes > 0
+        assert fails == 0

@@ -10,12 +10,9 @@ ROADMAP.md, CHANGES.md, docs/*.md) for inline links and validates:
   dashes, punctuation dropped);
 * external links (http/https/mailto) are *not* fetched — only noted.
 
-It also enforces the **knob contract** between the documentation and
-the code: every ``REPRO_*`` environment variable mentioned in any doc
-must have a table row in docs/OPERATIONS.md, every table row must
-correspond to a knob the source tree actually reads, and every knob
-the source reads must have a table row — so a knob cannot ship
-undocumented, and stale documentation cannot outlive a knob.
+The REPRO_* knob contract that used to live here moved to the lint
+pass (``python -m repro.analysis lint``, rule ``knob-contract``) so
+its findings share the analysis report and pragma machinery.
 
 Exits 1 with a per-link report when anything is broken; used by CI's
 docs step.
@@ -31,16 +28,6 @@ HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 
 DEFAULT_FILES = ("README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md")
-
-#: complete knob tokens only — a prose prefix like ``REPRO_CHAOS_*``
-#: (trailing underscore) names a family, not a knob
-KNOB_RE = re.compile(r"\bREPRO_[A-Z0-9_]*[A-Z0-9]\b")
-#: a documented knob: an OPERATIONS.md table row whose first cell is
-#: the backticked variable name
-KNOB_ROW_RE = re.compile(r"^\|\s*`(REPRO_[A-Z0-9_]+)`", re.MULTILINE)
-#: where knobs are read/set by code
-KNOB_SOURCE_DIRS = ("src", "tools", ".github", "tests")
-KNOB_SOURCE_SUFFIXES = {".py", ".yml", ".yaml", ".sh"}
 
 
 def github_slug(heading):
@@ -85,44 +72,6 @@ def check_file(path, root):
                 yield target, f"no heading '#{anchor}' in {file_part}"
 
 
-def source_knobs(root):
-    """Every REPRO_* token the source tree (and CI config) reads."""
-    knobs = set()
-    for name in KNOB_SOURCE_DIRS:
-        base = root / name
-        if not base.is_dir():
-            continue
-        for path in base.rglob("*"):
-            if path.suffix in KNOB_SOURCE_SUFFIXES and path.is_file():
-                knobs.update(KNOB_RE.findall(
-                    path.read_text(encoding="utf-8", errors="ignore")))
-    return knobs
-
-
-def check_knobs(doc_paths, root):
-    """Yields (token, problem) tuples for knob-contract violations."""
-    operations = root / "docs" / "OPERATIONS.md"
-    if not operations.exists():
-        yield "docs/OPERATIONS.md", "knob table file does not exist"
-        return
-    rows = set(KNOB_ROW_RE.findall(
-        operations.read_text(encoding="utf-8")))
-    mentioned = {}
-    for path in doc_paths:
-        for knob in KNOB_RE.findall(path.read_text(encoding="utf-8")):
-            mentioned.setdefault(knob, path.relative_to(root))
-    in_source = source_knobs(root)
-    for knob in sorted(set(mentioned) - rows):
-        yield knob, (f"mentioned in {mentioned[knob]} but has no table"
-                     " row in docs/OPERATIONS.md")
-    for knob in sorted(rows - in_source):
-        yield knob, ("documented in docs/OPERATIONS.md but nothing"
-                     " under src/tools/tests/.github reads it")
-    for knob in sorted(in_source - rows):
-        yield knob, ("read by the source tree but has no table row in"
-                     " docs/OPERATIONS.md")
-
-
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*",
@@ -140,14 +89,11 @@ def main(argv=None):
         for target, problem in check_file(path, root):
             print(f"{path.relative_to(root)}: ({target}) -> {problem}")
             broken += 1
-    for token, problem in check_knobs(paths, root):
-        print(f"knob contract: {token} -> {problem}")
-        broken += 1
     checked = len(paths)
     if broken:
         print(f"\n{broken} problem(s) across {checked} file(s)")
         return 1
-    print(f"all links and knob tables OK across {checked} file(s)")
+    print(f"all links OK across {checked} file(s)")
     return 0
 
 
